@@ -1,0 +1,208 @@
+(* Benchmark harness: one Bechamel test (or group) per experiment id of
+   DESIGN.md / EXPERIMENTS.md, measuring the CPU cost of the kernels
+   behind each table, followed by the experiment tables themselves
+   (simulated-time metrics).
+
+   Groups:
+     checker/T1-*  exhaustive vs Theorem-7 admissibility checking
+     checker/T2-*  single-object polynomial vs multi-object exhaustive
+     checker/T7    constrained-checker corpus pass
+     protocol/P1..P3, C1, J1   store simulations (whole runs)
+     broadcast/P4  atomic broadcast simulations
+     objects/P5    DCAS contention loop
+     figures/F1-F2 paper-figure checking *)
+
+open Bechamel
+open Toolkit
+open Mmc_core
+
+(* --- fixed inputs, built once --- *)
+
+let hard_multi n seed =
+  Mmc_workload.Histories.random_multi ~seed ~n_procs:3 ~n_objects:3 ~n_mops:n
+    ~max_reads:2 ~max_writes:2 ()
+
+let consistent n seed =
+  Mmc_workload.Histories.legal_random ~seed ~n_procs:3 ~n_objects:4 ~n_mops:n
+    ~max_len:3 ~read_ratio:0.5 ()
+
+let registers n seed =
+  Mmc_workload.Histories.random_register ~seed ~n_procs:4 ~n_objects:2
+    ~n_mops:n ~write_ratio:0.5 ()
+
+let ww_base h =
+  let updates =
+    History.real_mops h
+    |> List.filter Mop.is_update
+    |> List.map (fun (m : Mop.t) -> m.Mop.id)
+  in
+  let base = History.base_relation h History.Msc in
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+      Relation.add base a b;
+      link rest
+    | [ _ ] | [] -> ()
+  in
+  link updates;
+  base
+
+let t1_inputs = List.map (fun n -> (n, hard_multi n (n * 7))) [ 6; 10; 14 ]
+
+let t1_constrained =
+  List.map
+    (fun n ->
+      let h = consistent n (n * 7) in
+      (n, h, ww_base h))
+    [ 6; 10; 14 ]
+
+let t2_single = List.map (fun n -> (n, registers n (n * 3))) [ 8; 16; 24 ]
+
+let bench_t1 =
+  Test.make_grouped ~name:"T1"
+    (List.map
+       (fun (n, h) ->
+         Test.make
+           ~name:(Fmt.str "exhaustive-mlin-%d" n)
+           (Staged.stage (fun () ->
+                ignore (Admissible.check ~max_states:3_000_000 h History.Mlin))))
+       t1_inputs
+    @ List.map
+        (fun (n, h, base) ->
+          Test.make
+            ~name:(Fmt.str "theorem7-ww-%d" n)
+            (Staged.stage (fun () ->
+                 ignore (Check_constrained.check_relation h base Constraints.WW))))
+        t1_constrained)
+
+let bench_t2 =
+  Test.make_grouped ~name:"T2"
+    (List.map
+       (fun (n, h) ->
+         Test.make
+           ~name:(Fmt.str "single-object-%d" n)
+           (Staged.stage (fun () -> ignore (Check_single.check h))))
+       t2_single
+    @ List.map
+        (fun (n, h) ->
+          Test.make
+            ~name:(Fmt.str "multi-object-%d" n)
+            (Staged.stage (fun () ->
+                 ignore (Admissible.check ~max_states:3_000_000 h History.Mlin))))
+        t1_inputs
+    |> List.map Fun.id)
+
+let bench_t7 =
+  Test.make ~name:"T7-corpus"
+    (Staged.stage (fun () -> ignore (Mmc_experiments.Exp_checker.t7 ~n_histories:10 ())))
+
+let run_store kind =
+  let spec = { Mmc_workload.Spec.default with n_objects = 8 } in
+  let cfg =
+    {
+      Mmc_store.Runner.default_config with
+      n_procs = 4;
+      n_objects = 8;
+      ops_per_proc = 20;
+      kind;
+    }
+  in
+  fun () ->
+    ignore
+      (Mmc_store.Runner.run ~seed:11 cfg
+         ~workload:(Mmc_workload.Generator.mixed spec))
+
+let bench_protocol =
+  Test.make_grouped ~name:"protocol"
+    [
+      Test.make ~name:"P1-msc-run" (Staged.stage (run_store Mmc_store.Store.Msc));
+      Test.make ~name:"P2-mlin-run" (Staged.stage (run_store Mmc_store.Store.Mlin));
+      Test.make ~name:"P3-central-run"
+        (Staged.stage (run_store Mmc_store.Store.Central));
+      Test.make ~name:"W1-causal-run"
+        (Staged.stage (run_store Mmc_store.Store.Causal));
+      Test.make ~name:"L1-lock-run" (Staged.stage (run_store Mmc_store.Store.Lock));
+    ]
+
+let bench_broadcast =
+  Test.make_grouped ~name:"P4"
+    (List.map
+       (fun (name, impl) ->
+         Test.make ~name
+           (Staged.stage (fun () ->
+                ignore
+                  (Mmc_experiments.Exp_broadcast.measure ~impl ~n:4 ~k:10
+                     ~latency:(Mmc_sim.Latency.Uniform (5, 15))
+                     ~seed:3))))
+       [
+         ("sequencer", Mmc_broadcast.Abcast.Sequencer_impl);
+         ("lamport", Mmc_broadcast.Abcast.Lamport_impl);
+       ])
+
+let bench_objects =
+  Test.make ~name:"P5-dcas-loop"
+    (Staged.stage (fun () ->
+         ignore
+           (Mmc_experiments.Exp_objects.run_dcas ~kind:Mmc_store.Store.Mlin
+              ~n_procs:4 ~attempts:6 ~seed:5)))
+
+let bench_figures =
+  Test.make_grouped ~name:"figures"
+    [
+      Test.make ~name:"F1-figure1-mlin"
+        (Staged.stage (fun () ->
+             let h, _ = Mmc_workload.Figures.figure1 () in
+             ignore (Admissible.check h History.Mlin)));
+      Test.make ~name:"F2-figure2-theorem7"
+        (Staged.stage (fun () ->
+             let h, _, ww = Mmc_workload.Figures.figure2 () in
+             let base = History.base_relation h History.Msc in
+             Relation.add_edges base ww;
+             ignore (Check_constrained.check_relation h base Constraints.WW)));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"mmc"
+    [
+      bench_t1;
+      bench_t2;
+      bench_t7;
+      bench_protocol;
+      bench_broadcast;
+      bench_objects;
+      bench_figures;
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  Analyze.merge ols instances results
+
+let () =
+  Fmt.pr "=== Bechamel micro-benchmarks (one group per experiment) ===@.";
+  let results = benchmark () in
+  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> Fmt.pr "no results@."
+  | Some tbl ->
+    let rows =
+      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Fmt.pr "%-40s %12.1f ns/run@." name est
+        | _ -> Fmt.pr "%-40s (no estimate)@." name)
+      rows);
+  Fmt.pr "@.=== Experiment tables (simulated-time metrics) ===@.";
+  List.iter
+    (fun (e : Mmc_experiments.Registry.entry) ->
+      Mmc_experiments.Table.print (e.quick ());
+      print_newline ())
+    Mmc_experiments.Registry.all

@@ -1,0 +1,33 @@
+(* Experiment table runner: prints every table from EXPERIMENTS.md.
+   Usage:
+     experiments            -- run all experiments at full size
+     experiments --quick    -- reduced sizes
+     experiments T1 P3 ...  -- selected experiments *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let ids = List.filter (fun a -> a <> "--quick") args in
+  let entries =
+    match ids with
+    | [] -> Mmc_experiments.Registry.all
+    | ids ->
+      List.filter_map
+        (fun id ->
+          match Mmc_experiments.Registry.find id with
+          | Some e -> Some e
+          | None ->
+            Fmt.epr "unknown experiment %S (known: %s)@." id
+              (String.concat ", "
+                 (List.map
+                    (fun (e : Mmc_experiments.Registry.entry) -> e.id)
+                    Mmc_experiments.Registry.all));
+            None)
+        ids
+  in
+  List.iter
+    (fun (e : Mmc_experiments.Registry.entry) ->
+      let table = if quick then e.quick () else e.run () in
+      Mmc_experiments.Table.print table;
+      print_newline ())
+    entries

@@ -1,0 +1,450 @@
+(* mmc: command-line front end.
+
+   Subcommands:
+     simulate     run a protocol simulation, report stats, optionally
+                  check the trace and save it
+     check        check a saved history against a consistency condition
+     generate     emit a random history in the text format
+     experiments  print experiment tables (see EXPERIMENTS.md)
+     figures      print the paper's worked figures and their verdicts *)
+
+open Cmdliner
+open Mmc_core
+
+(* --- shared argument converters --- *)
+
+let store_kind_conv =
+  let parse s =
+    match Mmc_store.Store.kind_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Fmt.str "unknown store %S (msc|mlin|central|local|causal|lock|aw)" s))
+  in
+  Arg.conv (parse, Mmc_store.Store.pp_kind)
+
+let abcast_conv =
+  let parse = function
+    | "sequencer" -> Ok Mmc_broadcast.Abcast.Sequencer_impl
+    | "lamport" -> Ok Mmc_broadcast.Abcast.Lamport_impl
+    | s -> Error (`Msg (Fmt.str "unknown abcast %S (sequencer|lamport)" s))
+  in
+  Arg.conv (parse, Mmc_broadcast.Abcast.pp_impl)
+
+let flavour_conv =
+  let parse = function
+    | "msc" -> Ok History.Msc
+    | "mnorm" -> Ok History.Mnorm
+    | "mlin" -> Ok History.Mlin
+    | s -> Error (`Msg (Fmt.str "unknown condition %S (msc|mnorm|mlin)" s))
+  in
+  Arg.conv (parse, History.pp_flavour)
+
+let latency_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "constant"; d ] -> Ok (Mmc_sim.Latency.Constant (int_of_string d))
+    | [ "uniform"; lo; hi ] ->
+      Ok (Mmc_sim.Latency.Uniform (int_of_string lo, int_of_string hi))
+    | [ "exp"; m ] -> Ok (Mmc_sim.Latency.Exponential (int_of_string m))
+    | [ "bimodal"; fast; slow; p ] ->
+      Ok
+        (Mmc_sim.Latency.Bimodal
+           {
+             fast = int_of_string fast;
+             slow = int_of_string slow;
+             p_slow = float_of_string p;
+           })
+    | _ ->
+      Error
+        (`Msg
+          "latency model: constant:D | uniform:LO:HI | exp:MEAN | \
+           bimodal:FAST:SLOW:P")
+  in
+  Arg.conv (parse, Mmc_sim.Latency.pp)
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+(* --- simulate --- *)
+
+let simulate kind procs objects ops read_ratio abcast latency seed check save =
+  let spec =
+    { Mmc_workload.Spec.default with n_objects = objects; read_ratio }
+  in
+  let cfg =
+    {
+      Mmc_store.Runner.default_config with
+      n_procs = procs;
+      n_objects = objects;
+      ops_per_proc = ops;
+      kind;
+      abcast_impl = abcast;
+      latency;
+    }
+  in
+  let res =
+    Mmc_store.Runner.run ~seed cfg ~workload:(Mmc_workload.Generator.mixed spec)
+  in
+  Fmt.pr "store           %a@." Mmc_store.Store.pp_kind kind;
+  Fmt.pr "processes       %d@." procs;
+  Fmt.pr "completed ops   %d@." res.Mmc_store.Runner.completed;
+  Fmt.pr "virtual time    %d@." res.Mmc_store.Runner.duration;
+  Fmt.pr "messages        %d@." res.Mmc_store.Runner.messages;
+  Fmt.pr "engine events   %d@." res.Mmc_store.Runner.events;
+  Fmt.pr "query latency   %a@." Mmc_sim.Stats.pp_summary
+    res.Mmc_store.Runner.query_latency;
+  Fmt.pr "update latency  %a@." Mmc_sim.Stats.pp_summary
+    res.Mmc_store.Runner.update_latency;
+  let h = res.Mmc_store.Runner.history in
+  (match save with
+  | Some path ->
+    Codec.to_file h path;
+    Fmt.pr "history saved   %s@." path
+  | None -> ());
+  if check then begin
+    match kind with
+    | Mmc_store.Store.Causal -> (
+      match Check_causal.check ~max_states:10_000_000 h with
+      | Check_causal.Causal _ -> Fmt.pr "check           causal: PASS@."
+      | Check_causal.Not_causal p -> Fmt.pr "check           causal: FAIL (P%d)@." p
+      | Check_causal.Aborted -> Fmt.pr "check           causal: budget exhausted@.")
+    | kind -> (
+      let flavour =
+        match kind with
+        | Mmc_store.Store.Msc | Mmc_store.Store.Local -> History.Msc
+        | Mmc_store.Store.Mlin | Mmc_store.Store.Central
+        | Mmc_store.Store.Causal | Mmc_store.Store.Lock | Mmc_store.Store.Aw ->
+          History.Mlin
+      in
+      match Admissible.check ~max_states:10_000_000 h flavour with
+      | Admissible.Admissible _ ->
+        Fmt.pr "check           %a: PASS@." History.pp_flavour flavour
+      | Admissible.Not_admissible ->
+        Fmt.pr "check           %a: FAIL@." History.pp_flavour flavour
+      | Admissible.Aborted ->
+        Fmt.pr "check           %a: budget exhausted@." History.pp_flavour
+          flavour)
+  end;
+  0
+
+let simulate_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt store_kind_conv Mmc_store.Store.Msc
+      & info [ "store" ] ~docv:"STORE"
+          ~doc:"Store protocol: msc, mlin, central, local, causal, lock or aw.")
+  in
+  let procs =
+    Arg.(value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Number of processes.")
+  in
+  let objects =
+    Arg.(
+      value & opt int 8
+      & info [ "objects" ] ~docv:"N" ~doc:"Number of shared objects.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 30
+      & info [ "ops" ] ~docv:"N" ~doc:"m-operations per process.")
+  in
+  let read_ratio =
+    Arg.(
+      value & opt float 0.5
+      & info [ "read-ratio" ] ~docv:"R" ~doc:"Query fraction.")
+  in
+  let abcast =
+    Arg.(
+      value
+      & opt abcast_conv Mmc_broadcast.Abcast.Sequencer_impl
+      & info [ "abcast" ] ~docv:"IMPL"
+          ~doc:"Atomic broadcast: sequencer or lamport.")
+  in
+  let latency =
+    Arg.(
+      value
+      & opt latency_conv (Mmc_sim.Latency.Uniform (5, 15))
+      & info [ "latency" ] ~docv:"MODEL" ~doc:"Latency model.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Check the trace after the run.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Save the history in the text format.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a protocol simulation")
+    Term.(
+      const simulate $ kind $ procs $ objects $ ops $ read_ratio $ abcast
+      $ latency $ seed $ check $ save)
+
+(* --- check --- *)
+
+let check_history file flavour single =
+  match Codec.of_file file with
+  | exception Codec.Parse_error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | exception History.Ill_formed msg ->
+    Fmt.epr "ill-formed history: %s@." msg;
+    1
+  | h ->
+    Fmt.pr "%d m-operations over %d objects@." (History.n_mops h - 1)
+      (History.n_objects h);
+    if single then begin
+      match Check_single.check h with
+      | Check_single.Linearizable w ->
+        Fmt.pr "single-object polynomial check: linearizable@.witness: %a@."
+          Sequential.pp w;
+        0
+      | Check_single.Not_linearizable ->
+        Fmt.pr "single-object polynomial check: NOT linearizable@.";
+        1
+      | Check_single.Not_single_object ->
+        Fmt.epr "history is not single-object; use --condition instead@.";
+        2
+    end
+    else begin
+      match Admissible.check ~max_states:10_000_000 h flavour with
+      | Admissible.Admissible w ->
+        Fmt.pr "%a: PASS@.witness: %a@." History.pp_flavour flavour
+          Sequential.pp w;
+        0
+      | Admissible.Not_admissible ->
+        Fmt.pr "%a: FAIL@." History.pp_flavour flavour;
+        1
+      | Admissible.Aborted ->
+        Fmt.pr "%a: state budget exhausted@." History.pp_flavour flavour;
+        2
+    end
+
+let check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"History file.")
+  in
+  let flavour =
+    Arg.(
+      value
+      & opt flavour_conv History.Mlin
+      & info [ "condition" ] ~docv:"COND" ~doc:"msc, mnorm or mlin.")
+  in
+  let single =
+    Arg.(
+      value & flag
+      & info [ "single" ]
+          ~doc:"Use the polynomial single-object linearizability checker.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a saved history")
+    Term.(const check_history $ file $ flavour $ single)
+
+(* --- generate --- *)
+
+let generate family n_procs n_objects n_mops seed out =
+  let h =
+    match family with
+    | "legal" ->
+      Mmc_workload.Histories.legal_random ~seed ~n_procs ~n_objects ~n_mops
+        ~max_len:3 ~read_ratio:0.5 ()
+    | "register" ->
+      Mmc_workload.Histories.random_register ~seed ~n_procs ~n_objects ~n_mops
+        ~write_ratio:0.5 ()
+    | "multi" ->
+      Mmc_workload.Histories.random_multi ~seed ~n_procs ~n_objects ~n_mops
+        ~max_reads:2 ~max_writes:2 ()
+    | "mutated" -> (
+      let h =
+        Mmc_workload.Histories.legal_random ~seed ~n_procs ~n_objects ~n_mops
+          ~max_len:3 ~read_ratio:0.5 ()
+      in
+      match Mmc_workload.Histories.perturb_rf ~seed h with
+      | Some h' -> h'
+      | None -> h)
+    | f ->
+      Fmt.epr "unknown family %S (legal|register|multi|mutated)@." f;
+      exit 2
+  in
+  let text = Codec.to_string h in
+  (match out with
+  | Some path ->
+    Out_channel.with_open_text path (fun oc -> output_string oc text)
+  | None -> print_string text);
+  0
+
+let generate_cmd =
+  let family =
+    Arg.(
+      value & opt string "legal"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:"legal, register, multi or mutated.")
+  in
+  let procs = Arg.(value & opt int 3 & info [ "procs" ] ~docv:"N") in
+  let objects = Arg.(value & opt int 4 & info [ "objects" ] ~docv:"N") in
+  let mops = Arg.(value & opt int 10 & info [ "mops" ] ~docv:"N") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random history")
+    Term.(const generate $ family $ procs $ objects $ mops $ seed $ out)
+
+(* --- experiments --- *)
+
+let experiments ids quick =
+  let entries =
+    match ids with
+    | [] -> Mmc_experiments.Registry.all
+    | ids ->
+      List.filter_map
+        (fun id ->
+          match Mmc_experiments.Registry.find id with
+          | Some e -> Some e
+          | None ->
+            Fmt.epr "unknown experiment %S@." id;
+            None)
+        ids
+  in
+  List.iter
+    (fun (e : Mmc_experiments.Registry.entry) ->
+      Mmc_experiments.Table.print (if quick then e.quick () else e.run ());
+      print_newline ())
+    entries;
+  0
+
+let experiments_cmd =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes.") in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Print experiment tables")
+    Term.(const experiments $ ids $ quick)
+
+(* --- stats --- *)
+
+let stats file =
+  match Codec.of_file file with
+  | exception Codec.Parse_error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | exception History.Ill_formed msg ->
+    Fmt.epr "ill-formed history: %s@." msg;
+    1
+  | h ->
+    Fmt.pr "%a@." Analysis.pp (Analysis.analyze h);
+    0
+
+let stats_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"History file.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Structural metrics of a history")
+    Term.(const stats $ file)
+
+(* --- show --- *)
+
+let show file width =
+  match Codec.of_file file with
+  | exception Codec.Parse_error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | exception History.Ill_formed msg ->
+    Fmt.epr "ill-formed history: %s@." msg;
+    1
+  | h ->
+    print_string (Timeline.render ~width h);
+    0
+
+let show_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"History file.")
+  in
+  let width =
+    Arg.(
+      value
+      & opt int Timeline.default_width
+      & info [ "width" ] ~docv:"COLS" ~doc:"Timeline width in columns.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Render a history as an ASCII timeline")
+    Term.(const show $ file $ width)
+
+(* --- dot --- *)
+
+let dot file out include_rt =
+  match Codec.of_file file with
+  | exception Codec.Parse_error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | exception History.Ill_formed msg ->
+    Fmt.epr "ill-formed history: %s@." msg;
+    1
+  | h ->
+    let text = Dot.history ~include_rt h in
+    (match out with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc text)
+    | None -> print_string text);
+    0
+
+let dot_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"History file.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE")
+  in
+  let no_rt =
+    Arg.(value & flag & info [ "no-rt" ] ~doc:"Omit real-time edges.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render a history as graphviz")
+    Term.(const dot $ file $ out $ Term.app (const not) no_rt)
+
+(* --- figures --- *)
+
+let figures () =
+  let h1, _ = Mmc_workload.Figures.figure1 () in
+  Fmt.pr "Figure 1:@.%a@.@." History.pp h1;
+  let h2, _, ww = Mmc_workload.Figures.figure2 () in
+  Fmt.pr "Figure 2 (H1):@.%a@.WW edges: %a@." History.pp h2
+    Fmt.(list ~sep:comma (pair ~sep:(any "->") int int))
+    ww;
+  Fmt.pr "S1 (Figure 3) legal: %b@."
+    (Sequential.legal_and_equivalent h2 Mmc_workload.Figures.figure3_s1_order);
+  0
+
+let figures_cmd =
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Print the paper's figures")
+    Term.(const figures $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "mmc" ~version:"1.0.0"
+       ~doc:"Multi-object consistency conditions: protocols and checkers")
+    [
+      simulate_cmd;
+      check_cmd;
+      generate_cmd;
+      experiments_cmd;
+      figures_cmd;
+      dot_cmd;
+      show_cmd;
+      stats_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

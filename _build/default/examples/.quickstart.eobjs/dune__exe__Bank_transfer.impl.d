@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Admissible Array Fmt Fun History List Local_store Mmc_broadcast Mmc_core Mmc_objects Mmc_sim Mmc_store Msc_store Recorder Store Value

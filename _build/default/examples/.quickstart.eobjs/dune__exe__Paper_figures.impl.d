@@ -1,0 +1,1 @@
+examples/paper_figures.ml: Admissible Check_constrained Constraints Fmt History Legality List Mmc_core Mmc_workload Mop Relation Sequential

@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Admissible Fmt History List Mlin_store Mmc_broadcast Mmc_core Mmc_objects Mmc_sim Mmc_store Recorder Store Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Admissible Fmt History List Mlin_store Mmc_broadcast Mmc_core Mmc_objects Mmc_sim Mmc_store Recorder Sequential Store Value

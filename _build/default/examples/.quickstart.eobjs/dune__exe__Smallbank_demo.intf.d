@@ -1,0 +1,1 @@
+examples/smallbank_demo.mli:

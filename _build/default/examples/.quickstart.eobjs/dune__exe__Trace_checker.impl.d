@@ -1,0 +1,1 @@
+examples/trace_checker.ml: Admissible Check_constrained Constraints Fmt History List Mmc_core Mmc_workload Mop Relation Sys

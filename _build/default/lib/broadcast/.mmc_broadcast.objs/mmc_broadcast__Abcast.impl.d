@@ -1,0 +1,1 @@
+lib/broadcast/abcast.ml: Fmt Mmc_sim

@@ -1,0 +1,1 @@
+lib/broadcast/abcast.mli: Format Mmc_sim

@@ -1,0 +1,1 @@
+lib/broadcast/lamport.ml: Abcast Array Fifo_channel Hashtbl Mmc_sim Set

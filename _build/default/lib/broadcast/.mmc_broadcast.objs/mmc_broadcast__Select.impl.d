@@ -1,0 +1,1 @@
+lib/broadcast/select.ml: Abcast Lamport Sequencer

@@ -1,0 +1,1 @@
+lib/broadcast/sequencer.ml: Abcast Array Hashtbl Mmc_sim Network

@@ -1,0 +1,1 @@
+lib/broadcast/sequencer.mli: Abcast

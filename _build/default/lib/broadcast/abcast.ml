@@ -1,0 +1,44 @@
+(** Atomic (total order) broadcast.
+
+    The paper's protocols synchronize all update m-operations through
+    atomic broadcast: every process delivers every broadcast payload,
+    and all processes deliver them in the same order.  The store layer
+    is parametric in the implementation; two are provided
+    ({!Sequencer} and {!Lamport}).
+
+    A value of type ['p t] is a connected broadcast instance: the
+    delivery callback was fixed at creation time and [broadcast]
+    injects payloads. *)
+
+type 'p t = {
+  name : string;
+  broadcast : src:int -> 'p -> unit;
+  messages_sent : unit -> int;
+      (** transport messages used so far (for the message-complexity
+          experiments) *)
+}
+
+let broadcast t ~src payload = t.broadcast ~src payload
+
+let messages_sent t = t.messages_sent ()
+
+let name t = t.name
+
+(** Implementations are functions of this shape.  [duplicate] makes the
+    underlying network at-least-once; both implementations suppress
+    duplicates and still deliver exactly once in total order. *)
+type 'p factory =
+  ?duplicate:float ->
+  Mmc_sim.Engine.t ->
+  n:int ->
+  latency:Mmc_sim.Latency.t ->
+  rng:Mmc_sim.Rng.t ->
+  deliver:(node:int -> origin:int -> 'p -> unit) ->
+  'p t
+
+(** Which implementation to instantiate (CLI/bench selector). *)
+type impl = Sequencer_impl | Lamport_impl
+
+let pp_impl ppf = function
+  | Sequencer_impl -> Fmt.string ppf "sequencer"
+  | Lamport_impl -> Fmt.string ppf "lamport"

@@ -1,0 +1,33 @@
+(** Atomic (total order) broadcast: every process delivers every
+    payload, all in the same order.  The paper's protocols synchronize
+    update m-operations through this primitive; the store layer is
+    parametric in the implementation. *)
+
+type 'p t = {
+  name : string;
+  broadcast : src:int -> 'p -> unit;
+  messages_sent : unit -> int;
+      (** transport messages used so far (message-complexity
+          experiments) *)
+}
+
+val broadcast : 'p t -> src:int -> 'p -> unit
+val messages_sent : 'p t -> int
+val name : 'p t -> string
+
+(** Implementations are functions of this shape; [deliver] is invoked
+    at every node, in the agreed total order.  [duplicate] makes the
+    underlying network at-least-once; both implementations suppress
+    duplicates and still deliver exactly once. *)
+type 'p factory =
+  ?duplicate:float ->
+  Mmc_sim.Engine.t ->
+  n:int ->
+  latency:Mmc_sim.Latency.t ->
+  rng:Mmc_sim.Rng.t ->
+  deliver:(node:int -> origin:int -> 'p -> unit) ->
+  'p t
+
+type impl = Sequencer_impl | Lamport_impl
+
+val pp_impl : Format.formatter -> impl -> unit

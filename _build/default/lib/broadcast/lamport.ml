@@ -1,0 +1,88 @@
+(** Decentralized atomic broadcast via Lamport clocks (ISIS style).
+
+    Every broadcast is timestamped with the sender's Lamport clock and
+    sent to all nodes over FIFO channels; receivers acknowledge to all.
+    A pending message is delivered once it is the minimum pending
+    (timestamp, origin) pair and a message with a larger timestamp has
+    been heard from {e every} node — with FIFO channels and monotone
+    clocks nothing earlier can still arrive.  1 message hop before
+    stability, O(n^2) transport messages per broadcast: the classical
+    trade-off against the sequencer (ablated in experiment P4). *)
+
+open Mmc_sim
+
+type 'p msg =
+  | Data of { lc : int; origin : int; payload : 'p }
+  | Ack of { lc : int }
+
+module Pending = Set.Make (struct
+  type t = int * int (* (timestamp, origin) *)
+
+  let compare = compare
+end)
+
+type 'p node_state = {
+  mutable clock : int;
+  mutable pending : Pending.t;
+  payloads : (int * int, 'p) Hashtbl.t;
+  last_heard : int array;  (** highest clock value heard from each node *)
+}
+
+let create ?duplicate engine ~n ~latency ~rng ~deliver : 'p Abcast.t =
+  let chan = Fifo_channel.create ?duplicate engine ~n ~latency ~rng in
+  let states =
+    Array.init n (fun _ ->
+        {
+          clock = 0;
+          pending = Pending.empty;
+          payloads = Hashtbl.create 16;
+          last_heard = Array.make n 0;
+        })
+  in
+  let try_deliver node =
+    let st = states.(node) in
+    let rec loop () =
+      match Pending.min_elt_opt st.pending with
+      | None -> ()
+      | Some ((ts, origin) as key) ->
+        let stable =
+          Array.for_all (fun heard -> heard > ts) st.last_heard
+        in
+        if stable then begin
+          st.pending <- Pending.remove key st.pending;
+          let payload = Hashtbl.find st.payloads key in
+          Hashtbl.remove st.payloads key;
+          deliver ~node ~origin payload;
+          loop ()
+        end
+    in
+    loop ()
+  in
+  for node = 0 to n - 1 do
+    Fifo_channel.set_handler chan node (fun src msg ->
+        let st = states.(node) in
+        match msg with
+        | Data { lc; origin; payload } ->
+          st.clock <- max st.clock lc + 1;
+          st.last_heard.(src) <- max st.last_heard.(src) lc;
+          st.pending <- Pending.add (lc, origin) st.pending;
+          Hashtbl.replace st.payloads (lc, origin) payload;
+          Fifo_channel.send_all chan ~src:node (Ack { lc = st.clock });
+          try_deliver node
+        | Ack { lc } ->
+          st.clock <- max st.clock lc + 1;
+          st.last_heard.(src) <- max st.last_heard.(src) lc;
+          try_deliver node)
+  done;
+  {
+    Abcast.name = "lamport";
+    broadcast =
+      (fun ~src payload ->
+        let st = states.(src) in
+        st.clock <- st.clock + 1;
+        Fifo_channel.send_all chan ~src
+          (Data { lc = st.clock; origin = src; payload }));
+    messages_sent = (fun () -> Fifo_channel.messages_sent chan);
+  }
+
+let factory : 'p Abcast.factory = create

@@ -1,0 +1,9 @@
+(** Decentralized atomic broadcast via Lamport clocks (ISIS style):
+    timestamped data to all over FIFO channels, all-to-all
+    acknowledgements; deliver the minimum pending (timestamp, origin)
+    once a larger timestamp has been heard from every node.
+    1 data hop plus stability wait, n + n² messages per broadcast. *)
+
+val create : 'p Abcast.factory
+
+val factory : 'p Abcast.factory

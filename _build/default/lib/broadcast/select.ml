@@ -1,0 +1,6 @@
+(** Instantiate an atomic broadcast by implementation selector. *)
+
+let factory (impl : Abcast.impl) : 'p Abcast.factory =
+  match impl with
+  | Abcast.Sequencer_impl -> Sequencer.create
+  | Abcast.Lamport_impl -> Lamport.create

@@ -1,0 +1,3 @@
+(** Instantiate an atomic broadcast by implementation selector. *)
+
+val factory : Abcast.impl -> 'p Abcast.factory

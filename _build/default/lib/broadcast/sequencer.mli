@@ -1,0 +1,7 @@
+(** Fixed-sequencer atomic broadcast: node 0 stamps global sequence
+    numbers and fans out; receivers buffer out-of-order numbers.
+    2 hops end to end, n+1 transport messages per broadcast. *)
+
+val sequencer_node : int
+
+val create : 'p Abcast.factory

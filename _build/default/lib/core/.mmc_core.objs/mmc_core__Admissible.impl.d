@@ -1,0 +1,1 @@
+lib/core/admissible.pp.ml: Array Buffer Char Fmt Fun Hashtbl History Legality List Mop Relation Sequential Types

@@ -1,0 +1,1 @@
+lib/core/admissible.pp.mli: Format History Relation Sequential

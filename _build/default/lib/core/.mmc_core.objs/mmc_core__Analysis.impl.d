@@ -1,0 +1,1 @@
+lib/core/analysis.pp.ml: Fmt History Legality List Mop Types

@@ -1,0 +1,1 @@
+lib/core/analysis.pp.mli: Format History Types

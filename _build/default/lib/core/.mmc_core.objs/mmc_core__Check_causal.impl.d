@@ -1,0 +1,1 @@
+lib/core/check_causal.pp.ml: Admissible Fmt Hashtbl History List Mop Op Relation Sequential Types

@@ -1,0 +1,1 @@
+lib/core/check_causal.pp.mli: Format History Relation Sequential Types

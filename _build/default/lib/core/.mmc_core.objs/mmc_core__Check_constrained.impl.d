@@ -1,0 +1,1 @@
+lib/core/check_constrained.pp.ml: Constraints Fmt History Legality Relation Sequential

@@ -1,0 +1,1 @@
+lib/core/check_constrained.pp.mli: Constraints Format History Legality Relation Sequential

@@ -1,0 +1,1 @@
+lib/core/check_single.pp.ml: Admissible Array History List Mop Relation Sequential

@@ -1,0 +1,1 @@
+lib/core/check_single.pp.mli: History Sequential

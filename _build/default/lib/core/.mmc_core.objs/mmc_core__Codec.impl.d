@@ -1,0 +1,1 @@
+lib/core/codec.pp.ml: Buffer Fmt Fun History In_channel List Mop Op String Value

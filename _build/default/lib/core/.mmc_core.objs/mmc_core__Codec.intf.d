@@ -1,0 +1,1 @@
+lib/core/codec.pp.mli: History Op Value

@@ -1,0 +1,1 @@
+lib/core/constraints.pp.ml: Array Fmt History Legality List Mop Relation

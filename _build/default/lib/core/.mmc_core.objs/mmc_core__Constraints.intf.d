@@ -1,0 +1,1 @@
+lib/core/constraints.pp.mli: Format History Relation Types

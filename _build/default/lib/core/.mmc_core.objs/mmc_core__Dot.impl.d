@@ -1,0 +1,1 @@
+lib/core/dot.pp.ml: Buffer Fmt History List Mop Op Relation String Types

@@ -1,0 +1,1 @@
+lib/core/dot.pp.mli: History Relation

@@ -1,0 +1,1 @@
+lib/core/history.pp.ml: Array Fmt Hashtbl List Mop Op Option Ppx_deriving_runtime Relation Types Value

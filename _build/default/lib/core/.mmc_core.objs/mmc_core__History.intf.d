@@ -1,0 +1,1 @@
+lib/core/history.pp.mli: Format Hashtbl Mop Relation Types

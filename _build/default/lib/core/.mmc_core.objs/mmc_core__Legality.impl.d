@@ -1,0 +1,1 @@
+lib/core/legality.pp.ml: Array Fmt History List Mop Relation Types

@@ -1,0 +1,1 @@
+lib/core/legality.pp.mli: Format History Relation Types

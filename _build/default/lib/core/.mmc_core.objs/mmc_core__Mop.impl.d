@@ -1,0 +1,1 @@
+lib/core/mop.pp.ml: Fmt Hashtbl List Op Ppx_deriving_runtime Types Value

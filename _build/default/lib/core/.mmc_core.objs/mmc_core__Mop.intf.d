@@ -1,0 +1,1 @@
+lib/core/mop.pp.mli: Format Op Types Value

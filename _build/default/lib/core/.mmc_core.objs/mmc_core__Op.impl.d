@@ -1,0 +1,1 @@
+lib/core/op.pp.ml: Fmt Ppx_deriving_runtime Types Value

@@ -1,0 +1,1 @@
+lib/core/op.pp.mli: Format Types Value

@@ -1,0 +1,1 @@
+lib/core/relation.pp.ml: Array Bytes Fmt Fun List

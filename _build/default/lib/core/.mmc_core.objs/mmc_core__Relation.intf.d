@@ -1,0 +1,1 @@
+lib/core/relation.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/core/schedule.pp.ml: Array Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/schedule.pp.mli: Format

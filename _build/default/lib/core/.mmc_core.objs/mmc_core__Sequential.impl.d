@@ -1,0 +1,1 @@
+lib/core/sequential.pp.ml: Array Fmt History List Mop Relation Types

@@ -1,0 +1,1 @@
+lib/core/sequential.pp.mli: Format History Relation Types

@@ -1,0 +1,1 @@
+lib/core/serializability.pp.ml: Admissible Array History List Mop Op Relation Schedule Sequential Types Value

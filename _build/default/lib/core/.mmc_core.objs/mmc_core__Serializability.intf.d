@@ -1,0 +1,1 @@
+lib/core/serializability.pp.mli: History Relation Schedule Sequential

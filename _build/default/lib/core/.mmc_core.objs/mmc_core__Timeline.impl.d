@@ -1,0 +1,1 @@
+lib/core/timeline.pp.ml: Buffer Bytes Fmt History List Mop String

@@ -1,0 +1,1 @@
+lib/core/timeline.pp.mli: History

@@ -1,0 +1,1 @@
+lib/core/types.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/value.pp.ml: Fmt List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/value.pp.mli: Format

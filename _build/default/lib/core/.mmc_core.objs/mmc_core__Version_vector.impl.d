@@ -1,0 +1,1 @@
+lib/core/version_vector.pp.ml: Array Fmt Hashtbl History List Mop Relation Types

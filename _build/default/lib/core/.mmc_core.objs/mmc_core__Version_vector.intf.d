@@ -1,0 +1,1 @@
+lib/core/version_vector.pp.mli: Format Hashtbl History Relation Types

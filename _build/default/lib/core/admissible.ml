@@ -1,0 +1,154 @@
+(** Exhaustive admissibility checking (the NP-complete problems of
+    Theorems 1 and 2).
+
+    [search] decides whether a history is admissible with respect to a
+    relation: whether some linear extension of the relation is a legal
+    sequential history with the same reads-from relation.  The search
+    walks prefixes of candidate sequential histories, maintaining the
+    last (final) writer per object; an m-operation is placeable when
+    all its predecessors are placed and each of its external reads
+    reads from the current last writer of that object.  Dead search
+    states — (placed set, last-writer map) pairs — are memoized.
+
+    The worst case is exponential; [max_states] bounds the explored
+    state count and the checker answers [Aborted] beyond it. *)
+
+type verdict =
+  | Admissible of Sequential.witness
+  | Not_admissible
+  | Aborted  (** state budget exhausted — verdict unknown *)
+
+let pp_verdict ppf = function
+  | Admissible w -> Fmt.pf ppf "admissible: %a" Sequential.pp w
+  | Not_admissible -> Fmt.string ppf "not admissible"
+  | Aborted -> Fmt.string ppf "aborted (state budget exhausted)"
+
+(** Statistics of the last search, for the complexity experiments. *)
+type stats = { mutable states : int; mutable memo_hits : int }
+
+let default_max_states = 2_000_000
+
+exception Out_of_budget
+
+(** Candidate exploration order for the search: by identifier (default)
+    or by invocation time — the latter tends to find witnesses of
+    near-consistent histories faster because invocation order is close
+    to a valid serialization (ablated in experiment T1). *)
+type frontier = By_id | By_inv
+
+let search ?(max_states = default_max_states) ?stats ?(frontier = By_id) h base
+    =
+  let n = History.n_mops h in
+  let stats =
+    match stats with Some s -> s | None -> { states = 0; memo_hits = 0 }
+  in
+  if not (Relation.is_acyclic base) then Not_admissible
+  else begin
+    let closed = Relation.transitive_closure base in
+    if not (Legality.is_legal h closed) then
+      (* Lemma 6: admissible implies legal. *)
+      Not_admissible
+    else begin
+      let preds = Array.make n [] in
+      Relation.iter_edges base (fun i j -> preds.(j) <- i :: preds.(j));
+      let n_objects = History.n_objects h in
+      let placed = Array.make n false in
+      let last_writer = Array.make n_objects Types.init_mop in
+      let order = Array.make n (-1) in
+      (* Per-mop precomputation: external-read rf writers and final
+         write objects. *)
+      let read_deps = Array.make n [] in
+      let write_objs = Array.make n [] in
+      Array.iter
+        (fun (m : Mop.t) ->
+          let id = m.Mop.id in
+          read_deps.(id) <-
+            List.map
+              (fun (e : History.rf_edge) -> (e.History.obj, e.History.writer))
+              (History.rf_of_reader h id);
+          write_objs.(id) <- List.map fst (Mop.final_writes m))
+        (History.mops h);
+      let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+      let state_key () =
+        let buf = Buffer.create (n + (n_objects * 3)) in
+        for i = 0 to n - 1 do
+          Buffer.add_char buf (if placed.(i) then '\001' else '\000')
+        done;
+        Array.iter
+          (fun w ->
+            Buffer.add_char buf (Char.chr (w land 0xff));
+            Buffer.add_char buf (Char.chr ((w lsr 8) land 0xff));
+            Buffer.add_char buf (Char.chr ((w lsr 16) land 0xff)))
+          last_writer;
+        Buffer.contents buf
+      in
+      let placeable id =
+        (not placed.(id))
+        && List.for_all (fun p -> placed.(p)) preds.(id)
+        && List.for_all (fun (x, w) -> last_writer.(x) = w) read_deps.(id)
+      in
+      (* Exploration order of candidates at each depth. *)
+      let try_order =
+        match frontier with
+        | By_id -> Array.init n Fun.id
+        | By_inv ->
+          let ids = Array.init n Fun.id in
+          Array.sort
+            (fun a b ->
+              compare (History.mop h a).Mop.inv (History.mop h b).Mop.inv)
+            ids;
+          ids
+      in
+      let rec dfs depth =
+        if depth = n then true
+        else begin
+          stats.states <- stats.states + 1;
+          if stats.states > max_states then raise Out_of_budget;
+          let key = state_key () in
+          if Hashtbl.mem visited key then begin
+            stats.memo_hits <- stats.memo_hits + 1;
+            false
+          end
+          else begin
+            let success = ref false in
+            let id = ref 0 in
+            while (not !success) && !id < n do
+              let c = try_order.(!id) in
+              if placeable c then begin
+                placed.(c) <- true;
+                order.(depth) <- c;
+                let saved =
+                  List.map (fun x -> (x, last_writer.(x))) write_objs.(c)
+                in
+                List.iter (fun x -> last_writer.(x) <- c) write_objs.(c);
+                if dfs (depth + 1) then success := true
+                else begin
+                  placed.(c) <- false;
+                  List.iter (fun (x, w) -> last_writer.(x) <- w) saved
+                end
+              end;
+              incr id
+            done;
+            if not !success then Hashtbl.add visited key ();
+            !success
+          end
+        end
+      in
+      match dfs 0 with
+      | true -> Admissible (Array.copy order)
+      | false -> Not_admissible
+      | exception Out_of_budget -> Aborted
+    end
+  end
+
+(** Admissibility under a consistency condition: m-sequential
+    consistency, m-normality or m-linearizability (Section 2.3). *)
+let check ?max_states ?stats ?frontier h flavour =
+  search ?max_states ?stats ?frontier h (History.base_relation h flavour)
+
+let is_m_sequentially_consistent ?max_states h =
+  check ?max_states h History.Msc
+
+let is_m_linearizable ?max_states h = check ?max_states h History.Mlin
+
+let is_m_normal ?max_states h = check ?max_states h History.Mnorm

@@ -1,0 +1,47 @@
+(** Exhaustive admissibility checking — the NP-complete verification
+    problems of Theorems 1 and 2.
+
+    The search walks prefixes of candidate sequential histories
+    maintaining the last final writer per object; dead (placed-set,
+    last-writer) states are memoized.  [max_states] bounds the explored
+    states; beyond it the checker answers {!Aborted}. *)
+
+type verdict =
+  | Admissible of Sequential.witness
+  | Not_admissible
+  | Aborted  (** state budget exhausted — verdict unknown *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** Search statistics (for the complexity experiments). *)
+type stats = { mutable states : int; mutable memo_hits : int }
+
+val default_max_states : int
+
+(** Candidate exploration order: by identifier (default) or by
+    invocation time (faster on near-consistent histories; ablated in
+    experiment T1). *)
+type frontier = By_id | By_inv
+
+(** [search h rel] — is some linear extension of [rel] a legal
+    sequential history equivalent to [h]? *)
+val search :
+  ?max_states:int ->
+  ?stats:stats ->
+  ?frontier:frontier ->
+  History.t ->
+  Relation.t ->
+  verdict
+
+(** Admissibility under a consistency condition (Section 2.3). *)
+val check :
+  ?max_states:int ->
+  ?stats:stats ->
+  ?frontier:frontier ->
+  History.t ->
+  History.flavour ->
+  verdict
+
+val is_m_sequentially_consistent : ?max_states:int -> History.t -> verdict
+val is_m_linearizable : ?max_states:int -> History.t -> verdict
+val is_m_normal : ?max_states:int -> History.t -> verdict

@@ -1,0 +1,109 @@
+(** Structural metrics of a history — how concurrent and how contended
+    an execution actually was (CLI: [mmc stats]).  Useful for judging
+    whether a workload exercised the interesting regimes: a history
+    with no overlapping conflicting m-operations is trivially checkable
+    and says nothing about a protocol. *)
+
+type t = {
+  n_mops : int;  (** real m-operations *)
+  n_objects : int;
+  n_updates : int;
+  n_queries : int;
+  ops_per_mop_mean : float;
+  objects_per_mop_mean : float;
+  multi_object_mops : int;  (** m-operations touching >= 2 objects *)
+  concurrent_pairs : int;  (** pairs overlapping in real time *)
+  conflicting_concurrent_pairs : int;
+      (** overlapping pairs that also conflict — the hard core *)
+  max_concurrency : int;  (** max m-operations in flight at one instant *)
+  rf_from_initial : int;  (** reads of initial values *)
+  interference_triples : int;
+  span : Types.time;  (** last response - first invocation *)
+}
+
+let analyze h =
+  let real = History.real_mops h in
+  let n = List.length real in
+  let n_updates = List.length (List.filter Mop.is_update real) in
+  let total_ops =
+    List.fold_left (fun a (m : Mop.t) -> a + List.length m.Mop.ops) 0 real
+  in
+  let total_objs =
+    List.fold_left (fun a (m : Mop.t) -> a + List.length (Mop.objects m)) 0 real
+  in
+  let multi =
+    List.length (List.filter (fun m -> List.length (Mop.objects m) >= 2) real)
+  in
+  let concurrent = ref 0 in
+  let conflicting = ref 0 in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j && not (Mop.rt_precedes a b || Mop.rt_precedes b a) then begin
+            incr concurrent;
+            if Mop.conflict a b then incr conflicting
+          end)
+        real)
+    real;
+  (* Max in-flight: sweep invocation/response events. *)
+  let events =
+    List.concat_map
+      (fun (m : Mop.t) -> [ (m.Mop.inv, 1); (m.Mop.resp + 1, -1) ])
+      real
+    |> List.sort compare
+  in
+  let max_conc, _ =
+    List.fold_left
+      (fun (mx, cur) (_, d) ->
+        let cur = cur + d in
+        (max mx cur, cur))
+      (0, 0) events
+  in
+  let rf_init =
+    List.length
+      (List.filter
+         (fun (e : History.rf_edge) -> e.History.writer = Types.init_mop)
+         (History.rf h))
+  in
+  let span =
+    match real with
+    | [] -> 0
+    | _ ->
+      let lo = List.fold_left (fun a (m : Mop.t) -> min a m.Mop.inv) max_int real in
+      let hi = List.fold_left (fun a (m : Mop.t) -> max a m.Mop.resp) min_int real in
+      hi - lo
+  in
+  {
+    n_mops = n;
+    n_objects = History.n_objects h;
+    n_updates;
+    n_queries = n - n_updates;
+    ops_per_mop_mean =
+      (if n = 0 then 0.0 else float_of_int total_ops /. float_of_int n);
+    objects_per_mop_mean =
+      (if n = 0 then 0.0 else float_of_int total_objs /. float_of_int n);
+    multi_object_mops = multi;
+    concurrent_pairs = !concurrent;
+    conflicting_concurrent_pairs = !conflicting;
+    max_concurrency = max_conc;
+    rf_from_initial = rf_init;
+    interference_triples = List.length (Legality.interfering_triples h);
+    span;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>m-operations            %d (%d updates, %d queries)@,\
+     objects                 %d@,\
+     ops per m-operation     %.1f@,\
+     objects per m-operation %.1f (%d multi-object)@,\
+     concurrent pairs        %d (%d conflicting)@,\
+     max in-flight           %d@,\
+     reads of initial values %d@,\
+     interference triples    %d@,\
+     time span               %d@]"
+    t.n_mops t.n_updates t.n_queries t.n_objects t.ops_per_mop_mean
+    t.objects_per_mop_mean t.multi_object_mops t.concurrent_pairs
+    t.conflicting_concurrent_pairs t.max_concurrency t.rf_from_initial
+    t.interference_triples t.span

@@ -1,0 +1,21 @@
+(** Structural metrics of a history: how concurrent and how contended
+    the execution was. *)
+
+type t = {
+  n_mops : int;
+  n_objects : int;
+  n_updates : int;
+  n_queries : int;
+  ops_per_mop_mean : float;
+  objects_per_mop_mean : float;
+  multi_object_mops : int;
+  concurrent_pairs : int;  (** pairs overlapping in real time *)
+  conflicting_concurrent_pairs : int;
+  max_concurrency : int;  (** max m-operations in flight at one instant *)
+  rf_from_initial : int;
+  interference_triples : int;
+  span : Types.time;
+}
+
+val analyze : History.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+(** Causal consistency for m-operations — the weaker condition of
+    Raynal et al. that the paper contrasts with (Section 1).
+
+    The causal order [~co] is the transitive closure of process order
+    and reads-from.  A history is {e causally consistent} iff for every
+    process [Pi] the sub-history consisting of all update m-operations
+    plus [Pi]'s own m-operations is admissible with respect to [~co]:
+    each process may see its own serialization of the updates, as long
+    as causality is respected — unlike m-sequential consistency, which
+    demands one serialization for everybody.
+
+    Verification inherits the NP-completeness of the stronger
+    conditions in the worst case (it embeds per-process admissibility
+    checks), but the per-process sub-problems are typically much
+    smaller. *)
+
+type verdict =
+  | Causal of (Types.proc_id * Sequential.witness) list
+      (** one witness serialization per process *)
+  | Not_causal of Types.proc_id  (** first process with no serialization *)
+  | Aborted
+
+let pp_verdict ppf = function
+  | Causal _ -> Fmt.string ppf "causally consistent"
+  | Not_causal p -> Fmt.pf ppf "not causally consistent (process P%d)" p
+  | Aborted -> Fmt.string ppf "aborted (state budget exhausted)"
+
+(** Causal order [~co]: transitive closure of process order and
+    reads-from (initializer first). *)
+let causal_order h =
+  let r = Relation.create (History.n_mops h) in
+  Relation.add_edges r (History.proc_order_edges h);
+  Relation.add_edges r (History.rf_mop_edges h);
+  Relation.transitive_closure r
+
+(* The sub-history process [p] must serialize: all updates plus [p]'s
+   own m-operations.  Remote updates act as write-only there — their
+   reads happened at their origin's replica and are checked in the
+   origin's serialization — so we strip the read operations (and hence
+   the reads-from obligations) of foreign updates. *)
+let sub_history_for h p keep =
+  let keep = List.sort_uniq compare keep in
+  let mapping = Hashtbl.create 16 in
+  Hashtbl.add mapping Types.init_mop Types.init_mop;
+  List.iteri (fun i old -> Hashtbl.add mapping old (i + 1)) keep;
+  let mops =
+    List.mapi
+      (fun i old ->
+        let m = History.mop h old in
+        let ops =
+          if m.Mop.proc = p then m.Mop.ops
+          else List.filter Op.is_write m.Mop.ops
+        in
+        Mop.make ~id:(i + 1) ~proc:m.Mop.proc ~ops ~inv:m.Mop.inv
+          ~resp:m.Mop.resp)
+      keep
+  in
+  let rf =
+    List.filter_map
+      (fun (e : History.rf_edge) ->
+        match Hashtbl.find_opt mapping e.History.reader with
+        | None -> None
+        | Some reader ->
+          if (History.mop h e.History.reader).Mop.proc <> p then None
+          else
+            Some
+              {
+                History.reader;
+                obj = e.History.obj;
+                writer = Hashtbl.find mapping e.History.writer;
+              })
+      (History.rf h)
+  in
+  (History.create ~n_objects:(History.n_objects h) mops ~rf, mapping)
+
+let check ?max_states h =
+  let co = causal_order h in
+  if not (Relation.is_irreflexive co) then
+    (* Cyclic causality cannot be serialized for any process. *)
+    Not_causal (match History.procs h with p :: _ -> p | [] -> 0)
+  else begin
+    let procs = History.procs h in
+    let updates =
+      History.real_mops h
+      |> List.filter Mop.is_update
+      |> List.map (fun (m : Mop.t) -> m.Mop.id)
+    in
+    let rec per_process acc = function
+      | [] -> Causal (List.rev acc)
+      | p :: rest -> (
+        let own =
+          History.real_mops h
+          |> List.filter (fun (m : Mop.t) -> m.Mop.proc = p)
+          |> List.map (fun (m : Mop.t) -> m.Mop.id)
+        in
+        let keep = List.sort_uniq compare (updates @ own) in
+        let sub, mapping = sub_history_for h p keep in
+        let rel = Relation.create (History.n_mops sub) in
+        for j = 1 to History.n_mops sub - 1 do
+          Relation.add rel Types.init_mop j
+        done;
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                if a <> b && Relation.mem co a b then
+                  Relation.add rel (Hashtbl.find mapping a)
+                    (Hashtbl.find mapping b))
+              keep)
+          keep;
+        match Admissible.search ?max_states sub rel with
+        | Admissible.Admissible w -> per_process ((p, w) :: acc) rest
+        | Admissible.Not_admissible -> Not_causal p
+        | Admissible.Aborted -> Aborted)
+    in
+    per_process [] procs
+  end

@@ -1,0 +1,18 @@
+(** Causal consistency for m-operations (Raynal et al., the weaker
+    condition the paper contrasts with): each process must be able to
+    serialize all updates plus its own m-operations respecting the
+    causal order (process order ∪ reads-from)+ — per-process
+    serializations may differ. *)
+
+type verdict =
+  | Causal of (Types.proc_id * Sequential.witness) list
+      (** one witness serialization per process *)
+  | Not_causal of Types.proc_id
+  | Aborted
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** The causal order [~co] (transitively closed, initializer first). *)
+val causal_order : History.t -> Relation.t
+
+val check : ?max_states:int -> History.t -> verdict

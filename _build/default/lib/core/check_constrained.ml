@@ -1,0 +1,54 @@
+(** Polynomial-time admissibility checking under execution constraints
+    (paper, Theorem 7).
+
+    For a history under the OO- or WW-constraint, admissibility is
+    equivalent to legality; a witness is obtained by extending the
+    relation [~H+ = (~H ∪ ~rw)+] (D 4.12) to any total order
+    (Lemmas 3–5).  Everything here is polynomial in the history size,
+    in contrast with {!Admissible.search}. *)
+
+type result =
+  | Admissible of Sequential.witness
+  | Not_legal of Legality.triple  (** legality violated, hence not admissible *)
+  | Constraint_violated  (** the history is not under the given constraint *)
+  | Cyclic  (** [~H] itself is not an irreflexive partial order *)
+  | Extended_cyclic
+      (** [(~H ∪ ~rw)+] is cyclic — impossible under OO/WW for a legal
+          history (Lemmas 3 and 4); reported for WO or misuse *)
+
+let pp_result ppf = function
+  | Admissible w -> Fmt.pf ppf "admissible: %a" Sequential.pp w
+  | Not_legal t -> Fmt.pf ppf "not legal: %a" Legality.pp_triple t
+  | Constraint_violated -> Fmt.string ppf "constraint violated"
+  | Cyclic -> Fmt.string ppf "~H cyclic"
+  | Extended_cyclic -> Fmt.string ppf "extended relation cyclic"
+
+(** [check_relation h base kind] — decide admissibility of [h] with
+    respect to the (not necessarily closed) relation [base], assuming
+    it executes under constraint [kind].  The constraint is verified,
+    not trusted.  Used directly when the synchronization order (e.g.
+    the atomic-broadcast order) is supplied as extra edges beyond a
+    standard flavour. *)
+let check_relation h base kind =
+  if not (Relation.is_acyclic base) then Cyclic
+  else begin
+    let closed = Relation.transitive_closure base in
+    if not (Constraints.satisfies h closed kind) then Constraint_violated
+    else
+      match Legality.first_violation h closed with
+      | Some t -> Not_legal t
+      | None -> (
+        let ext = Constraints.extended h closed in
+        if not (Relation.is_irreflexive ext) then Extended_cyclic
+        else
+          match Relation.topo_sort ext with
+          | None -> Extended_cyclic
+          | Some order ->
+            assert (Sequential.validate h base order);
+            Admissible order)
+  end
+
+(** [check h flavour kind] — {!check_relation} over the base relation
+    of the given consistency condition. *)
+let check h flavour kind =
+  check_relation h (History.base_relation h flavour) kind

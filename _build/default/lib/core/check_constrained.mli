@@ -1,0 +1,24 @@
+(** Polynomial-time admissibility checking under execution constraints
+    (paper, Theorem 7): under OO or WW, admissibility is equivalent to
+    legality, and a witness is any total extension of
+    [(~H ∪ ~rw)+]. *)
+
+type result =
+  | Admissible of Sequential.witness
+  | Not_legal of Legality.triple
+  | Constraint_violated  (** the history is not under the given constraint *)
+  | Cyclic  (** [~H] itself is not an irreflexive partial order *)
+  | Extended_cyclic
+      (** impossible under OO/WW for a legal history (Lemmas 3–4) *)
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [check_relation h base kind] — decide admissibility with respect to
+    the (not necessarily closed) relation [base], verifying constraint
+    [kind] first.  Use when the synchronization order (e.g. the atomic
+    broadcast order) is supplied as extra edges. *)
+val check_relation : History.t -> Relation.t -> Constraints.kind -> result
+
+(** [check h flavour kind] — over the base relation of the given
+    consistency condition. *)
+val check : History.t -> History.flavour -> Constraints.kind -> result

@@ -1,0 +1,84 @@
+(** Polynomial linearizability checking for single-operation histories
+    with known reads-from (the Misra contrast class, paper Section 3).
+
+    When every m-operation consists of a single read or a single write
+    on one object and the reads-from relation is known, linearizability
+    is decidable in polynomial time.  We close the real-time and
+    reads-from orders under the two classical inference rules: for a
+    read [r] reading from write [w] on object [x] and any other write
+    [w'] on [x],
+
+    - if [w] precedes [w'] then [r] must precede [w'];
+    - if [w'] precedes [r] then [w'] must precede [w];
+
+    and answer by acyclicity of the fixpoint.  (These are the
+    single-object instances of the paper's [~rw] device, applied in
+    both directions; with the interval order of real time they are
+    complete for registers, per Misra's axioms.)  A witness is
+    extracted with the exhaustive search constrained by the fixpoint —
+    which then runs without backtracking in practice. *)
+
+type verdict =
+  | Linearizable of Sequential.witness
+  | Not_linearizable
+  | Not_single_object
+      (** input outside the class: some m-operation has several
+          operations *)
+
+let is_single_op_history h =
+  List.for_all
+    (fun (m : Mop.t) -> List.length m.Mop.ops = 1)
+    (History.real_mops h)
+
+(** Number of fixpoint rounds of the last call (each round is
+    polynomial; rounds are bounded by the number of edges). *)
+let rounds = ref 0
+
+let check ?max_states h =
+  if not (is_single_op_history h) then Not_single_object
+  else begin
+    let base = History.base_relation h History.Mlin in
+    let r = Relation.copy base in
+    (* Writers per object (final_writes of single-op mops). *)
+    let writers = Array.make (History.n_objects h) [] in
+    Array.iter
+      (fun (m : Mop.t) ->
+        List.iter
+          (fun (x, _) -> writers.(x) <- m.Mop.id :: writers.(x))
+          (Mop.final_writes m))
+      (History.mops h);
+    let changed = ref true in
+    rounds := 0;
+    while !changed do
+      changed := false;
+      incr rounds;
+      let closed = Relation.transitive_closure r in
+      List.iter
+        (fun (e : History.rf_edge) ->
+          let rd = e.History.reader and w = e.History.writer in
+          List.iter
+            (fun w' ->
+              if w' <> w && w' <> rd then begin
+                if Relation.mem closed w w' && not (Relation.mem closed rd w')
+                then begin
+                  Relation.add r rd w';
+                  changed := true
+                end;
+                if Relation.mem closed w' rd && not (Relation.mem closed w' w)
+                then begin
+                  Relation.add r w' w;
+                  changed := true
+                end
+              end)
+            writers.(e.History.obj))
+        (History.rf h);
+    done;
+    if not (Relation.is_acyclic r) then Not_linearizable
+    else
+      match Admissible.search ?max_states h r with
+      | Admissible.Admissible w -> Linearizable w
+      | Admissible.Not_admissible | Admissible.Aborted ->
+        (* The fixpoint claims feasibility; reaching this would refute
+           completeness of the rule set on this input. *)
+        Not_linearizable
+  end

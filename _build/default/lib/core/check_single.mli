@@ -1,0 +1,19 @@
+(** Polynomial linearizability checking for single-operation histories
+    with known reads-from — the Misra contrast class of Section 3
+    (single-object verification is tractable; the multi-object
+    generalization is NP-complete, Theorem 2). *)
+
+type verdict =
+  | Linearizable of Sequential.witness
+  | Not_linearizable
+  | Not_single_object
+      (** input outside the class: some m-operation has several
+          operations *)
+
+val is_single_op_history : History.t -> bool
+
+(** Fixpoint rounds of the last {!check} call (each round is
+    polynomial). *)
+val rounds : int ref
+
+val check : ?max_states:int -> History.t -> verdict

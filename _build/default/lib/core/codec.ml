@@ -1,0 +1,121 @@
+(** Plain-text history format, for saving traces and checking them
+    offline with the CLI.
+
+    Line-oriented:
+    {v
+    objects <n>
+    mop <id> <proc> <inv> <resp> [<op> ...]
+    rf <reader> <obj> <writer>
+    v}
+    where an op is [r:<obj>:<value>] or [w:<obj>:<value>] and values
+    are rendered as [i<int>], [b<bool>], [u] (unit) or [s<string>]
+    (strings must not contain whitespace or [:]).  Lines starting with
+    [#] and blank lines are ignored.  The initializer m-operation is
+    implicit and must not appear. *)
+
+let encode_value = function
+  | Value.Int n -> "i" ^ string_of_int n
+  | Value.Bool b -> "b" ^ string_of_bool b
+  | Value.Unit -> "u"
+  | Value.Str s -> "s" ^ s
+  | Value.Pair _ | Value.List _ ->
+    invalid_arg "Codec: structured values are not supported by the text format"
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let decode_value s =
+  if s = "" then parse_error "empty value"
+  else
+    match (s.[0], String.sub s 1 (String.length s - 1)) with
+    | 'i', rest -> (
+      match int_of_string_opt rest with
+      | Some n -> Value.Int n
+      | None -> parse_error "bad int value %S" s)
+    | 'b', rest -> (
+      match bool_of_string_opt rest with
+      | Some b -> Value.Bool b
+      | None -> parse_error "bad bool value %S" s)
+    | 'u', "" -> Value.Unit
+    | 's', rest -> Value.Str rest
+    | _ -> parse_error "bad value %S" s
+
+let encode_op = function
+  | Op.Read (x, v) -> Fmt.str "r:%d:%s" x (encode_value v)
+  | Op.Write (x, v) -> Fmt.str "w:%d:%s" x (encode_value v)
+
+let decode_op s =
+  match String.split_on_char ':' s with
+  | [ "r"; x; v ] -> Op.read (int_of_string x) (decode_value v)
+  | [ "w"; x; v ] -> Op.write (int_of_string x) (decode_value v)
+  | _ -> parse_error "bad operation %S" s
+
+let to_string h =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Fmt.str "# mmc history: %d m-operations@\n" (History.n_mops h - 1));
+  Buffer.add_string buf (Fmt.str "objects %d@\n" (History.n_objects h));
+  List.iter
+    (fun (m : Mop.t) ->
+      Buffer.add_string buf
+        (Fmt.str "mop %d %d %d %d %s@\n" m.Mop.id m.Mop.proc m.Mop.inv
+           m.Mop.resp
+           (String.concat " " (List.map encode_op m.Mop.ops))))
+    (History.real_mops h);
+  List.iter
+    (fun (e : History.rf_edge) ->
+      Buffer.add_string buf
+        (Fmt.str "rf %d %d %d@\n" e.History.reader e.History.obj
+           e.History.writer))
+    (History.rf h);
+  Buffer.contents buf
+
+let of_string s =
+  let n_objects = ref None in
+  let mops = ref [] in
+  let rf = ref [] in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "objects"; n ] -> n_objects := Some (int_of_string n)
+        | "mop" :: id :: proc :: inv :: resp :: ops ->
+          let m =
+            Mop.make ~id:(int_of_string id) ~proc:(int_of_string proc)
+              ~ops:(List.map decode_op ops) ~inv:(int_of_string inv)
+              ~resp:(int_of_string resp)
+          in
+          mops := m :: !mops
+        | [ "rf"; reader; obj; writer ] ->
+          rf :=
+            {
+              History.reader = int_of_string reader;
+              obj = int_of_string obj;
+              writer = int_of_string writer;
+            }
+            :: !rf
+        | _ -> parse_error "line %d: cannot parse %S" (lineno + 1) line)
+    lines;
+  match !n_objects with
+  | None -> parse_error "missing 'objects <n>' line"
+  | Some n_objects ->
+    let mops =
+      List.sort (fun (a : Mop.t) (b : Mop.t) -> compare a.Mop.id b.Mop.id)
+        !mops
+    in
+    History.create ~n_objects mops ~rf:(List.rev !rf)
+
+let to_file h path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string h))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

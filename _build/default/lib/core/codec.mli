@@ -1,0 +1,29 @@
+(** Plain-text history format for saving and loading traces.
+
+    {v
+    objects <n>
+    mop <id> <proc> <inv> <resp> [<op> ...]
+    rf <reader> <obj> <writer>
+    v}
+
+    where an op is [r:<obj>:<value>] or [w:<obj>:<value>] and values
+    are [i<int>], [b<bool>], [u] or [s<string>].  [#]-lines and blank
+    lines are ignored.  The initializer is implicit.  Structured
+    values ([Pair]/[List]) are not representable and raise
+    [Invalid_argument] on encoding. *)
+
+exception Parse_error of string
+
+val encode_value : Value.t -> string
+val decode_value : string -> Value.t
+val encode_op : Op.t -> string
+val decode_op : string -> Op.t
+
+val to_string : History.t -> string
+
+(** Raises {!Parse_error} on syntax errors and {!History.Ill_formed}
+    on semantic ones. *)
+val of_string : string -> History.t
+
+val to_file : History.t -> string -> unit
+val of_file : string -> History.t

@@ -1,0 +1,82 @@
+(** Execution constraints and the [~rw] extension (paper, Section 4).
+
+    The WW-, OO- and WO-constraints demand that certain pairs of
+    m-operations be ordered by the history's relation; under WW or OO,
+    admissibility reduces to legality (Theorem 7), and a legal
+    sequential equivalent can be obtained by extending
+    [~H+ = (~H ∪ ~rw)+] to any total order. *)
+
+type kind = WW | OO | WO
+
+let pp_kind ppf = function
+  | WW -> Fmt.string ppf "WW"
+  | OO -> Fmt.string ppf "OO"
+  | WO -> Fmt.string ppf "WO"
+
+let ordered closed a b = Relation.mem closed a b || Relation.mem closed b a
+
+(** D 4.9: any two update m-operations are ordered. *)
+let satisfies_ww h closed =
+  let updates =
+    Array.to_list (History.mops h)
+    |> List.filter Mop.is_update
+    |> List.map (fun (m : Mop.t) -> m.Mop.id)
+  in
+  List.for_all
+    (fun a ->
+      List.for_all (fun b -> a = b || ordered closed a b) updates)
+    updates
+
+(** D 4.8: any two conflicting m-operations are ordered. *)
+let satisfies_oo h closed =
+  let ms = Array.to_list (History.mops h) in
+  List.for_all
+    (fun (a : Mop.t) ->
+      List.for_all
+        (fun (b : Mop.t) ->
+          a.Mop.id = b.Mop.id
+          || (not (Mop.conflict a b))
+          || ordered closed a.Mop.id b.Mop.id)
+        ms)
+    ms
+
+(** D 4.10: any two update m-operations writing a common object are
+    ordered (the intersection of OO and WW). *)
+let satisfies_wo h closed =
+  let ms = Array.to_list (History.mops h) in
+  List.for_all
+    (fun (a : Mop.t) ->
+      List.for_all
+        (fun (b : Mop.t) ->
+          a.Mop.id = b.Mop.id
+          || (let inter =
+                List.exists
+                  (fun x -> List.mem x (Mop.wobjects b))
+                  (Mop.wobjects a)
+              in
+              (not inter) || ordered closed a.Mop.id b.Mop.id))
+        ms)
+    ms
+
+let satisfies h closed = function
+  | WW -> satisfies_ww h closed
+  | OO -> satisfies_oo h closed
+  | WO -> satisfies_wo h closed
+
+(** D 4.11: [a ~rw c] iff there is [b] such that [(a, b, c)] interfere
+    and [b ~H c].  In any legal sequential equivalent, [c] must then
+    occur after [a]. *)
+let rw_edges h closed =
+  Legality.interfering_triples h
+  |> List.filter_map (fun (t : Legality.triple) ->
+         if Relation.mem closed t.Legality.beta t.Legality.gamma then
+           Some (t.Legality.alpha, t.Legality.gamma)
+         else None)
+  |> List.sort_uniq compare
+
+(** D 4.12: the extended relation [~H+ = (~H ∪ ~rw)+].  Input and
+    output are transitively closed. *)
+let extended h closed =
+  let r = Relation.copy closed in
+  Relation.add_edges r (rw_edges h closed);
+  Relation.transitive_closure r

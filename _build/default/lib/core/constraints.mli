@@ -1,0 +1,24 @@
+(** Execution constraints and the [~rw] extension (paper, Section 4). *)
+
+type kind = WW | OO | WO
+
+val pp_kind : Format.formatter -> kind -> unit
+
+(** D 4.9: any two update m-operations are ordered under [closed]. *)
+val satisfies_ww : History.t -> Relation.t -> bool
+
+(** D 4.8: any two conflicting m-operations are ordered. *)
+val satisfies_oo : History.t -> Relation.t -> bool
+
+(** D 4.10: any two updates writing a common object are ordered. *)
+val satisfies_wo : History.t -> Relation.t -> bool
+
+val satisfies : History.t -> Relation.t -> kind -> bool
+
+(** D 4.11: [a ~rw c] iff some [b] makes [(a, b, c)] interfere with
+    [b ~H c] — in any legal sequential equivalent [c] must follow
+    [a].  [closed] must be transitively closed. *)
+val rw_edges : History.t -> Relation.t -> (Types.mop_id * Types.mop_id) list
+
+(** D 4.12: [~H+ = (~H ∪ ~rw)+] (input and output closed). *)
+val extended : History.t -> Relation.t -> Relation.t

@@ -1,0 +1,75 @@
+(** Graphviz export of histories and their relations, for inspecting
+    counterexamples (CLI: [mmc dot]). *)
+
+let escape s =
+  String.concat "\\\""
+    (String.split_on_char '"' s)
+
+let node_label h id =
+  if id = Types.init_mop then "init"
+  else begin
+    let m = History.mop h id in
+    Fmt.str "#%d P%d [%d,%d]\\n%s" id m.Mop.proc m.Mop.inv m.Mop.resp
+      (String.concat " " (List.map Op.show m.Mop.ops))
+  end
+
+(** Render the history: solid black = process order, solid blue =
+    reads-from (labelled with the object), dashed grey = real-time
+    order between distinct processes (transitively reduced to
+    immediate pairs for readability). *)
+let history ?(include_rt = true) h =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "digraph history {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for id = 0 to History.n_mops h - 1 do
+    Buffer.add_string buf
+      (Fmt.str "  n%d [label=\"%s\"%s];\n" id
+         (escape (node_label h id))
+         (if id = Types.init_mop then ", style=dotted" else ""))
+  done;
+  List.iter
+    (fun (a, b) ->
+      if a <> Types.init_mop then
+        Buffer.add_string buf (Fmt.str "  n%d -> n%d [color=black];\n" a b))
+    (History.proc_order_edges h);
+  List.iter
+    (fun (e : History.rf_edge) ->
+      Buffer.add_string buf
+        (Fmt.str "  n%d -> n%d [color=blue, label=\"x%d\", fontsize=9];\n"
+           e.History.writer e.History.reader e.History.obj))
+    (History.rf h);
+  if include_rt then begin
+    (* Transitive reduction of the real-time order for readability. *)
+    let rt = Relation.of_edges (History.n_mops h) (History.rt_edges h) in
+    let closed = Relation.transitive_closure rt in
+    Relation.iter_edges rt (fun a b ->
+        if a <> Types.init_mop then begin
+          let redundant = ref false in
+          for k = 0 to History.n_mops h - 1 do
+            if k <> a && k <> b && Relation.mem closed a k && Relation.mem closed k b
+            then redundant := true
+          done;
+          let same_proc =
+            (History.mop h a).Mop.proc = (History.mop h b).Mop.proc
+          in
+          if (not !redundant) && not same_proc then
+            Buffer.add_string buf
+              (Fmt.str "  n%d -> n%d [color=grey, style=dashed];\n" a b)
+        end)
+  end;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** Render an arbitrary relation over the history's m-operations. *)
+let relation h rel ~name =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Fmt.str "digraph %s {\n" name);
+  Buffer.add_string buf "  node [shape=box, fontsize=10];\n";
+  for id = 0 to History.n_mops h - 1 do
+    Buffer.add_string buf
+      (Fmt.str "  n%d [label=\"%s\"];\n" id (escape (node_label h id)))
+  done;
+  Relation.iter_edges rel (fun a b ->
+      Buffer.add_string buf (Fmt.str "  n%d -> n%d;\n" a b));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

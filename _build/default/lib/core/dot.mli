@@ -1,0 +1,10 @@
+(** Graphviz export of histories and relations. *)
+
+(** Render the history as a digraph: process order (black), reads-from
+    (blue, labelled with the object), and — unless [include_rt] is
+    false — the transitive reduction of the cross-process real-time
+    order (dashed grey). *)
+val history : ?include_rt:bool -> History.t -> string
+
+(** Render an arbitrary relation over the history's m-operations. *)
+val relation : History.t -> Relation.t -> name:string -> string

@@ -1,0 +1,61 @@
+(** Interference and legality (paper, D 4.2 and D 4.6).
+
+    Intuitively a read is legal if it does not read from an overwritten
+    write.  At the granularity of m-operations: m-operations [a], [b],
+    [c] {e interfere} iff [c] writes an object that [a] reads from [b];
+    a history with (closed) relation [~H] is legal iff no interfering
+    [c] is ordered between [b] and [a]. *)
+
+type triple = {
+  alpha : Types.mop_id;  (** the reader *)
+  beta : Types.mop_id;  (** the writer read from *)
+  gamma : Types.mop_id;  (** the interfering writer *)
+  obj : Types.obj_id;  (** witness object *)
+}
+
+let pp_triple ppf t =
+  Fmt.pf ppf "interfere(a=#%d, b=#%d, c=#%d on x%d)" t.alpha t.beta t.gamma
+    t.obj
+
+(** All interference triples of a history.  For each reads-from edge
+    [b --x--> a] and each third m-operation [c] writing [x], the triple
+    [(a, b, c)] interferes on [x] (D 4.2). *)
+let interfering_triples h =
+  let writers_of = Array.make (History.n_objects h) [] in
+  Array.iter
+    (fun (m : Mop.t) ->
+      List.iter
+        (fun (x, _) -> writers_of.(x) <- m.Mop.id :: writers_of.(x))
+        (Mop.final_writes m))
+    (History.mops h);
+  List.concat_map
+    (fun (e : History.rf_edge) ->
+      List.filter_map
+        (fun c ->
+          if c <> e.History.reader && c <> e.History.writer then
+            Some
+              {
+                alpha = e.History.reader;
+                beta = e.History.writer;
+                gamma = c;
+                obj = e.History.obj;
+              }
+          else None)
+        writers_of.(e.History.obj))
+    (History.rf h)
+
+(** [is_legal h closed] — legality of [h] with respect to the
+    transitively closed relation [closed] (D 4.6): for every
+    interfering triple, not ([b ~H c] and [c ~H a]). *)
+let is_legal h closed =
+  List.for_all
+    (fun t ->
+      not (Relation.mem closed t.beta t.gamma && Relation.mem closed t.gamma t.alpha))
+    (interfering_triples h)
+
+(** First violated triple, for diagnostics. *)
+let first_violation h closed =
+  List.find_opt
+    (fun t ->
+      Relation.mem closed t.beta t.gamma && Relation.mem closed t.gamma t.alpha)
+    (interfering_triples h)

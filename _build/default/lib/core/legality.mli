@@ -1,0 +1,21 @@
+(** Interference and legality (paper, D 4.2 and D 4.6). *)
+
+type triple = {
+  alpha : Types.mop_id;  (** the reader *)
+  beta : Types.mop_id;  (** the writer read from *)
+  gamma : Types.mop_id;  (** the interfering writer *)
+  obj : Types.obj_id;  (** witness object *)
+}
+
+val pp_triple : Format.formatter -> triple -> unit
+
+(** All interference triples: for each reads-from edge [b --x--> a]
+    and each third m-operation [c] writing [x] (D 4.2). *)
+val interfering_triples : History.t -> triple list
+
+(** [is_legal h closed] — D 4.6 over the transitively closed relation
+    [closed]: no interfering [c] ordered between [b] and [a]. *)
+val is_legal : History.t -> Relation.t -> bool
+
+(** First violated triple, for diagnostics. *)
+val first_violation : History.t -> Relation.t -> triple option

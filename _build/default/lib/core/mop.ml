@@ -1,0 +1,118 @@
+(** m-operations: operations spanning multiple objects.
+
+    An m-operation is a sequence of read/write operations, possibly on
+    different objects, executed by one process between an invocation
+    event and a response event (paper, Section 2.1).
+
+    Reads of an object preceded, inside the same m-operation, by a
+    write to that object are {e internal}: they are constrained to
+    return the internally written value and do not participate in the
+    reads-from relation (the paper ignores them, Section 2.2).
+    Likewise only the {e final} write per object is externally visible:
+    no other m-operation may read an overwritten internal write. *)
+
+type t = {
+  id : Types.mop_id;
+  proc : Types.proc_id;
+  ops : Op.t list;  (** in program order *)
+  inv : Types.time;  (** invocation event time *)
+  resp : Types.time;  (** response event time *)
+}
+[@@deriving eq]
+
+let make ~id ~proc ~ops ~inv ~resp =
+  if resp < inv then
+    invalid_arg
+      (Fmt.str "Mop.make: response %d precedes invocation %d" resp inv);
+  { id; proc; ops; inv; resp }
+
+(* Sorted, de-duplicated list of object ids. *)
+let sort_uniq_objs objs = List.sort_uniq compare objs
+
+(** All objects touched by the m-operation, [objects(a)]. *)
+let objects t = sort_uniq_objs (List.map Op.obj t.ops)
+
+(** Objects read, [robjects(a)]. *)
+let robjects t =
+  sort_uniq_objs
+    (List.filter_map
+       (function Op.Read (x, _) -> Some x | Op.Write _ -> None)
+       t.ops)
+
+(** Objects written, [wobjects(a)]. *)
+let wobjects t =
+  sort_uniq_objs
+    (List.filter_map
+       (function Op.Write (x, _) -> Some x | Op.Read _ -> None)
+       t.ops)
+
+(** An m-operation is an update iff it writes to some object. *)
+let is_update t = wobjects t <> []
+
+(** An m-operation is a query iff it is not an update. *)
+let is_query t = not (is_update t)
+
+(** First read of each object that is not preceded by a write to that
+    object in the same m-operation, with the value read.  These are
+    exactly the reads subject to the reads-from relation and legality. *)
+let external_reads t =
+  let rec go written acc = function
+    | [] -> List.rev acc
+    | Op.Write (x, _) :: rest -> go (x :: written) acc rest
+    | Op.Read (x, v) :: rest ->
+      if List.mem x written || List.mem_assoc x acc then go written acc rest
+      else go written ((x, v) :: acc) rest
+  in
+  go [] [] t.ops
+
+(** Last write per object, with the value written: the externally
+    visible writes of the m-operation. *)
+let final_writes t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Op.Write (x, v) -> Hashtbl.replace tbl x v
+      | Op.Read _ -> ())
+    t.ops;
+  Hashtbl.fold (fun x v acc -> (x, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** Value of the final write of [t] to object [x], if any. *)
+let final_write_value t x = List.assoc_opt x (final_writes t)
+
+(** Two distinct m-operations conflict iff one reads or writes an
+    object the other writes (D 4.1). *)
+let conflict a b =
+  a.id <> b.id
+  &&
+  let inter xs ys = List.exists (fun x -> List.mem x ys) xs in
+  inter (objects a) (wobjects b) || inter (wobjects a) (objects b)
+
+(** Real-time precedence [a ~t b]: response of [a] before invocation of
+    [b]. *)
+let rt_precedes a b = a.resp < b.inv
+
+(** Object-order precedence [a ~X b]: real-time precedence between
+    m-operations sharing an object (used by m-normality). *)
+let obj_precedes a b =
+  rt_precedes a b
+  && List.exists (fun x -> List.mem x (objects b)) (objects a)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>#%d@@P%d[%d,%d]: %a@]" t.id t.proc t.inv t.resp
+    (Fmt.list ~sep:Fmt.sp Op.pp)
+    t.ops
+
+let show t = Fmt.str "%a" pp t
+
+(** The imaginary initializing m-operation writing [Value.initial] to
+    every object (paper, Section 2.1). *)
+let initializer_ ~n_objects =
+  let ops = List.init n_objects (fun x -> Op.write x Value.initial) in
+  {
+    id = Types.init_mop;
+    proc = Types.init_proc;
+    ops;
+    inv = Types.init_time;
+    resp = Types.init_time;
+  }

@@ -1,0 +1,23 @@
+(** Primitive operations on single objects.
+
+    An m-operation is a sequence of these (paper, Section 2.1).  A
+    write [w(x)v] defines a new value [v] for object [x]; a read
+    [r(x)v] returns the value [v] of [x]. *)
+
+type t =
+  | Read of Types.obj_id * Value.t  (** [r(x)v] *)
+  | Write of Types.obj_id * Value.t  (** [w(x)v] *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val obj : t -> Types.obj_id
+val value : t -> Value.t
+val is_read : t -> bool
+val is_write : t -> bool
+
+val read : Types.obj_id -> Value.t -> t
+val write : Types.obj_id -> Value.t -> t
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string

@@ -1,0 +1,180 @@
+(** Dense binary relations over m-operation identifiers.
+
+    Histories relate m-operations through irreflexive transitive
+    relations (process order, reads-from, real-time order, the [~rw]
+    extension...).  The checkers need closure, acyclicity tests and
+    topological sorts over these relations; identifiers are dense small
+    integers, so a bit matrix is the natural representation. *)
+
+type t = { n : int; bits : Bytes.t }
+
+let create n =
+  if n < 0 then invalid_arg "Relation.create: negative size";
+  { n; bits = Bytes.make (n * n) '\000' }
+
+let size t = t.n
+
+let copy t = { n = t.n; bits = Bytes.copy t.bits }
+
+let idx t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then
+    invalid_arg (Fmt.str "Relation: index (%d,%d) out of [0,%d)" i j t.n);
+  (i * t.n) + j
+
+let mem t i j = Bytes.unsafe_get t.bits (idx t i j) <> '\000'
+
+let add t i j = Bytes.unsafe_set t.bits (idx t i j) '\001'
+
+let remove t i j = Bytes.unsafe_set t.bits (idx t i j) '\000'
+
+let add_edges t edges = List.iter (fun (i, j) -> add t i j) edges
+
+let of_edges n edges =
+  let t = create n in
+  add_edges t edges;
+  t
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Relation.union: size mismatch";
+  let t = copy a in
+  for k = 0 to Bytes.length b.bits - 1 do
+    if Bytes.unsafe_get b.bits k <> '\000' then
+      Bytes.unsafe_set t.bits k '\001'
+  done;
+  t
+
+let subset a b =
+  if a.n <> b.n then invalid_arg "Relation.subset: size mismatch";
+  let ok = ref true in
+  for k = 0 to Bytes.length a.bits - 1 do
+    if Bytes.unsafe_get a.bits k <> '\000' && Bytes.unsafe_get b.bits k = '\000'
+    then ok := false
+  done;
+  !ok
+
+let equal a b = subset a b && subset b a
+
+let iter_edges t f =
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      if mem t i j then f i j
+    done
+  done
+
+let edges t =
+  let acc = ref [] in
+  iter_edges t (fun i j -> acc := (i, j) :: !acc);
+  List.rev !acc
+
+let cardinal t =
+  let c = ref 0 in
+  for k = 0 to Bytes.length t.bits - 1 do
+    if Bytes.unsafe_get t.bits k <> '\000' then incr c
+  done;
+  !c
+
+let successors t i = List.filter (fun j -> mem t i j) (List.init t.n Fun.id)
+
+let predecessors t j = List.filter (fun i -> mem t i j) (List.init t.n Fun.id)
+
+(* In-place Warshall transitive closure; O(n^3) with the inner loop a
+   row-wise byte OR. *)
+let transitive_closure_inplace t =
+  let n = t.n in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if mem t i k then
+        let row_i = i * n and row_k = k * n in
+        for j = 0 to n - 1 do
+          if Bytes.unsafe_get t.bits (row_k + j) <> '\000' then
+            Bytes.unsafe_set t.bits (row_i + j) '\001'
+        done
+    done
+  done
+
+let transitive_closure t =
+  let c = copy t in
+  transitive_closure_inplace c;
+  c
+
+(** A relation is a valid strict (irreflexive transitive) order iff its
+    transitive closure is irreflexive, i.e. the relation is acyclic. *)
+let is_acyclic t =
+  let c = transitive_closure t in
+  let ok = ref true in
+  for i = 0 to t.n - 1 do
+    if mem c i i then ok := false
+  done;
+  !ok
+
+let is_irreflexive t =
+  let ok = ref true in
+  for i = 0 to t.n - 1 do
+    if mem t i i then ok := false
+  done;
+  !ok
+
+(** Kahn topological sort.  Returns [None] when the relation is
+    cyclic.  Ties are broken by smallest identifier so the result is
+    deterministic. *)
+let topo_sort t =
+  let n = t.n in
+  let indeg = Array.make n 0 in
+  iter_edges t (fun _ j -> indeg.(j) <- indeg.(j) + 1);
+  (* Simple list-based frontier keeping ids sorted. *)
+  let frontier = ref [] in
+  for i = n - 1 downto 0 do
+    if indeg.(i) = 0 then frontier := i :: !frontier
+  done;
+  let out = ref [] in
+  let count = ref 0 in
+  let rec loop () =
+    match !frontier with
+    | [] -> ()
+    | i :: rest ->
+      frontier := rest;
+      out := i :: !out;
+      incr count;
+      let freed = ref [] in
+      for j = 0 to n - 1 do
+        if mem t i j then begin
+          indeg.(j) <- indeg.(j) - 1;
+          if indeg.(j) = 0 then freed := j :: !freed
+        end
+      done;
+      frontier := List.merge compare (List.rev !freed) !frontier;
+      loop ()
+  in
+  loop ();
+  if !count = n then Some (Array.of_list (List.rev !out)) else None
+
+(** Is [order] (a permutation of [0..n-1]) a linear extension of [t]? *)
+let respects t order =
+  let n = t.n in
+  if Array.length order <> n then false
+  else begin
+    let pos = Array.make n (-1) in
+    Array.iteri (fun k i -> pos.(i) <- k) order;
+    if Array.exists (fun p -> p < 0) pos then false
+    else begin
+      let ok = ref true in
+      iter_edges t (fun i j -> if pos.(i) >= pos.(j) then ok := false);
+      !ok
+    end
+  end
+
+(** Total order relation induced by a permutation. *)
+let of_total_order order =
+  let n = Array.length order in
+  let t = create n in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      add t order.(a) order.(b)
+    done
+  done;
+  t
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>{%a}@]"
+    (Fmt.list ~sep:Fmt.comma (fun ppf (i, j) -> Fmt.pf ppf "%d->%d" i j))
+    (edges t)

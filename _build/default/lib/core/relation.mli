@@ -1,0 +1,49 @@
+(** Dense binary relations over m-operation identifiers (bit-matrix
+    representation), with the closure / acyclicity / topological-sort
+    operations the checkers need. *)
+
+type t
+
+(** [create n] — the empty relation over nodes [0 .. n-1]. *)
+val create : int -> t
+
+val size : t -> int
+val copy : t -> t
+val mem : t -> int -> int -> bool
+val add : t -> int -> int -> unit
+val remove : t -> int -> int -> unit
+val add_edges : t -> (int * int) list -> unit
+val of_edges : int -> (int * int) list -> t
+
+(** Union of two same-size relations (fresh). *)
+val union : t -> t -> t
+
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val iter_edges : t -> (int -> int -> unit) -> unit
+val edges : t -> (int * int) list
+val cardinal : t -> int
+val successors : t -> int -> int list
+val predecessors : t -> int -> int list
+
+(** Warshall transitive closure (fresh copy; [_inplace] mutates). *)
+val transitive_closure : t -> t
+
+val transitive_closure_inplace : t -> unit
+
+(** A relation is a valid strict order iff acyclic. *)
+val is_acyclic : t -> bool
+
+val is_irreflexive : t -> bool
+
+(** Kahn topological sort; [None] iff cyclic.  Deterministic (ties by
+    smallest identifier). *)
+val topo_sort : t -> int array option
+
+(** Is the permutation a linear extension of the relation? *)
+val respects : t -> int array -> bool
+
+(** Total order relation induced by a permutation. *)
+val of_total_order : int array -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,104 @@
+(** Database schedules (paper, Section 3).
+
+    A schedule is an interleaved sequence of read/write actions of
+    transactions over entities.  Restricting each process to a single
+    m-operation makes database correctness notions special cases of the
+    paper's consistency conditions; Theorem 2 reduces strict view
+    serializability to m-linearizability.
+
+    Standard model: a transaction reads and writes an entity at most
+    once, and a read of an entity follows the transaction's own write
+    to it only if reading that write (we simply forbid a read after an
+    own write, keeping reads external). *)
+
+type action = {
+  txn : int;  (** transaction index, [0 .. n_txns-1] *)
+  kind : [ `R | `W ];
+  entity : int;  (** entity index, [0 .. n_entities-1] *)
+}
+
+let pp_action ppf a =
+  Fmt.pf ppf "%s%d(e%d)" (match a.kind with `R -> "r" | `W -> "w") a.txn
+    a.entity
+
+type t = {
+  n_txns : int;
+  n_entities : int;
+  actions : action array;  (** in schedule order *)
+}
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let create ~n_txns ~n_entities actions =
+  let actions = Array.of_list actions in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun a ->
+      if a.txn < 0 || a.txn >= n_txns then invalid "txn %d out of range" a.txn;
+      if a.entity < 0 || a.entity >= n_entities then
+        invalid "entity %d out of range" a.entity;
+      let key = (a.txn, a.kind, a.entity) in
+      if Hashtbl.mem seen key then
+        invalid "transaction T%d repeats %a" a.txn pp_action a;
+      (* Forbid a read after the transaction's own write (it would be
+         an internal read, invisible to serializability). *)
+      if a.kind = `R && Hashtbl.mem seen (a.txn, `W, a.entity) then
+        invalid "T%d reads e%d after writing it" a.txn a.entity;
+      Hashtbl.add seen key ())
+    actions;
+  { n_txns; n_entities; actions }
+
+(** Reads-from function of the schedule: for each read action, the
+    transaction of the latest preceding write to the same entity, or
+    [None] for the initial (imaginary) transaction T0. *)
+let reads_from t =
+  let last_writer = Array.make t.n_entities None in
+  Array.to_list t.actions
+  |> List.filter_map (fun a ->
+         match a.kind with
+         | `W ->
+           last_writer.(a.entity) <- Some a.txn;
+           None
+         | `R -> Some ((a.txn, a.entity), last_writer.(a.entity)))
+
+(** Final writer per entity ([None] = initial transaction). *)
+let final_writers t =
+  let last_writer = Array.make t.n_entities None in
+  Array.iter
+    (fun a -> if a.kind = `W then last_writer.(a.entity) <- Some a.txn)
+    t.actions;
+  last_writer
+
+(** Schedule-order interval (first and last action positions) of each
+    transaction.  Transactions with no actions get [None]. *)
+let intervals t =
+  let iv = Array.make t.n_txns None in
+  Array.iteri
+    (fun pos a ->
+      iv.(a.txn) <-
+        (match iv.(a.txn) with
+        | None -> Some (pos, pos)
+        | Some (lo, _) -> Some (lo, pos)))
+    t.actions;
+  iv
+
+(** Two transactions do not overlap iff one's last action precedes the
+    other's first action. *)
+let non_overlapping t =
+  let iv = intervals t in
+  let pairs = ref [] in
+  for i = 0 to t.n_txns - 1 do
+    for j = 0 to t.n_txns - 1 do
+      if i <> j then
+        match (iv.(i), iv.(j)) with
+        | Some (_, hi_i), Some (lo_j, _) when hi_i < lo_j ->
+          pairs := (i, j) :: !pairs
+        | _ -> ()
+    done
+  done;
+  !pairs
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>%a@]" (Fmt.array ~sep:Fmt.sp pp_action) t.actions

@@ -1,0 +1,42 @@
+(** Database schedules (paper, Section 3): interleaved read/write
+    actions of transactions over entities, the setting of the
+    Theorem 2 reduction.
+
+    Standard model: a transaction reads and writes an entity at most
+    once, and never reads an entity after writing it. *)
+
+type action = {
+  txn : int;  (** transaction index, [0 .. n_txns-1] *)
+  kind : [ `R | `W ];
+  entity : int;  (** entity index, [0 .. n_entities-1] *)
+}
+
+val pp_action : Format.formatter -> action -> unit
+
+type t = {
+  n_txns : int;
+  n_entities : int;
+  actions : action array;  (** in schedule order *)
+}
+
+exception Invalid of string
+
+(** Raises {!Invalid} on out-of-range indices, repeated actions, or a
+    read after the transaction's own write. *)
+val create : n_txns:int -> n_entities:int -> action list -> t
+
+(** For each read action, the transaction of the latest preceding
+    write to the entity ([None] = the imaginary initial transaction
+    T0). *)
+val reads_from : t -> ((int * int) * int option) list
+
+(** Final writer per entity ([None] = initial transaction). *)
+val final_writers : t -> int option array
+
+(** First/last action positions of each transaction. *)
+val intervals : t -> (int * int) option array
+
+(** Pairs [(i, j)] with all of [Ti] before all of [Tj]. *)
+val non_overlapping : t -> (int * int) list
+
+val pp : Format.formatter -> t -> unit

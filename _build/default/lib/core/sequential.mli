@@ -1,0 +1,18 @@
+(** Legal sequential witnesses: permutations of all m-operation
+    identifiers (initializer first) witnessing admissibility
+    (paper, Section 2.2 and D 4.7). *)
+
+type witness = Types.mop_id array
+
+val is_permutation : History.t -> witness -> bool
+
+(** Last-writer scan: every external read reads from the last
+    preceding final writer, and that writer is the one named by the
+    history's reads-from edges (legality + equivalence). *)
+val legal_and_equivalent : History.t -> witness -> bool
+
+(** Full check: permutation, linear extension of [rel], legal and
+    equivalent. *)
+val validate : History.t -> Relation.t -> witness -> bool
+
+val pp : Format.formatter -> witness -> unit

@@ -1,0 +1,145 @@
+(** Serializability of database schedules, and the Theorem 2 reduction.
+
+    - {e view serializability}: the schedule is view equivalent to some
+      serial schedule (same reads-from with the T0/T∞ augmentation);
+    - {e strict view serializability}: additionally, transactions that
+      do not overlap in the schedule keep their order — the notion the
+      paper reduces to m-linearizability (Theorem 2);
+    - {e conflict serializability}: the polynomial sufficient condition
+      (acyclic conflict graph).
+
+    The (strict) view checks are performed by building the history of
+    Theorem 2's construction — one process per transaction, each
+    executing a single m-operation, plus the augmentation transactions
+    — and invoking the admissibility checkers on it. *)
+
+(** Build the Theorem 2 history for a schedule.  Transaction [i]
+    becomes m-operation [i+1] on process [i]; the T∞ observer reading
+    every entity becomes the last m-operation; T0 is the history's
+    initializer.  Invocation/response times are the schedule positions
+    of the first/last actions, so the history's real-time order is
+    exactly the non-overlapping order of the schedule. *)
+let history_of_schedule (s : Schedule.t) =
+  let n = s.Schedule.n_txns in
+  let n_entities = s.Schedule.n_entities in
+  (* Unique value per (writer txn, entity): Pair(Int txn, Int entity). *)
+  let wvalue txn entity = Value.Pair (Value.Int txn, Value.Int entity) in
+  let value_of_writer entity = function
+    | None -> Value.initial
+    | Some txn -> wvalue txn entity
+  in
+  let rf_fun = Schedule.reads_from s in
+  let read_value txn entity =
+    value_of_writer entity (List.assoc (txn, entity) rf_fun)
+  in
+  let iv = Schedule.intervals s in
+  let horizon = Array.length s.Schedule.actions in
+  let mop_of_txn i =
+    let ops =
+      Array.to_list s.Schedule.actions
+      |> List.filter_map (fun (a : Schedule.action) ->
+             if a.Schedule.txn <> i then None
+             else
+               match a.Schedule.kind with
+               | `R -> Some (Op.read a.Schedule.entity (read_value i a.Schedule.entity))
+               | `W -> Some (Op.write a.Schedule.entity (wvalue i a.Schedule.entity)))
+    in
+    let inv, resp =
+      match iv.(i) with
+      | Some (lo, hi) -> ((2 * lo) + 1, (2 * hi) + 2)
+      | None -> ((2 * horizon) + 1, (2 * horizon) + 2)
+    in
+    Mop.make ~id:(i + 1) ~proc:i ~ops ~inv ~resp
+  in
+  let finals = Schedule.final_writers s in
+  let observer =
+    let ops =
+      List.init n_entities (fun e -> Op.read e (value_of_writer e finals.(e)))
+    in
+    Mop.make ~id:(n + 1) ~proc:n ~ops
+      ~inv:((2 * horizon) + 10)
+      ~resp:((2 * horizon) + 11)
+  in
+  let mops = List.init n mop_of_txn @ [ observer ] in
+  let rf =
+    List.map
+      (fun ((txn, entity), src) ->
+        {
+          History.reader = txn + 1;
+          obj = entity;
+          writer = (match src with None -> Types.init_mop | Some w -> w + 1);
+        })
+      rf_fun
+    @ List.init n_entities (fun e ->
+          {
+            History.reader = n + 1;
+            obj = e;
+            writer =
+              (match finals.(e) with None -> Types.init_mop | Some w -> w + 1);
+          })
+  in
+  History.create ~n_objects:n_entities mops ~rf
+
+(** Relation used for plain view serializability: reads-from plus
+    "observer last" (the T∞ augmentation), no real-time edges between
+    real transactions. *)
+let view_relation h =
+  let n = History.n_mops h in
+  let r = Relation.create n in
+  Relation.add_edges r (History.rf_mop_edges h);
+  for j = 1 to n - 1 do
+    Relation.add r Types.init_mop j
+  done;
+  (* Observer is the m-operation with the largest id. *)
+  for i = 1 to n - 2 do
+    Relation.add r i (n - 1)
+  done;
+  r
+
+type verdict = Serializable of Sequential.witness | Not_serializable | Aborted
+
+let of_admissible = function
+  | Admissible.Admissible w -> Serializable w
+  | Admissible.Not_admissible -> Not_serializable
+  | Admissible.Aborted -> Aborted
+
+(** View serializability (NP-complete). *)
+let view_serializable ?max_states s =
+  let h = history_of_schedule s in
+  of_admissible (Admissible.search ?max_states h (view_relation h))
+
+(** Strict view serializability: the Theorem 2 reduction — admissible
+    with reads-from + real-time order, i.e. m-linearizability of the
+    constructed history (NP-complete even with reads-from known). *)
+let strict_view_serializable ?max_states s =
+  let h = history_of_schedule s in
+  let r = view_relation h in
+  let r = Relation.union r (Relation.of_edges (History.n_mops h) (History.rt_edges h)) in
+  of_admissible (Admissible.search ?max_states h r)
+
+(** Conflict graph: edge Ti -> Tj iff some action of Ti precedes and
+    conflicts with some action of Tj (same entity, at least one
+    write). *)
+let conflict_graph (s : Schedule.t) =
+  let g = Relation.create s.Schedule.n_txns in
+  let a = s.Schedule.actions in
+  Array.iteri
+    (fun i ai ->
+      for j = i + 1 to Array.length a - 1 do
+        let aj = a.(j) in
+        if
+          ai.Schedule.txn <> aj.Schedule.txn
+          && ai.Schedule.entity = aj.Schedule.entity
+          && (ai.Schedule.kind = `W || aj.Schedule.kind = `W)
+        then Relation.add g ai.Schedule.txn aj.Schedule.txn
+      done)
+    a;
+  g
+
+(** Conflict serializability (polynomial; implies view
+    serializability). *)
+let conflict_serializable s = Relation.is_acyclic (conflict_graph s)
+
+(** Serial transaction order witnessing conflict serializability — a
+    topological order of the conflict graph — when one exists. *)
+let conflict_serialization_order s = Relation.topo_sort (conflict_graph s)

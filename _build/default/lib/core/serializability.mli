@@ -1,0 +1,39 @@
+(** Serializability of database schedules and the Theorem 2 reduction
+    to m-linearizability.
+
+    Restricting each process to a single m-operation makes database
+    correctness notions special cases of the paper's consistency
+    conditions; strict view serializability corresponds to
+    m-linearizability, whence its NP-completeness transfers. *)
+
+(** The Theorem 2 construction: transaction [i] becomes m-operation
+    [i+1] on process [i]; a T∞ observer reading every entity from its
+    schedule-final writer is appended; T0 is the history's
+    initializer.  Invocation/response times are schedule positions, so
+    real-time order is the schedule's non-overlapping order. *)
+val history_of_schedule : Schedule.t -> History.t
+
+(** Relation for plain view serializability: reads-from, initializer
+    first, observer last (no real-time edges between transactions). *)
+val view_relation : History.t -> Relation.t
+
+type verdict = Serializable of Sequential.witness | Not_serializable | Aborted
+
+(** View serializability (NP-complete). *)
+val view_serializable : ?max_states:int -> Schedule.t -> verdict
+
+(** Strict view serializability — view equivalence to a serial
+    schedule preserving the order of non-overlapping transactions:
+    exactly m-linearizability of the constructed history. *)
+val strict_view_serializable : ?max_states:int -> Schedule.t -> verdict
+
+(** Conflict graph: edge Ti → Tj iff an action of Ti precedes and
+    conflicts with an action of Tj. *)
+val conflict_graph : Schedule.t -> Relation.t
+
+(** Polynomial sufficient condition (implies view serializability). *)
+val conflict_serializable : Schedule.t -> bool
+
+(** Serial transaction order witnessing conflict serializability (a
+    topological order of the conflict graph), when one exists. *)
+val conflict_serialization_order : Schedule.t -> int array option

@@ -1,0 +1,69 @@
+(** ASCII timeline rendering of histories: one lane per process,
+    m-operations drawn as intervals over scaled virtual time (CLI:
+    [mmc show]). *)
+
+let default_width = 100
+
+(* Scale time t in [lo, hi] to a column in [0, width). *)
+let scale ~lo ~hi ~width t =
+  if hi = lo then 0
+  else
+    let c = (t - lo) * (width - 1) / (hi - lo) in
+    max 0 (min (width - 1) c)
+
+let render ?(width = default_width) h =
+  let real = History.real_mops h in
+  if real = [] then "(empty history)\n"
+  else begin
+    let lo =
+      List.fold_left (fun a (m : Mop.t) -> min a m.Mop.inv) max_int real
+    in
+    let hi =
+      List.fold_left (fun a (m : Mop.t) -> max a m.Mop.resp) min_int real
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Fmt.str "time %d .. %d, %d m-operations\n" lo hi (List.length real));
+    let procs = History.procs h in
+    List.iter
+      (fun p ->
+        let ops =
+          List.filter (fun (m : Mop.t) -> m.Mop.proc = p) real
+          |> List.sort (fun (a : Mop.t) (b : Mop.t) -> compare a.Mop.inv b.Mop.inv)
+        in
+        (* Interval lane. *)
+        let lane = Bytes.make width ' ' in
+        List.iter
+          (fun (m : Mop.t) ->
+            let a = scale ~lo ~hi ~width m.Mop.inv in
+            let b = scale ~lo ~hi ~width m.Mop.resp in
+            for c = a to b do
+              Bytes.set lane c '-'
+            done;
+            Bytes.set lane a '[';
+            if b > a then Bytes.set lane b ']')
+          ops;
+        Buffer.add_string buf (Fmt.str "P%-3d %s\n" p (Bytes.to_string lane));
+        (* Label line: operation ids at their invocation columns (best
+           effort: skip a label that would overlap the previous one). *)
+        let labels = Bytes.make width ' ' in
+        let last_end = ref (-2) in
+        List.iter
+          (fun (m : Mop.t) ->
+            let a = scale ~lo ~hi ~width m.Mop.inv in
+            let text = Fmt.str "#%d" m.Mop.id in
+            if a > !last_end && a + String.length text <= width then begin
+              String.iteri (fun i ch -> Bytes.set labels (a + i) ch) text;
+              last_end := a + String.length text
+            end)
+          ops;
+        Buffer.add_string buf (Fmt.str "     %s\n" (Bytes.to_string labels)))
+      procs;
+    (* Legend: per m-operation details. *)
+    Buffer.add_string buf "\n";
+    List.iter
+      (fun (m : Mop.t) ->
+        Buffer.add_string buf (Fmt.str "%s\n" (Mop.show m)))
+      real;
+    Buffer.contents buf
+  end

@@ -1,0 +1,7 @@
+(** ASCII timeline rendering of histories: one lane per process,
+    m-operations as intervals over scaled virtual time, plus a
+    per-operation legend. *)
+
+val default_width : int
+
+val render : ?width:int -> History.t -> string

@@ -1,0 +1,34 @@
+(** Basic identifier and time types shared across the model.
+
+    Objects, processes and m-operations are identified by small dense
+    integers so that the checkers can use array- and bitset-based
+    representations.  The conventions are:
+
+    - object identifiers range over [0 .. n_objects - 1];
+    - process identifiers range over [0 .. n_procs - 1]; the imaginary
+      initializing m-operation (paper, Section 2.1) uses process
+      {!init_proc};
+    - m-operation identifiers are dense and the initializing
+      m-operation always has identifier {!init_mop}.
+
+    Time is virtual (integer) time as produced by the discrete-event
+    simulator; the paper's real-time order is interpreted over it. *)
+
+type obj_id = int [@@deriving show, eq, ord]
+
+type proc_id = int [@@deriving show, eq, ord]
+
+type mop_id = int [@@deriving show, eq, ord]
+
+type time = int [@@deriving show, eq, ord]
+
+(** Identifier of the imaginary initializing m-operation that writes
+    every object before any process starts (paper, Section 2.1). *)
+let init_mop : mop_id = 0
+
+(** Pseudo process issuing the initializing m-operation. *)
+let init_proc : proc_id = -1
+
+(** Invocation/response pseudo-times of the initializing m-operation;
+    they precede every real event. *)
+let init_time : time = min_int / 2

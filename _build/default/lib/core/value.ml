@@ -1,0 +1,42 @@
+(** Values stored in shared objects.
+
+    The paper's model is read/write at the level of raw values; richer
+    concurrent objects (queues, stacks, bank accounts, ...) are encoded
+    by storing structured values in a single object and expressing
+    their operations as multi-object read/write procedures.  The value
+    type is therefore a small structured universe rather than bare
+    integers. *)
+
+type t =
+  | Unit
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Pair of t * t
+  | List of t list
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Initial value of every object (paper examples use 0; structured
+    encodings reinterpret it, e.g. an empty queue). *)
+let initial = Int 0
+
+let int n = Int n
+
+let to_int = function
+  | Int n -> n
+  | Unit | Bool _ | Str _ | Pair _ | List _ ->
+    invalid_arg "Value.to_int: not an integer value"
+
+let to_list = function
+  | List l -> l
+  | Int 0 -> [] (* the fresh initial value doubles as the empty list *)
+  | Unit | Int _ | Bool _ | Str _ | Pair _ ->
+    invalid_arg "Value.to_list: not a list value"
+
+let pp_compact ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Int n -> Fmt.int ppf n
+  | Bool b -> Fmt.bool ppf b
+  | Str s -> Fmt.pf ppf "%S" s
+  | Pair (_, _) as v -> Fmt.string ppf (show v)
+  | List _ as v -> Fmt.string ppf (show v)

@@ -1,0 +1,35 @@
+(** Values stored in shared objects.
+
+    The paper's model is read/write at the level of raw values; richer
+    concurrent objects (queues, stacks, bank accounts, ...) are encoded
+    by storing structured values in a single object and expressing
+    their operations as multi-object read/write procedures. *)
+
+type t =
+  | Unit
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+(** Initial value of every object (paper examples use 0; structured
+    encodings reinterpret it, e.g. an empty queue). *)
+val initial : t
+
+val int : int -> t
+
+(** Project an [Int]; raises [Invalid_argument] otherwise. *)
+val to_int : t -> int
+
+(** Project a [List]; the initial value [Int 0] doubles as the empty
+    list.  Raises [Invalid_argument] otherwise. *)
+val to_list : t -> t list
+
+(** Terse printer for operation renderings. *)
+val pp_compact : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+(** Per-object version vectors (the timestamps of Section 5).
+
+    A timestamp is a vector of integers, one entry per object,
+    representing object versions.  [ts <= ts'] iff every entry of [ts]
+    is at most the corresponding entry of [ts']; [ts < ts'] iff
+    additionally they differ. *)
+
+type t = int array
+
+let create ~n_objects : t = Array.make n_objects 0
+
+let copy : t -> t = Array.copy
+
+let get (t : t) x = t.(x)
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 ( = ) a b
+
+let leq (a : t) (b : t) =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i v -> if v > b.(i) then ok := false) a;
+  !ok
+
+let lt a b = leq a b && not (equal a b)
+
+(** Bump the version of object [x] (a write establishing a new
+    version). *)
+let bump (t : t) x = t.(x) <- t.(x) + 1
+
+(** Componentwise maximum, in place into [dst]. *)
+let max_into ~(dst : t) (src : t) =
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "[%a]" (Fmt.array ~sep:Fmt.comma Fmt.int) t
+
+let show t = Fmt.str "%a" pp t
+
+(** {1 Protocol property validation (P 5.3–5.8)}
+
+    Given the per-m-operation start/finish timestamps recorded by a
+    protocol run, these validators check the properties from which
+    Theorem 10 derives admissibility. *)
+
+type stamped = {
+  start_ts : t;  (** versions visible when the m-operation starts *)
+  finish_ts : t;  (** versions after the m-operation finishes *)
+}
+
+type violation = {
+  property : string;
+  detail : string;
+}
+
+let pp_violation ppf v = Fmt.pf ppf "%s: %s" v.property v.detail
+
+(** Check P 5.3 and P 5.4 over a relation [rel] (typically [~H-]): if
+    [b rel a] then [ts(b) <= ts(a)], strictly on entries [a] writes. *)
+let check_monotonic h (stamps : (Types.mop_id, stamped) Hashtbl.t) rel =
+  let violations = ref [] in
+  Relation.iter_edges rel (fun b a ->
+      match (Hashtbl.find_opt stamps b, Hashtbl.find_opt stamps a) with
+      | Some sb, Some sa ->
+        if not (leq sb.finish_ts sa.finish_ts) then
+          violations :=
+            {
+              property = "P5.3";
+              detail =
+                Fmt.str "#%d ~ #%d but ts(#%d)=%a !<= ts(#%d)=%a" b a b pp
+                  sb.finish_ts a pp sa.finish_ts;
+            }
+            :: !violations;
+        List.iter
+          (fun x ->
+            if not (sb.finish_ts.(x) < sa.finish_ts.(x)) then
+              violations :=
+                {
+                  property = "P5.4";
+                  detail =
+                    Fmt.str "#%d ~ #%d, #%d writes x%d, but %d !< %d" b a a x
+                      sb.finish_ts.(x) sa.finish_ts.(x);
+                }
+                :: !violations)
+          (Mop.wobjects (History.mop h a))
+      | _ -> ());
+  !violations
+
+(** Check P 5.7 and P 5.8: reads-from fixes version equalities. *)
+let check_reads_from h (stamps : (Types.mop_id, stamped) Hashtbl.t) =
+  let violations = ref [] in
+  List.iter
+    (fun (e : History.rf_edge) ->
+      match
+        (Hashtbl.find_opt stamps e.History.writer,
+         Hashtbl.find_opt stamps e.History.reader)
+      with
+      | Some sb, Some sa ->
+        let x = e.History.obj in
+        let alpha_writes_x =
+          List.mem x (Mop.wobjects (History.mop h e.History.reader))
+        in
+        if alpha_writes_x then begin
+          if sb.finish_ts.(x) <> sa.finish_ts.(x) - 1 then
+            violations :=
+              {
+                property = "P5.8";
+                detail =
+                  Fmt.str "rf #%d->#%d on x%d: %d <> %d - 1" e.History.writer
+                    e.History.reader x sb.finish_ts.(x) sa.finish_ts.(x);
+              }
+              :: !violations
+        end
+        else if sb.finish_ts.(x) <> sa.finish_ts.(x) then
+          violations :=
+            {
+              property = "P5.7";
+              detail =
+                Fmt.str "rf #%d->#%d on x%d: %d <> %d" e.History.writer
+                  e.History.reader x sb.finish_ts.(x) sa.finish_ts.(x);
+            }
+            :: !violations
+      | _ -> ())
+    (History.rf h);
+  !violations

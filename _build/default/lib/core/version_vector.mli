@@ -1,0 +1,45 @@
+(** Per-object version vectors — the timestamps of Section 5 — and the
+    validators for properties P 5.3–5.8 on recorded protocol traces. *)
+
+type t = int array
+
+val create : n_objects:int -> t
+val copy : t -> t
+val get : t -> Types.obj_id -> int
+val equal : t -> t -> bool
+
+(** Componentwise [<=]. *)
+val leq : t -> t -> bool
+
+(** [leq] and not equal. *)
+val lt : t -> t -> bool
+
+(** Bump the version of object [x] (a write establishing a new
+    version). *)
+val bump : t -> Types.obj_id -> unit
+
+(** Componentwise maximum, in place into [dst]. *)
+val max_into : dst:t -> t -> unit
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+(** Start/finish timestamps recorded per m-operation by a protocol
+    run. *)
+type stamped = {
+  start_ts : t;  (** versions visible when the m-operation starts *)
+  finish_ts : t;  (** versions after the m-operation finishes *)
+}
+
+type violation = { property : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** P 5.3 / P 5.4 over the edges of [rel]: timestamps monotone, and
+    strictly increasing on written entries. *)
+val check_monotonic :
+  History.t -> (Types.mop_id, stamped) Hashtbl.t -> Relation.t -> violation list
+
+(** P 5.7 / P 5.8: reads-from fixes version equalities. *)
+val check_reads_from :
+  History.t -> (Types.mop_id, stamped) Hashtbl.t -> violation list

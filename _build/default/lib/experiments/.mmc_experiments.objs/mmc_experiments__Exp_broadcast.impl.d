@@ -1,0 +1,1 @@
+lib/experiments/exp_broadcast.ml: Abcast Engine Hashtbl Latency List Mmc_broadcast Mmc_sim Option Rng Select Stats Table

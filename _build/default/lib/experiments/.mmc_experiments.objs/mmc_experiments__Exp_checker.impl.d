@@ -1,0 +1,1 @@
+lib/experiments/exp_checker.ml: Admissible Check_constrained Check_single Constraints History List Mmc_core Mmc_store Mmc_workload Mop Relation Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_protocol.ml: Abcast Admissible Check_causal Fmt History Latency List Mmc_broadcast Mmc_core Mmc_sim Mmc_store Mmc_workload Runner Stats Store Table Version_vector

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_broadcast Exp_checker Exp_objects Exp_protocol List String Table

@@ -1,0 +1,1 @@
+lib/objects/bank.ml: Fmt List Mmc_core Mmc_store Prog Value

@@ -1,0 +1,1 @@
+lib/objects/bank.mli: Mmc_core Mmc_store Prog Types

@@ -1,0 +1,1 @@
+lib/objects/counter.ml: Fmt Mmc_core Mmc_store Prog Value

@@ -1,0 +1,1 @@
+lib/objects/counter.mli: Mmc_core Mmc_store Prog Types

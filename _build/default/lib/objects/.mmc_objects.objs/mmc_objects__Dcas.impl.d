@@ -1,0 +1,1 @@
+lib/objects/dcas.ml: Fmt Mmc_core Mmc_store Prog Value

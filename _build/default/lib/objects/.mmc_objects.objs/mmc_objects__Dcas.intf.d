@@ -1,0 +1,1 @@
+lib/objects/dcas.mli: Mmc_core Mmc_store Prog Types Value

@@ -1,0 +1,1 @@
+lib/objects/massign.mli: Mmc_core Mmc_store Prog Types Value

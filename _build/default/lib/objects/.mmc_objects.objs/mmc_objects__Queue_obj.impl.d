@@ -1,0 +1,1 @@
+lib/objects/queue_obj.ml: Fmt List Mmc_core Mmc_store Prog Value

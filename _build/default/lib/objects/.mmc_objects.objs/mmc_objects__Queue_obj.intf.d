@@ -1,0 +1,1 @@
+lib/objects/queue_obj.mli: Mmc_core Mmc_store Prog Types Value

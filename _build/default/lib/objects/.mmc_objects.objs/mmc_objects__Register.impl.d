@@ -1,0 +1,1 @@
+lib/objects/register.ml: Fmt Mmc_core Mmc_store Prog Value

@@ -1,0 +1,1 @@
+lib/objects/smallbank.ml: Fmt Fun List Mmc_core Mmc_sim Mmc_store Prog Rng Value

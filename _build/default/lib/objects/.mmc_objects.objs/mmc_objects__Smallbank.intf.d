@@ -1,0 +1,1 @@
+lib/objects/smallbank.mli: Mmc_core Mmc_sim Mmc_store Prog Types

@@ -1,0 +1,1 @@
+lib/objects/stack_obj.mli: Mmc_core Mmc_store Prog Types Value

@@ -1,0 +1,16 @@
+(** Bank accounts: transaction-shaped multi-object operations.
+    [transfer] writes only when funds suffice (its write set depends on
+    the value read); [audit] atomically sums balances — under m-SC or
+    m-linearizability it always observes the conserved total. *)
+
+open Mmc_core
+open Mmc_store
+
+(** Returns [Bool true] iff the transfer happened. *)
+val transfer : from_:Types.obj_id -> to_:Types.obj_id -> int -> Prog.mprog
+
+(** Atomic total over the accounts, as [Int]. *)
+val audit : Types.obj_id list -> Prog.mprog
+
+val deposit : Types.obj_id -> int -> Prog.mprog
+val balance : Types.obj_id -> Prog.mprog

@@ -1,0 +1,14 @@
+(** Integer counters over registers. *)
+
+open Mmc_core
+open Mmc_store
+
+(** Atomically add [delta], returning the old value. *)
+val fetch_and_add : Types.obj_id -> int -> Prog.mprog
+
+val incr : Types.obj_id -> Prog.mprog
+val get : Types.obj_id -> Prog.mprog
+
+(** Atomically move [delta] from [src] to [dst] (unconditional;
+    conserves the total). *)
+val move : src:Types.obj_id -> dst:Types.obj_id -> int -> Prog.mprog

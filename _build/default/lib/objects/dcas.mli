@@ -1,0 +1,21 @@
+(** Double compare-and-swap, the paper's flagship multi-object
+    operation: atomically set [x1, x2] to [new1, new2] iff they hold
+    [old1, old2]; returns [Bool true] on success. *)
+
+open Mmc_core
+open Mmc_store
+
+val dcas :
+  Types.obj_id ->
+  Types.obj_id ->
+  old1:Value.t ->
+  old2:Value.t ->
+  new1:Value.t ->
+  new2:Value.t ->
+  Prog.mprog
+
+(** Single-object compare-and-swap (comparison experiments). *)
+val cas : Types.obj_id -> old_v:Value.t -> new_v:Value.t -> Prog.mprog
+
+(** Project a DCAS/CAS result; raises on non-boolean values. *)
+val succeeded : Value.t -> bool

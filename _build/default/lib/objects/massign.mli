@@ -1,0 +1,19 @@
+(** Atomic m-register assignment, snapshots, sums and swaps over
+    register sets (paper, Section 1). *)
+
+open Mmc_core
+open Mmc_store
+
+(** Atomically assign each value to its register. *)
+val assign : (Types.obj_id * Value.t) list -> Prog.mprog
+
+(** Atomically read the registers; returns their values as a [List]. *)
+val snapshot : Types.obj_id list -> Prog.mprog
+
+(** Atomic sum of integer registers (the paper's motivating [sum]
+    multi-method). *)
+val sum : Types.obj_id list -> Prog.mprog
+
+(** Atomic swap of two registers (a read-dependent multi-object
+    update). *)
+val swap : Types.obj_id -> Types.obj_id -> Prog.mprog

@@ -1,0 +1,17 @@
+(** FIFO queues encoded in single objects as list values, plus the
+    atomic two-queue transfer — a multi-object queue operation
+    inexpressible with unary methods. *)
+
+open Mmc_core
+open Mmc_store
+
+val enqueue : Types.obj_id -> Value.t -> Prog.mprog
+
+(** Returns [Pair (Bool true, item)] or [Pair (Bool false, Unit)]. *)
+val dequeue : Types.obj_id -> Prog.mprog
+
+(** Atomically move the head of [src] to the back of [dst]; returns
+    [Bool] success. *)
+val transfer_front : src:Types.obj_id -> dst:Types.obj_id -> Prog.mprog
+
+val length : Types.obj_id -> Prog.mprog

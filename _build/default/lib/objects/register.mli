@@ -1,0 +1,8 @@
+(** Plain read/write registers — the single-operation m-operations
+    under which the model collapses to classical DSM. *)
+
+open Mmc_core
+open Mmc_store
+
+val write : Types.obj_id -> Value.t -> Prog.mprog
+val read : Types.obj_id -> Prog.mprog

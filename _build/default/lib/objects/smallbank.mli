@@ -1,0 +1,34 @@
+(** SmallBank-style OLTP transaction mix as m-operations: checking and
+    savings accounts per customer, five transaction types plus an
+    atomic audit. *)
+
+open Mmc_core
+open Mmc_store
+
+val checking : int -> Types.obj_id
+val savings : int -> Types.obj_id
+val n_objects : customers:int -> int
+
+(** [Int (checking + savings)]. *)
+val balance : int -> Prog.mprog
+
+val deposit_checking : int -> int -> Prog.mprog
+
+(** Fails ([Bool false]) rather than make savings negative. *)
+val transact_savings : int -> int -> Prog.mprog
+
+(** Move all of [c1]'s funds into [c2]'s checking (four objects). *)
+val amalgamate : int -> int -> Prog.mprog
+
+(** Overdrafts incur a 1-unit penalty; [Bool true] iff no penalty. *)
+val write_check : int -> int -> Prog.mprog
+
+(** Conserving checking-to-checking transfer. *)
+val send_payment : int -> int -> int -> Prog.mprog
+
+val audit : customers:int -> Prog.mprog
+
+(** Money-conserving mix (balances, audits, payments, amalgamates) for
+    the runner; the audit-observed total is invariant. *)
+val conserving_mix :
+  customers:int -> Mmc_sim.Rng.t -> proc:int -> step:int -> Prog.mprog

@@ -1,0 +1,16 @@
+(** LIFO stacks encoded in single objects, with the atomic two-stack
+    pop-push. *)
+
+open Mmc_core
+open Mmc_store
+
+val push : Types.obj_id -> Value.t -> Prog.mprog
+
+(** Returns [Pair (Bool true, item)] or [Pair (Bool false, Unit)]. *)
+val pop : Types.obj_id -> Prog.mprog
+
+(** Atomically pop from [src] and push onto [dst]; returns [Bool]
+    success. *)
+val move : src:Types.obj_id -> dst:Types.obj_id -> Prog.mprog
+
+val depth : Types.obj_id -> Prog.mprog

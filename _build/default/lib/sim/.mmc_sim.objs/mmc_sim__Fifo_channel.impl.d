@@ -1,0 +1,1 @@
+lib/sim/fifo_channel.ml: Array Hashtbl Network

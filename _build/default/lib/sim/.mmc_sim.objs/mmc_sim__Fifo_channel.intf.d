@@ -1,0 +1,1 @@
+lib/sim/fifo_channel.mli: Engine Latency Rng

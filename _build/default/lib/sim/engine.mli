@@ -1,0 +1,31 @@
+(** Discrete-event simulation engine.
+
+    Integer virtual time; events execute atomically in (time,
+    insertion-sequence) order — exactly the atomicity granularity the
+    paper's protocol actions (A1)–(A6) assume. *)
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time. *)
+val now : t -> int
+
+(** Events executed so far. *)
+val executed : t -> int
+
+(** Schedule an action [delay >= 0] time units from now. *)
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+
+(** Schedule at the current time (after pending same-time events). *)
+val schedule_now : t -> (unit -> unit) -> unit
+
+(** An event may raise this to end the run early. *)
+exception Stop
+
+(** Run until the queue drains, [max_events] executed, or time would
+    pass [until]. *)
+val run : ?max_events:int -> ?until:int -> t -> unit
+
+(** Events still queued. *)
+val pending : t -> int

@@ -1,0 +1,65 @@
+(** FIFO channel layer over the reordering network.
+
+    Tags each message with a per-(src,dst) sequence number and buffers
+    out-of-order arrivals, releasing them in send order.  The Lamport
+    atomic-broadcast implementation requires FIFO channels for its
+    stability rule. *)
+
+type 'msg tagged = { fifo_seq : int; payload : 'msg }
+
+type 'msg t = {
+  net : 'msg tagged Network.t;
+  send_seq : int array array;  (** next seq to use, [src].(dst) *)
+  recv_seq : int array array;  (** next seq expected, [dst].(src) *)
+  pending : (int, 'msg) Hashtbl.t array array;
+      (** buffered out-of-order messages, [dst].(src) : seq -> msg *)
+  handlers : (int -> 'msg -> unit) array;
+}
+
+let create ?duplicate engine ~n ~latency ~rng =
+  let net = Network.create ?duplicate engine ~n ~latency ~rng in
+  let t =
+    {
+      net;
+      send_seq = Array.init n (fun _ -> Array.make n 0);
+      recv_seq = Array.init n (fun _ -> Array.make n 0);
+      pending = Array.init n (fun _ -> Array.init n (fun _ -> Hashtbl.create 8));
+      handlers = Array.make n (fun _ _ -> failwith "Fifo_channel: no handler");
+    }
+  in
+  for dst = 0 to n - 1 do
+    Network.set_handler net dst (fun src tagged ->
+        let buf = t.pending.(dst).(src) in
+        (* Duplicate suppression: sequence numbers already released are
+           dropped; re-buffering a pending duplicate is idempotent. *)
+        if tagged.fifo_seq >= t.recv_seq.(dst).(src) then
+          Hashtbl.replace buf tagged.fifo_seq tagged.payload;
+        let rec drain () =
+          let next = t.recv_seq.(dst).(src) in
+          match Hashtbl.find_opt buf next with
+          | None -> ()
+          | Some msg ->
+            Hashtbl.remove buf next;
+            t.recv_seq.(dst).(src) <- next + 1;
+            t.handlers.(dst) src msg;
+            drain ()
+        in
+        drain ())
+  done;
+  t
+
+let n_nodes t = Array.length t.handlers
+
+let set_handler t node handler = t.handlers.(node) <- handler
+
+let send t ~src ~dst msg =
+  let seq = t.send_seq.(src).(dst) in
+  t.send_seq.(src).(dst) <- seq + 1;
+  Network.send t.net ~src ~dst { fifo_seq = seq; payload = msg }
+
+let send_all t ~src msg =
+  for dst = 0 to n_nodes t - 1 do
+    send t ~src ~dst msg
+  done
+
+let messages_sent t = Network.messages_sent t.net

@@ -1,0 +1,31 @@
+(** Message latency models.
+
+    The paper assumes an asynchronous system: reliable channels,
+    unbounded and variable delays, possible reordering.  Reordering
+    falls out of independently sampled per-message delays. *)
+
+type t =
+  | Constant of int  (** fixed delay *)
+  | Uniform of int * int  (** uniform in [lo, hi] *)
+  | Exponential of int  (** exponential-tailed with the given mean *)
+  | Bimodal of { fast : int; slow : int; p_slow : float }
+      (** mostly [fast], occasionally [slow] — heavy jitter *)
+
+let sample t rng =
+  match t with
+  | Constant d -> d
+  | Uniform (lo, hi) -> Rng.int_range rng ~lo ~hi
+  | Exponential mean -> Rng.exponential_int rng ~mean
+  | Bimodal { fast; slow; p_slow } ->
+    if Rng.bernoulli rng ~p:p_slow then slow else fast
+
+let pp ppf = function
+  | Constant d -> Fmt.pf ppf "constant(%d)" d
+  | Uniform (lo, hi) -> Fmt.pf ppf "uniform(%d,%d)" lo hi
+  | Exponential m -> Fmt.pf ppf "exponential(%d)" m
+  | Bimodal { fast; slow; p_slow } ->
+    Fmt.pf ppf "bimodal(%d,%d,%g)" fast slow p_slow
+
+(** Default model used by the experiments: uniform 5–15 time units —
+    wide enough that reordering is routine. *)
+let default = Uniform (5, 15)

@@ -1,0 +1,17 @@
+(** Message latency models.  The paper assumes an asynchronous
+    reliable network with reordering; reordering falls out of
+    independently sampled per-message delays. *)
+
+type t =
+  | Constant of int
+  | Uniform of int * int  (** uniform in [lo, hi] *)
+  | Exponential of int  (** exponential-tailed with the given mean *)
+  | Bimodal of { fast : int; slow : int; p_slow : float }
+      (** mostly [fast], occasionally [slow] — heavy jitter *)
+
+val sample : t -> Rng.t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Uniform 5–15: the experiments' default — wide enough that
+    reordering is routine. *)
+val default : t

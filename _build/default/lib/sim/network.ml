@@ -1,0 +1,70 @@
+(** Point-to-point message network.
+
+    Reliable (no loss), asynchronous (per-message sampled delay, hence
+    reordering), delivering by invoking a handler registered per
+    destination node.  Handlers run as atomic engine events.
+
+    The handler table is populated after creation ([set_handler])
+    because protocol nodes need the network in scope to send replies. *)
+
+type 'msg t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  latency : Latency.t;
+  duplicate : float;  (** probability a message is delivered twice *)
+  handlers : (int -> 'msg -> unit) array;  (** per destination node *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable total_delay : int;
+}
+
+let create ?(duplicate = 0.0) engine ~n ~latency ~rng =
+  {
+    engine;
+    rng;
+    latency;
+    duplicate;
+    handlers = Array.make n (fun _ _ -> failwith "Network: no handler");
+    sent = 0;
+    delivered = 0;
+    total_delay = 0;
+  }
+
+let n_nodes t = Array.length t.handlers
+
+(** Register the message handler of node [node]; the handler receives
+    the source node and the message. *)
+let set_handler t node handler = t.handlers.(node) <- handler
+
+(** Send [msg] from [src] to [dst]; it will be delivered after a
+    sampled delay.  Self-sends are allowed and also pay a delay (the
+    paper's query protocol sends the "query" to all processes,
+    including the issuer). *)
+let send t ~src ~dst msg =
+  if dst < 0 || dst >= n_nodes t then
+    invalid_arg (Fmt.str "Network.send: bad destination %d" dst);
+  let deliver_once () =
+    let delay = Latency.sample t.latency t.rng in
+    t.total_delay <- t.total_delay + delay;
+    Engine.schedule t.engine ~delay (fun () ->
+        t.delivered <- t.delivered + 1;
+        t.handlers.(dst) src msg)
+  in
+  t.sent <- t.sent + 1;
+  deliver_once ();
+  (* At-least-once channels: occasionally deliver a duplicate with an
+     independent delay. *)
+  if t.duplicate > 0.0 && Rng.bernoulli t.rng ~p:t.duplicate then deliver_once ()
+
+(** Broadcast to every node (including [src]). *)
+let send_all t ~src msg =
+  for dst = 0 to n_nodes t - 1 do
+    send t ~src ~dst msg
+  done
+
+let messages_sent t = t.sent
+
+let messages_delivered t = t.delivered
+
+let mean_delay t =
+  if t.sent = 0 then 0.0 else float_of_int t.total_delay /. float_of_int t.sent

@@ -1,0 +1,28 @@
+(** Point-to-point message network: reliable, asynchronous
+    (per-message sampled delay, hence reordering).  Handlers run as
+    atomic engine events and are registered after creation so protocol
+    nodes can close over the network. *)
+
+type 'msg t
+
+(** [duplicate] is the probability a message is delivered twice (with
+    independent delays) — at-least-once channels for the
+    duplication-tolerance experiments.  Default 0 (exactly-once, the
+    paper's assumption). *)
+val create :
+  ?duplicate:float -> Engine.t -> n:int -> latency:Latency.t -> rng:Rng.t -> 'msg t
+val n_nodes : 'msg t -> int
+
+(** Register node [node]'s handler (receives source and message). *)
+val set_handler : 'msg t -> int -> (int -> 'msg -> unit) -> unit
+
+(** Send with a sampled delay.  Self-sends are allowed and also pay a
+    delay. *)
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+(** Send to every node, including [src]. *)
+val send_all : 'msg t -> src:int -> 'msg -> unit
+
+val messages_sent : 'msg t -> int
+val messages_delivered : 'msg t -> int
+val mean_delay : 'msg t -> float

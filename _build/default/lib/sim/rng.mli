@@ -1,0 +1,39 @@
+(** Deterministic splittable PRNG (SplitMix64).
+
+    Every simulation component owns its own stream, so reordering
+    draws in one component never perturbs another — runs are exactly
+    reproducible per seed. *)
+
+type t
+
+val create : int -> t
+
+(** Derive an independent stream. *)
+val split : t -> t
+
+val next_int64 : t -> int64
+
+(** Uniform in [0, bound); raises on non-positive bound. *)
+val int : t -> bound:int -> int
+
+(** Uniform in [lo, hi] inclusive. *)
+val int_range : t -> lo:int -> hi:int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+val bernoulli : t -> p:float -> bool
+
+(** Uniform element of a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** In-place Fisher–Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** Zipf-distributed rank in [0, n): P(k) ∝ 1/(k+1)^s; [s = 0] is
+    uniform, larger [s] makes low ranks hot. *)
+val zipf : t -> n:int -> s:float -> int
+
+(** Exponential-tailed positive integer with roughly the given mean. *)
+val exponential_int : t -> mean:int -> int

@@ -1,0 +1,53 @@
+(** Measurement accumulators for simulation experiments. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
+let empty_summary =
+  { count = 0; mean = 0.0; min = 0; max = 0; p50 = 0; p95 = 0; p99 = 0 }
+
+type t = { mutable samples : int list; mutable n : int; mutable sum : int }
+
+let create () = { samples = []; n = 0; sum = 0 }
+
+let add t v =
+  t.samples <- v :: t.samples;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v
+
+let count t = t.n
+
+let percentile sorted n p =
+  if n = 0 then 0
+  else begin
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    let idx = max 0 (min (n - 1) idx) in
+    sorted.(idx)
+  end
+
+let summarize t =
+  if t.n = 0 then empty_summary
+  else begin
+    let sorted = Array.of_list t.samples in
+    Array.sort compare sorted;
+    {
+      count = t.n;
+      mean = float_of_int t.sum /. float_of_int t.n;
+      min = sorted.(0);
+      max = sorted.(t.n - 1);
+      p50 = percentile sorted t.n 0.50;
+      p95 = percentile sorted t.n 0.95;
+      p99 = percentile sorted t.n 0.99;
+    }
+  end
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p95=%d p99=%d max=%d" s.count
+    s.mean s.min s.p50 s.p95 s.p99 s.max

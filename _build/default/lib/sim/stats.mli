@@ -1,0 +1,21 @@
+(** Measurement accumulators for simulation experiments. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
+val empty_summary : summary
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+val count : t -> int
+val summarize : t -> summary
+val pp_summary : Format.formatter -> summary -> unit

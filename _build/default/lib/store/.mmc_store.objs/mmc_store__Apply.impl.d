@@ -1,0 +1,1 @@
+lib/store/apply.ml: Array List Mmc_core Op Prog Types Value

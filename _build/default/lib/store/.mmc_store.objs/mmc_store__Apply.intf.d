@@ -1,0 +1,1 @@
+lib/store/apply.mli: Mmc_core Op Prog Types Value

@@ -1,0 +1,1 @@
+lib/store/aw_store.ml: Apply Array Engine Hashtbl List Mmc_core Mmc_sim Network Op Prog Recorder Rng Store Types Value

@@ -1,0 +1,1 @@
+lib/store/aw_store.mli: Mmc_sim Recorder Store

@@ -1,0 +1,1 @@
+lib/store/causal_store.ml: Apply Array Engine List Mmc_core Mmc_sim Network Op Prog Recorder Rng Store Value

@@ -1,0 +1,1 @@
+lib/store/causal_store.mli: Mmc_sim Recorder Store

@@ -1,0 +1,1 @@
+lib/store/central_store.ml: Apply Array Engine Hashtbl Mmc_core Mmc_sim Network Prog Recorder Rng Store Types Value Version_vector

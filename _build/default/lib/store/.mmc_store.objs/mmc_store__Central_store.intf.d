@@ -1,0 +1,1 @@
+lib/store/central_store.mli: Mmc_sim Recorder Store

@@ -1,0 +1,1 @@
+lib/store/local_store.ml: Apply Array Engine Mmc_core Mmc_sim Prog Recorder Store Value

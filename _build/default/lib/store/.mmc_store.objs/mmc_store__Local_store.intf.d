@@ -1,0 +1,1 @@
+lib/store/local_store.mli: Mmc_sim Recorder Store

@@ -1,0 +1,1 @@
+lib/store/lock_store.ml: Array Engine Fmt Hashtbl List Mmc_core Mmc_sim Network Op Prog Recorder Rng Store Types Value

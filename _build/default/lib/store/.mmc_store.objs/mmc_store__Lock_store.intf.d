@@ -1,0 +1,1 @@
+lib/store/lock_store.mli: Mmc_sim Recorder Store

@@ -1,0 +1,1 @@
+lib/store/mlin_store.ml: Abcast Apply Array Engine Hashtbl Mmc_broadcast Mmc_core Mmc_sim Network Option Prog Recorder Rng Select Store Types Value Version_vector

@@ -1,0 +1,1 @@
+lib/store/msc_store.ml: Abcast Apply Array Engine Mmc_broadcast Mmc_core Mmc_sim Option Prog Recorder Rng Select Store Types Value

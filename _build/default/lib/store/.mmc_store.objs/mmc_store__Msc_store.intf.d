@@ -1,0 +1,1 @@
+lib/store/msc_store.mli: Mmc_broadcast Mmc_sim Recorder Store

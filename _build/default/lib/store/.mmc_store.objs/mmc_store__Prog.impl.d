@@ -1,0 +1,1 @@
+lib/store/prog.ml: Array List Mmc_core Types Value

@@ -1,0 +1,1 @@
+lib/store/prog.mli: Mmc_core Types Value

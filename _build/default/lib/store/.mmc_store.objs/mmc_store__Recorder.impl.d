@@ -1,0 +1,1 @@
+lib/store/recorder.ml: Fmt Hashtbl History List Mmc_core Mop Op Option Types Version_vector

@@ -1,0 +1,1 @@
+lib/store/recorder.mli: Hashtbl History Mmc_core Op Types Version_vector

@@ -1,0 +1,1 @@
+lib/store/runner.mli: Hashtbl History Mmc_broadcast Mmc_core Mmc_sim Prog Recorder Store Types Version_vector

@@ -1,0 +1,1 @@
+lib/store/store.ml: Fmt Mmc_core Prog Value

@@ -1,0 +1,65 @@
+(** Shared program-application logic for the protocol stores.
+
+    Executes a program against a replica's copy of the shared objects
+    and its version vector, collecting the information the recorder
+    needs: the operation list, the external reads with the versions
+    read, and the final writes with the versions they establish.
+    Version entries of written objects are bumped once per object after
+    the program finishes — exactly action (A2)'s
+    [forall x in wobjects(a): ts[x]++]. *)
+
+open Mmc_core
+
+type applied = {
+  result : Value.t;
+  ops : Op.t list;
+  reads : (Types.obj_id * int * int) list;  (** (object, version, ns) *)
+  writes : (Types.obj_id * int * int) list;  (** (object, new version, ns) *)
+}
+
+(** Apply an (update or query) program to the replica state [(x, ts)],
+    mutating both. *)
+let update (x : Value.t array) (ts : int array) ~ns prog =
+  let ops = ref [] in
+  let written = ref [] in
+  let reads = ref [] in
+  let rd o =
+    let v = x.(o) in
+    ops := Op.read o v :: !ops;
+    if (not (List.mem o !written))
+       && not (List.exists (fun (o', _, _) -> o' = o) !reads)
+    then reads := (o, ts.(o), ns) :: !reads;
+    v
+  in
+  let wr o v =
+    ops := Op.write o v :: !ops;
+    x.(o) <- v;
+    if not (List.mem o !written) then written := o :: !written
+  in
+  let result = Prog.run prog ~read:rd ~write:wr in
+  let writes =
+    List.rev_map
+      (fun o ->
+        ts.(o) <- ts.(o) + 1;
+        (o, ts.(o), ns))
+      !written
+  in
+  { result; ops = List.rev !ops; reads = List.rev !reads; writes }
+
+exception Query_wrote of Types.obj_id
+
+(** Apply a query program to a snapshot; writing is a protocol
+    violation (the caller declared an empty write set). *)
+let query (x : Value.t array) (ts : int array) ~ns prog =
+  let ops = ref [] in
+  let reads = ref [] in
+  let rd o =
+    let v = x.(o) in
+    ops := Op.read o v :: !ops;
+    if not (List.exists (fun (o', _, _) -> o' = o) !reads) then
+      reads := (o, ts.(o), ns) :: !reads;
+    v
+  in
+  let wr o _ = raise (Query_wrote o) in
+  let result = Prog.run prog ~read:rd ~write:wr in
+  { result; ops = List.rev !ops; reads = List.rev !reads; writes = [] }

@@ -1,0 +1,25 @@
+(** Shared program-application logic: execute a program against a
+    replica's object copy and version vector, collecting what the
+    recorder needs; written objects' versions bump once each after the
+    program finishes (action (A2)'s [ts[x]++]). *)
+
+open Mmc_core
+
+type applied = {
+  result : Value.t;
+  ops : Op.t list;
+  reads : (Types.obj_id * int * int) list;
+      (** external reads: (object, version read, namespace) *)
+  writes : (Types.obj_id * int * int) list;
+      (** final writes: (object, new version, namespace) *)
+}
+
+(** Apply an update (or any) program, mutating the copy and the
+    version vector. *)
+val update : Value.t array -> int array -> ns:int -> Prog.t -> applied
+
+exception Query_wrote of Types.obj_id
+
+(** Apply a query program to a snapshot; raises {!Query_wrote} if it
+    writes (the caller declared an empty write set). *)
+val query : Value.t array -> int array -> ns:int -> Prog.t -> applied

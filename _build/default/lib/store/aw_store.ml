@@ -1,0 +1,181 @@
+(** The Attiya–Welch-style clock-based linearizable store — the
+    algorithm the paper's protocol improves on (Section 1: their
+    "implementation for linearizability assumes that clocks are
+    perfectly synchronized and there is an upper bound on the delay of
+    the message").
+
+    An update issued at time [t] is sent to every replica and applied
+    at time [t + delta + 1] — the first instant strictly after the
+    delay bound — by the synchronized clock (the simulator's virtual
+    time {e is} a perfectly synchronized clock); the issuer responds
+    when it applies.  Queries read the local copy immediately.
+    When every message really arrives within [delta], all replicas
+    apply every update at the same instant in the same (time, origin,
+    sequence) order and executions are m-linearizable.
+
+    When the delay bound is violated — a message arrives after
+    [t + delta] — the late replica applies the update on arrival, its
+    state diverges, and linearizability (and even m-SC) can break:
+    exactly the failure mode the paper's Figure 6 protocol avoids by
+    assuming nothing about delays.
+
+    Version accounting mirrors {!Causal_store}: writes are tagged with
+    the origin and the origin's update sequence number, which are
+    carried in the message and therefore agree at every replica even
+    when application orders diverge.  The same limitation applies:
+    update procedures' write sets and values must be data-independent
+    (straight-line blind writes, e.g. [Mmc_workload.Generator.mixed]). *)
+
+open Mmc_core
+open Mmc_sim
+
+type update_msg = {
+  origin : int;
+  origin_seq : int;  (** per-origin update counter *)
+  issued : Types.time;
+  mprog : Prog.mprog;
+}
+
+type node_state = {
+  x : Value.t array;
+  tags : (int * int) array;  (** (ns, version) of each object's value *)
+}
+
+let create engine ~n ~n_objects ~latency ~rng ~delta ~recorder : Store.t =
+  if delta < 1 then invalid_arg "Aw_store.create: delta must be >= 1";
+  let net = Network.create engine ~n ~latency ~rng:(Rng.split rng) in
+  let states =
+    Array.init n (fun _ ->
+        { x = Array.make n_objects Value.initial; tags = Array.make n_objects (0, 0) })
+  in
+  let origin_seqs = Array.make n 0 in
+  let zero_ts () = Array.make n_objects 0 in
+  (* Apply [u] to [node]'s copy; record only at the origin. *)
+  let apply node (u : update_msg) =
+    let st = states.(node) in
+    let ops = ref [] in
+    let written = ref [] in
+    let reads = ref [] in
+    let rd o =
+      let v = st.x.(o) in
+      ops := Op.read o v :: !ops;
+      if (not (List.mem o !written))
+         && not (List.exists (fun (o', _, _) -> o' = o) !reads)
+      then begin
+        let ns, ver = st.tags.(o) in
+        reads := (o, ver, ns) :: !reads
+      end;
+      v
+    in
+    let wr o v =
+      ops := Op.write o v :: !ops;
+      st.x.(o) <- v;
+      st.tags.(o) <- (u.origin + 1, u.origin_seq + 1);
+      if not (List.mem o !written) then written := o :: !written
+    in
+    let result = Prog.run u.mprog.Prog.prog ~read:rd ~write:wr in
+    if node = u.origin then begin
+      let writes =
+        List.rev_map (fun o -> (o, u.origin_seq + 1, u.origin + 1)) !written
+      in
+      Recorder.add recorder
+        {
+          Recorder.proc = u.origin;
+          inv = u.issued;
+          resp = Engine.now engine;
+          ops = List.rev !ops;
+          reads = List.rev !reads;
+          writes;
+          start_ts = zero_ts ();
+          finish_ts = zero_ts ();
+          sync = None;
+        }
+    end;
+    result
+  in
+  (* Per-node pending queue: updates are applied at max(issued + delta,
+     arrival), in (due time, origin, origin_seq) order — the
+     deterministic tie-break that keeps replicas agreeing when all
+     messages are on time.  Late messages apply on arrival, alone:
+     that is the divergence. *)
+  let pending : update_msg list array = Array.make n [] in
+  let conts : (int * int, Value.t -> unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Applied at the first instant strictly after the delay bound, so a
+     message arriving at exactly [issued + delta] (legal: the bound is
+     inclusive) is still in the pending set when the apply fires. *)
+  let due u = u.issued + delta + 1 in
+  let flush node =
+    let now = Engine.now engine in
+    let ready, later = List.partition (fun u -> due u <= now) pending.(node) in
+    pending.(node) <- later;
+    List.stable_sort
+      (fun a b -> compare (due a, a.origin, a.origin_seq) (due b, b.origin, b.origin_seq))
+      ready
+    |> List.iter (fun u ->
+           let result = apply node u in
+           if node = u.origin then begin
+             let key = (u.origin, u.origin_seq) in
+             let k = Hashtbl.find conts key in
+             Hashtbl.remove conts key;
+             k result
+           end)
+  in
+  let enqueue node (u : update_msg) =
+    pending.(node) <- u :: pending.(node);
+    let now = Engine.now engine in
+    if now >= due u then flush node
+    else Engine.schedule engine ~delay:(due u - now) (fun () -> flush node)
+  in
+  for node = 0 to n - 1 do
+    Network.set_handler net node (fun _src (u : update_msg) -> enqueue node u)
+  done;
+  let invoke ~proc (m : Prog.mprog) ~k =
+    let now = Engine.now engine in
+    if Prog.is_query m then begin
+      let st = states.(proc) in
+      let ops = ref [] in
+      let reads = ref [] in
+      let rd o =
+        let v = st.x.(o) in
+        ops := Op.read o v :: !ops;
+        if not (List.exists (fun (o', _, _) -> o' = o) !reads) then begin
+          let ns, ver = st.tags.(o) in
+          reads := (o, ver, ns) :: !reads
+        end;
+        v
+      in
+      let wr o _ = raise (Apply.Query_wrote o) in
+      let result = Prog.run m.Prog.prog ~read:rd ~write:wr in
+      Recorder.add recorder
+        {
+          Recorder.proc;
+          inv = now;
+          resp = now;
+          ops = List.rev !ops;
+          reads = List.rev !reads;
+          writes = [];
+          start_ts = zero_ts ();
+          finish_ts = zero_ts ();
+          sync = None;
+        };
+      k result
+    end
+    else begin
+      let u =
+        { origin = proc; origin_seq = origin_seqs.(proc); issued = now; mprog = m }
+      in
+      origin_seqs.(proc) <- origin_seqs.(proc) + 1;
+      Hashtbl.replace conts (proc, u.origin_seq) k;
+      (* Remote replicas via the network; the origin enqueues directly —
+         its own clock fires exactly at [now + delta]. *)
+      for dst = 0 to n - 1 do
+        if dst <> proc then Network.send net ~src:proc ~dst u
+      done;
+      enqueue proc u
+    end
+  in
+  {
+    Store.name = "aw";
+    invoke;
+    messages_sent = (fun () -> Network.messages_sent net);
+  }

@@ -1,0 +1,170 @@
+(** Causally consistent replicated store (Raynal et al.'s weaker
+    condition, for comparison with the paper's protocols).
+
+    No atomic broadcast: an update is applied locally at its origin
+    immediately and flooded to the other replicas, which delay applying
+    it until all causally preceding updates have been applied (vector
+    clocks, per-origin FIFO counting).  Queries read the local copy.
+    Concurrent updates may be applied in different orders at different
+    replicas: executions are causally consistent but in general not
+    m-sequentially consistent.
+
+    Version accounting: each write of object [x] by origin [j] gets
+    namespace [j + 1] and version = number of [j]'s updates writing [x]
+    so far.  Causal delivery is per-origin FIFO, so these counters
+    agree at every replica and identify writers globally even though
+    replicas disagree on the interleaving. *)
+
+open Mmc_core
+open Mmc_sim
+
+type update_msg = {
+  origin : int;
+  vc : int array;  (** origin's vector clock after the update *)
+  mprog : Prog.mprog;
+}
+
+type node_state = {
+  x : Value.t array;
+  vc : int array;  (** vc.(j) = number of j's updates applied here *)
+  mutable pending : update_msg list;
+  (* (ns, version) tag of the current value of each object, for the
+     recorder. *)
+  tags : (int * int) array;
+  (* per-origin per-object write counters (deterministic across
+     replicas thanks to per-origin FIFO application). *)
+  write_counts : int array array;
+}
+
+let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
+  let net = Network.create engine ~n ~latency ~rng:(Rng.split rng) in
+  let states =
+    Array.init n (fun _ ->
+        {
+          x = Array.make n_objects Value.initial;
+          vc = Array.make n 0;
+          pending = [];
+          tags = Array.make n_objects (0, 0);
+          write_counts = Array.init n (fun _ -> Array.make n_objects 0);
+        })
+  in
+  (* Apply an update at [node]; returns the recorder payload pieces. *)
+  let apply node (u : update_msg) =
+    let st = states.(node) in
+    let ops = ref [] in
+    let written = ref [] in
+    let reads = ref [] in
+    let rd o =
+      let v = st.x.(o) in
+      ops := Op.read o v :: !ops;
+      if (not (List.mem o !written))
+         && not (List.exists (fun (o', _, _) -> o' = o) !reads)
+      then begin
+        let ns, ver = st.tags.(o) in
+        reads := (o, ver, ns) :: !reads
+      end;
+      v
+    in
+    let wr o v =
+      ops := Op.write o v :: !ops;
+      st.x.(o) <- v;
+      if not (List.mem o !written) then written := o :: !written
+    in
+    let result = Prog.run u.mprog.Prog.prog ~read:rd ~write:wr in
+    let writes =
+      List.rev_map
+        (fun o ->
+          let c = st.write_counts.(u.origin).(o) + 1 in
+          st.write_counts.(u.origin).(o) <- c;
+          st.tags.(o) <- (u.origin + 1, c);
+          (o, c, u.origin + 1))
+        !written
+    in
+    st.vc.(u.origin) <- st.vc.(u.origin) + 1;
+    (result, List.rev !ops, List.rev !reads, writes)
+  in
+  (* Causal deliverability of a remote update at [node]. *)
+  let deliverable node (u : update_msg) =
+    let st = states.(node) in
+    let ok = ref (u.vc.(u.origin) = st.vc.(u.origin) + 1) in
+    Array.iteri
+      (fun j v -> if j <> u.origin && v > st.vc.(j) then ok := false)
+      u.vc;
+    !ok
+  in
+  let rec drain node =
+    let st = states.(node) in
+    match List.find_opt (deliverable node) st.pending with
+    | None -> ()
+    | Some u ->
+      st.pending <- List.filter (fun p -> p != u) st.pending;
+      ignore (apply node u);
+      drain node
+  in
+  for node = 0 to n - 1 do
+    Network.set_handler net node (fun _src (u : update_msg) ->
+        states.(node).pending <- states.(node).pending @ [ u ];
+        drain node)
+  done;
+  let zero_ts () = Array.make n_objects 0 in
+  let invoke ~proc (m : Prog.mprog) ~k =
+    let now = Engine.now engine in
+    if Prog.is_query m then begin
+      let st = states.(proc) in
+      let ops = ref [] in
+      let reads = ref [] in
+      let rd o =
+        let v = st.x.(o) in
+        ops := Op.read o v :: !ops;
+        if not (List.exists (fun (o', _, _) -> o' = o) !reads) then begin
+          let ns, ver = st.tags.(o) in
+          reads := (o, ver, ns) :: !reads
+        end;
+        v
+      in
+      let wr o _ = raise (Apply.Query_wrote o) in
+      let result = Prog.run m.Prog.prog ~read:rd ~write:wr in
+      Recorder.add recorder
+        {
+          Recorder.proc;
+          inv = now;
+          resp = now;
+          ops = List.rev !ops;
+          reads = List.rev !reads;
+          writes = [];
+          start_ts = zero_ts ();
+          finish_ts = zero_ts ();
+          sync = None;
+        };
+      k result
+    end
+    else begin
+      (* Apply locally, respond, flood to the other replicas. *)
+      let st = states.(proc) in
+      let vc = Array.copy st.vc in
+      vc.(proc) <- vc.(proc) + 1;
+      let u = { origin = proc; vc; mprog = m } in
+      let result, ops, reads, writes = apply proc u in
+      Recorder.add recorder
+        {
+          Recorder.proc;
+          inv = now;
+          resp = now;
+          ops;
+          reads;
+          writes;
+          start_ts = zero_ts ();
+          finish_ts = zero_ts ();
+          sync = None;
+        };
+      for dst = 0 to n - 1 do
+        if dst <> proc then Network.send net ~src:proc ~dst u
+      done;
+      k result
+    end
+  in
+  {
+    Store.name = "causal";
+    invoke;
+    messages_sent = (fun () -> Network.messages_sent net);
+  }

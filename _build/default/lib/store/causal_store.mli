@@ -1,0 +1,23 @@
+(** Causally consistent replicated store (Raynal et al.'s weaker
+    condition): updates apply locally at once and flood to other
+    replicas, which delay them until causally preceding updates have
+    been applied (vector clocks); queries are local.  Executions are
+    causally consistent but in general not m-sequentially consistent —
+    the comparison point for the paper's protocols.
+
+    Limitation (inherent to causal re-execution, and part of the
+    lesson): update procedures are re-executed at every replica, so
+    their write sets and written values must be data-independent
+    (straight-line blind writes, as produced by
+    [Mmc_workload.Generator.mixed]).  Value-dependent updates (DCAS,
+    conditional transfers) can diverge across replicas; the recorder
+    then rejects the trace. *)
+
+val create :
+  Mmc_sim.Engine.t ->
+  n:int ->
+  n_objects:int ->
+  latency:Mmc_sim.Latency.t ->
+  rng:Mmc_sim.Rng.t ->
+  recorder:Recorder.t ->
+  Store.t

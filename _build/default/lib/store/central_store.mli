@@ -1,0 +1,14 @@
+(** Centralized baseline: one server executes every m-operation
+    serially.  Trivially m-linearizable; every operation pays a round
+    trip. *)
+
+val server_node : int
+
+val create :
+  Mmc_sim.Engine.t ->
+  n:int ->
+  n_objects:int ->
+  latency:Mmc_sim.Latency.t ->
+  rng:Mmc_sim.Rng.t ->
+  recorder:Recorder.t ->
+  Store.t

@@ -1,0 +1,6 @@
+(** Unsynchronized baseline: each replica applies m-operations to its
+    own copy only.  Generally not m-sequentially consistent — exists so
+    experiments can show the checkers discriminate. *)
+
+val create :
+  Mmc_sim.Engine.t -> n:int -> n_objects:int -> recorder:Recorder.t -> Store.t

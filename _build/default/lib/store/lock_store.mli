@@ -1,0 +1,19 @@
+(** Distributed strict two-phase locking over sharded owner copies:
+    object [x] lives at node [x mod n]; an m-operation locks its touch
+    set in ascending order (deadlock-free), executes via owner RPCs,
+    responds, and releases.  Strictly serializable, hence
+    m-linearizable — the database-style comparison point; contention
+    appears as lock-queue waiting rather than broadcast delay.
+
+    Programs must respect their declared sets: a read outside
+    [may_touch] or a write outside [may_write] raises
+    [Invalid_argument]. *)
+
+val create :
+  Mmc_sim.Engine.t ->
+  n:int ->
+  n_objects:int ->
+  latency:Mmc_sim.Latency.t ->
+  rng:Mmc_sim.Rng.t ->
+  recorder:Recorder.t ->
+  Store.t

@@ -1,0 +1,16 @@
+(** The m-linearizability protocol (paper, Figure 6): updates as in
+    the m-SC protocol; a query asks every replica for its copy and
+    timestamp, keeps the freshest (replica timestamps are totally
+    ordered — prefixes of the broadcast sequence), and reads from it
+    once all [n] replies arrived.  No clock synchronization or delay
+    bound is assumed. *)
+
+val create :
+  Mmc_sim.Engine.t ->
+  n:int ->
+  n_objects:int ->
+  latency:Mmc_sim.Latency.t ->
+  rng:Mmc_sim.Rng.t ->
+  abcast_impl:Mmc_broadcast.Abcast.impl ->
+  recorder:Recorder.t ->
+  Store.t

@@ -1,0 +1,83 @@
+(** The m-sequential-consistency protocol (paper, Figure 4).
+
+    Every replica keeps a full copy of the shared objects and a version
+    vector [ts].  An update m-operation is atomically broadcast (A1)
+    and applied by every replica in delivery order (A2); the issuing
+    replica generates the response when it applies the operation
+    itself.  A query m-operation executes immediately against the local
+    copy (A3) — queries are free of communication, the defining
+    performance property of this protocol. *)
+
+open Mmc_core
+open Mmc_sim
+open Mmc_broadcast
+
+type payload = {
+  origin : int;
+  mprog : Prog.mprog;
+  inv : Types.time;
+  k : Value.t -> unit;
+}
+
+let create engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder : Store.t =
+  let xs = Array.init n (fun _ -> Array.make n_objects Value.initial) in
+  let tss = Array.init n (fun _ -> Array.make n_objects 0) in
+  (* Per-node delivery counters: identical across nodes (total order),
+     so the origin's value is the update's global broadcast position. *)
+  let delivered = Array.make n 0 in
+  let deliver ~node ~origin:_ payload =
+    let position = delivered.(node) in
+    delivered.(node) <- position + 1;
+    let start_ts =
+      if node = payload.origin then Some (Array.copy tss.(node)) else None
+    in
+    let applied = Apply.update xs.(node) tss.(node) ~ns:0 payload.mprog.Prog.prog in
+    if node = payload.origin then begin
+      let resp = Engine.now engine in
+      Recorder.add recorder
+        {
+          Recorder.proc = payload.origin;
+          inv = payload.inv;
+          resp;
+          ops = applied.Apply.ops;
+          reads = applied.Apply.reads;
+          writes = applied.Apply.writes;
+          start_ts = Option.get start_ts;
+          finish_ts = Array.copy tss.(node);
+          sync = Some position;
+        };
+      payload.k applied.Apply.result
+    end
+  in
+  let abcast =
+    (Select.factory abcast_impl) engine ~n ~latency ~rng:(Rng.split rng) ~deliver
+  in
+  let invoke ~proc (m : Prog.mprog) ~k =
+    let now = Engine.now engine in
+    if Prog.is_query m then begin
+      (* (A3): apply to the local copy, respond immediately. *)
+      let ts = tss.(proc) in
+      let applied = Apply.query xs.(proc) ts ~ns:0 m.Prog.prog in
+      Recorder.add recorder
+        {
+          Recorder.proc;
+          inv = now;
+          resp = now;
+          ops = applied.Apply.ops;
+          reads = applied.Apply.reads;
+          writes = [];
+          start_ts = Array.copy ts;
+          finish_ts = Array.copy ts;
+          sync = None;
+        };
+      k applied.Apply.result
+    end
+    else
+      (* (A1): atomically broadcast the update. *)
+      Abcast.broadcast abcast ~src:proc { origin = proc; mprog = m; inv = now; k }
+  in
+  {
+    Store.name = "msc";
+    invoke;
+    messages_sent = (fun () -> Abcast.messages_sent abcast);
+  }

@@ -1,0 +1,14 @@
+(** The m-sequential-consistency protocol (paper, Figure 4): update
+    m-operations are atomically broadcast and applied everywhere in
+    delivery order; query m-operations execute immediately against the
+    local copy — zero communication. *)
+
+val create :
+  Mmc_sim.Engine.t ->
+  n:int ->
+  n_objects:int ->
+  latency:Mmc_sim.Latency.t ->
+  rng:Mmc_sim.Rng.t ->
+  abcast_impl:Mmc_broadcast.Abcast.impl ->
+  recorder:Recorder.t ->
+  Store.t

@@ -1,0 +1,57 @@
+(** m-operation programs: deterministic procedures of reads and writes
+    where later operations may depend on earlier reads (paper,
+    Section 2.1).
+
+    Write sets cannot be known in advance in general, so m-operations
+    carry a conservative [may_write] superset; the protocols classify
+    an m-operation as an update iff it may write (paper, Section 5). *)
+
+open Mmc_core
+
+type t =
+  | Done of Value.t  (** finish, returning a result *)
+  | Read of Types.obj_id * (Value.t -> t)
+  | Write of Types.obj_id * Value.t * t
+
+type mprog = {
+  prog : t;
+  may_write : Types.obj_id list;  (** conservative write set (sorted) *)
+  may_touch : Types.obj_id list;
+      (** conservative read-or-write set (sorted, ⊇ may_write) — what a
+          locking implementation must lock *)
+  label : string;
+}
+
+(** [may_touch] defaults to [may_write]; pass it explicitly for
+    programs that read objects they never write. *)
+val mprog :
+  ?label:string ->
+  ?may_touch:Types.obj_id list ->
+  may_write:Types.obj_id list ->
+  t ->
+  mprog
+
+(** A query in the protocol sense: cannot write at all. *)
+val is_query : mprog -> bool
+
+val return : Value.t -> t
+val read : Types.obj_id -> (Value.t -> t) -> t
+val write : Types.obj_id -> Value.t -> t -> t
+
+(** Sequence of blind writes, returning [Unit]. *)
+val write_all : (Types.obj_id * Value.t) list -> t
+
+(** Read several objects and pass the values, in order, to the
+    continuation. *)
+val read_all : Types.obj_id list -> (Value.t list -> t) -> t
+
+(** Run against read/write effect handlers. *)
+val run :
+  t -> read:(Types.obj_id -> Value.t) -> write:(Types.obj_id -> Value.t -> unit) -> Value.t
+
+(** Run against a plain value array (pure helper). *)
+val run_on_array : t -> Value.t array -> Value.t
+
+(** Writes on the read-free spine (tests only — continuations are
+    opaque). *)
+val static_writes : t -> Types.obj_id list

@@ -1,0 +1,124 @@
+(** Execution recorder: turns protocol runs into checkable histories.
+
+    Each completed m-operation is recorded with its operation list,
+    invocation/response times, the {e versions} it read and wrote, and
+    its start/finish timestamps (the protocol's version vectors).
+    Versions identify writers exactly — (namespace, object, version) is
+    written by at most one m-operation — so the reads-from relation of
+    the produced history is the true one, not a value-based guess.
+
+    The namespace disambiguates version counters that are not globally
+    agreed: the replicated protocols use a single namespace (atomic
+    broadcast makes versions global), while the unsynchronized baseline
+    uses one namespace per replica. *)
+
+open Mmc_core
+
+type record = {
+  proc : Types.proc_id;
+  inv : Types.time;
+  resp : Types.time;
+  ops : Op.t list;
+  reads : (Types.obj_id * int * int) list;
+      (** external reads: (object, version, namespace) *)
+  writes : (Types.obj_id * int * int) list;
+      (** final writes: (object, new version, namespace) *)
+  start_ts : Version_vector.t;
+  finish_ts : Version_vector.t;
+  sync : int option;
+      (** position in the synchronization (atomic broadcast) total
+          order, when the protocol has one — None for queries and for
+          stores without a global update order *)
+}
+
+type t = {
+  n_objects : int;
+  mutable records : record list;  (** reversed *)
+  mutable count : int;
+}
+
+let create ~n_objects = { n_objects; records = []; count = 0 }
+
+let add t r =
+  t.records <- r :: t.records;
+  t.count <- t.count + 1
+
+let count t = t.count
+
+exception Inconsistent_versions of string
+
+(** Build the history, the per-m-operation timestamp table for the
+    P 5.x validators, and the synchronization order (m-operation ids of
+    synchronized updates, in broadcast order) when the protocol
+    recorded one.  M-operations are numbered in invocation order; reads
+    of version 0 resolve to the initializer. *)
+let to_history_full t =
+  let records =
+    List.stable_sort
+      (fun a b -> compare (a.inv, a.resp) (b.inv, b.resp))
+      (List.rev t.records)
+  in
+  let n = List.length records in
+  let mops =
+    List.mapi
+      (fun i r -> Mop.make ~id:(i + 1) ~proc:r.proc ~ops:r.ops ~inv:r.inv ~resp:r.resp)
+      records
+  in
+  let writer_of : (int * Types.obj_id * int, Types.mop_id) Hashtbl.t =
+    Hashtbl.create (4 * n)
+  in
+  List.iteri
+    (fun i r ->
+      List.iter
+        (fun (x, ver, ns) ->
+          let key = (ns, x, ver) in
+          if Hashtbl.mem writer_of key then
+            raise
+              (Inconsistent_versions
+                 (Fmt.str "two writers of version %d of x%d (ns %d)" ver x ns));
+          Hashtbl.add writer_of key (i + 1))
+        r.writes)
+    records;
+  let rf =
+    List.concat
+      (List.mapi
+         (fun i r ->
+           List.map
+             (fun (x, ver, ns) ->
+               let writer =
+                 if ver = 0 then Types.init_mop
+                 else
+                   match Hashtbl.find_opt writer_of (ns, x, ver) with
+                   | Some w -> w
+                   | None ->
+                     raise
+                       (Inconsistent_versions
+                          (Fmt.str
+                             "m-operation %d read version %d of x%d (ns %d) \
+                              with no recorded writer"
+                             (i + 1) ver x ns))
+               in
+               { History.reader = i + 1; obj = x; writer })
+             r.reads)
+         records)
+  in
+  let history = History.create ~n_objects:t.n_objects mops ~rf in
+  let stamps : (Types.mop_id, Version_vector.stamped) Hashtbl.t =
+    Hashtbl.create n
+  in
+  List.iteri
+    (fun i r ->
+      Hashtbl.replace stamps (i + 1)
+        { Version_vector.start_ts = r.start_ts; finish_ts = r.finish_ts })
+    records;
+  let sync_order =
+    List.mapi (fun i r -> (i + 1, r.sync)) records
+    |> List.filter_map (fun (id, s) -> Option.map (fun s -> (s, id)) s)
+    |> List.sort compare
+    |> List.map snd
+  in
+  (history, stamps, sync_order)
+
+let to_history t =
+  let history, stamps, _ = to_history_full t in
+  (history, stamps)

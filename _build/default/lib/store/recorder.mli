@@ -1,0 +1,45 @@
+(** Execution recorder: turns protocol runs into checkable histories
+    with exact reads-from, via (namespace, object, version)
+    identification of writers. *)
+
+open Mmc_core
+
+type record = {
+  proc : Types.proc_id;
+  inv : Types.time;
+  resp : Types.time;
+  ops : Op.t list;
+  reads : (Types.obj_id * int * int) list;
+      (** external reads: (object, version, namespace) *)
+  writes : (Types.obj_id * int * int) list;
+      (** final writes: (object, new version, namespace) *)
+  start_ts : Version_vector.t;
+  finish_ts : Version_vector.t;
+  sync : int option;
+      (** position in the synchronization (atomic broadcast) total
+          order, when the protocol has one *)
+}
+
+type t
+
+val create : n_objects:int -> t
+val add : t -> record -> unit
+val count : t -> int
+
+exception Inconsistent_versions of string
+
+(** Build the history (m-operations numbered in invocation order;
+    version-0 reads resolve to the initializer) and the timestamp
+    table for the P 5.x validators. *)
+val to_history : t -> History.t * (Types.mop_id, Version_vector.stamped) Hashtbl.t
+
+(** Like {!to_history}, also returning the synchronization order: the
+    ids of synchronized updates in atomic-broadcast order.  Adding
+    these as edges to the m-SC base relation installs the
+    WW-constraint, enabling the polynomial Theorem 7 checker on
+    protocol traces. *)
+val to_history_full :
+  t ->
+  History.t
+  * (Types.mop_id, Version_vector.stamped) Hashtbl.t
+  * Types.mop_id list

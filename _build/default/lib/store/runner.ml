@@ -1,0 +1,119 @@
+(** Closed-loop workload runner.
+
+    Drives [n_procs] sequential clients against a store inside the
+    simulator: each client issues its next m-operation a think time
+    after the previous response (processes are sequential, so histories
+    are well-formed).  Runs to quiescence and returns the recorded
+    history, the timestamp table for the P 5.x validators, and
+    performance measurements. *)
+
+open Mmc_core
+open Mmc_sim
+open Mmc_broadcast
+
+type config = {
+  n_procs : int;
+  n_objects : int;
+  ops_per_proc : int;
+  think_lo : int;  (** >= 1 keeps process subhistories sequential *)
+  think_hi : int;
+  latency : Latency.t;
+  abcast_impl : Abcast.impl;
+  kind : Store.kind;
+  aw_delta : int;  (** delay bound assumed by the Aw store *)
+}
+
+let default_config =
+  {
+    n_procs = 4;
+    n_objects = 8;
+    ops_per_proc = 20;
+    think_lo = 1;
+    think_hi = 10;
+    latency = Latency.default;
+    abcast_impl = Abcast.Sequencer_impl;
+    kind = Store.Msc;
+    aw_delta = 15;
+  }
+
+type result = {
+  history : History.t;
+  stamps : (Types.mop_id, Version_vector.stamped) Hashtbl.t;
+  sync_order : Types.mop_id list;
+      (** synchronized updates in atomic-broadcast order (empty for
+          stores without a global update order) *)
+  duration : Types.time;  (** virtual time at quiescence *)
+  messages : int;
+  events : int;
+  completed : int;
+  query_latency : Stats.summary;
+  update_latency : Stats.summary;
+}
+
+let make_store cfg engine ~rng ~recorder =
+  match cfg.kind with
+  | Store.Msc ->
+    Msc_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+      ~latency:cfg.latency ~rng ~abcast_impl:cfg.abcast_impl ~recorder
+  | Store.Mlin ->
+    Mlin_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+      ~latency:cfg.latency ~rng ~abcast_impl:cfg.abcast_impl ~recorder
+  | Store.Central ->
+    Central_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+      ~latency:cfg.latency ~rng ~recorder
+  | Store.Local ->
+    Local_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects ~recorder
+  | Store.Causal ->
+    Causal_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+      ~latency:cfg.latency ~rng ~recorder
+  | Store.Lock ->
+    Lock_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+      ~latency:cfg.latency ~rng ~recorder
+  | Store.Aw ->
+    Aw_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+      ~latency:cfg.latency ~rng ~delta:cfg.aw_delta ~recorder
+
+(** [run ~seed cfg ~workload] — [workload rng ~proc ~step] produces the
+    [step]-th m-operation of client [proc]. *)
+let run ~seed cfg ~workload =
+  if cfg.think_lo < 1 then invalid_arg "Runner.run: think_lo must be >= 1";
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let recorder = Recorder.create ~n_objects:cfg.n_objects in
+  let store = make_store cfg engine ~rng:(Rng.split rng) ~recorder in
+  let query_stats = Stats.create () in
+  let update_stats = Stats.create () in
+  let completed = ref 0 in
+  let client_rngs = Array.init cfg.n_procs (fun _ -> Rng.split rng) in
+  let rec step proc i () =
+    if i < cfg.ops_per_proc then begin
+      let m = workload client_rngs.(proc) ~proc ~step:i in
+      let t0 = Engine.now engine in
+      let is_query = Prog.is_query m in
+      Store.invoke store ~proc m ~k:(fun _result ->
+          incr completed;
+          let lat = Engine.now engine - t0 in
+          Stats.add (if is_query then query_stats else update_stats) lat;
+          let think =
+            Rng.int_range client_rngs.(proc) ~lo:cfg.think_lo ~hi:cfg.think_hi
+          in
+          Engine.schedule engine ~delay:think (step proc (i + 1)))
+    end
+  in
+  for proc = 0 to cfg.n_procs - 1 do
+    let start = Rng.int_range client_rngs.(proc) ~lo:cfg.think_lo ~hi:cfg.think_hi in
+    Engine.schedule engine ~delay:start (step proc 0)
+  done;
+  Engine.run engine;
+  let history, stamps, sync_order = Recorder.to_history_full recorder in
+  {
+    history;
+    stamps;
+    sync_order;
+    duration = Engine.now engine;
+    messages = Store.messages_sent store;
+    events = Engine.executed engine;
+    completed = !completed;
+    query_latency = Stats.summarize query_stats;
+    update_latency = Stats.summarize update_stats;
+  }

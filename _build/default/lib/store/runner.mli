@@ -1,0 +1,44 @@
+(** Closed-loop workload runner: sequential clients driving a store to
+    quiescence; returns the recorded history, the timestamp table and
+    performance measurements. *)
+
+open Mmc_core
+
+type config = {
+  n_procs : int;
+  n_objects : int;
+  ops_per_proc : int;
+  think_lo : int;  (** >= 1 keeps process subhistories sequential *)
+  think_hi : int;
+  latency : Mmc_sim.Latency.t;
+  abcast_impl : Mmc_broadcast.Abcast.impl;
+  kind : Store.kind;
+  aw_delta : int;  (** delay bound assumed by the Aw store *)
+}
+
+val default_config : config
+
+type result = {
+  history : History.t;
+  stamps : (Types.mop_id, Version_vector.stamped) Hashtbl.t;
+  sync_order : Types.mop_id list;
+      (** synchronized updates in atomic-broadcast order (empty for
+          stores without a global update order) *)
+  duration : Types.time;  (** virtual time at quiescence *)
+  messages : int;
+  events : int;
+  completed : int;
+  query_latency : Mmc_sim.Stats.summary;
+  update_latency : Mmc_sim.Stats.summary;
+}
+
+val make_store :
+  config -> Mmc_sim.Engine.t -> rng:Mmc_sim.Rng.t -> recorder:Recorder.t -> Store.t
+
+(** [run ~seed cfg ~workload] — [workload rng ~proc ~step] produces the
+    [step]-th m-operation of client [proc]. *)
+val run :
+  seed:int ->
+  config ->
+  workload:(Mmc_sim.Rng.t -> proc:int -> step:int -> Prog.mprog) ->
+  result

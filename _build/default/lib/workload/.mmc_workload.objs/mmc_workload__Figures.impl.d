@@ -1,0 +1,1 @@
+lib/workload/figures.ml: History Mmc_core Mop Op Sequential Types Value

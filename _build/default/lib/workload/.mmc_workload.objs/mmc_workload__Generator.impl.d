@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Fun List Mmc_core Mmc_objects Mmc_sim Mmc_store Prog Rng Spec Value

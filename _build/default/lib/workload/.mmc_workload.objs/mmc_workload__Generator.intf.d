@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Mmc_sim Mmc_store Prog Rng Spec

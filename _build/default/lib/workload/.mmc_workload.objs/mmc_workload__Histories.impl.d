@@ -1,0 +1,1 @@
+lib/workload/histories.ml: Array History List Mmc_core Mmc_sim Mop Op Rng Types Value

@@ -1,0 +1,1 @@
+lib/workload/histories.mli: History Mmc_core

@@ -1,0 +1,73 @@
+(** The paper's worked example histories as data (experiments F1, F2).
+
+    Figure 1 is reconstructed from the relations the text states about
+    it (α ~P1 β, α ~rf δ, η ~rf δ, α ~t μ, η ~t β, η ~X β,
+    proc(α) = P1, objects(α) = {x, y, z}); Figures 2 and 3 are fully
+    specified in the paper. *)
+
+open Mmc_core
+
+let x = 0
+let y = 1
+let z = 2
+
+(** Figure 1: m-operations α β (process P1), η μ (P2), δ (P3) with the
+    relations stated in Section 2.  Returns the history together with
+    the named identifiers [(alpha, beta, eta, mu, delta)]. *)
+let figure1 () =
+  let alpha =
+    Mop.make ~id:1 ~proc:0
+      ~ops:[ Op.read z Value.initial; Op.write x (Value.Int 1); Op.write y (Value.Int 2) ]
+      ~inv:0 ~resp:10
+  in
+  let beta = Mop.make ~id:2 ~proc:0 ~ops:[ Op.read y (Value.Int 5) ] ~inv:20 ~resp:25 in
+  let eta = Mop.make ~id:3 ~proc:1 ~ops:[ Op.write y (Value.Int 5) ] ~inv:2 ~resp:12 in
+  let mu = Mop.make ~id:4 ~proc:1 ~ops:[ Op.write z (Value.Int 9) ] ~inv:30 ~resp:35 in
+  let delta =
+    Mop.make ~id:5 ~proc:2
+      ~ops:[ Op.read x (Value.Int 1); Op.read y (Value.Int 5) ]
+      ~inv:15 ~resp:28
+  in
+  let rf =
+    [
+      { History.reader = 1; obj = z; writer = Types.init_mop };
+      { History.reader = 2; obj = y; writer = 3 };
+      { History.reader = 5; obj = x; writer = 1 };
+      { History.reader = 5; obj = y; writer = 3 };
+    ]
+  in
+  let h = History.create ~n_objects:3 [ alpha; beta; eta; mu; delta ] ~rf in
+  (h, (1, 2, 3, 4, 5))
+
+(** Figure 2: history H1 under WW-constraint.
+
+    P1: α = r(x)0 w(y)2 then β = r(y)2;  P2: γ = w(x)1 then δ = w(y)3.
+    Returns the history, the identifiers [(alpha, beta, gamma, delta)],
+    and the WW synchronization edges (α before γ before δ) to be added
+    to the base relation. *)
+let figure2 () =
+  let alpha =
+    Mop.make ~id:1 ~proc:0
+      ~ops:[ Op.read x Value.initial; Op.write y (Value.Int 2) ]
+      ~inv:0 ~resp:10
+  in
+  let beta = Mop.make ~id:2 ~proc:0 ~ops:[ Op.read y (Value.Int 2) ] ~inv:20 ~resp:30 in
+  let gamma = Mop.make ~id:3 ~proc:1 ~ops:[ Op.write x (Value.Int 1) ] ~inv:5 ~resp:15 in
+  let delta = Mop.make ~id:4 ~proc:1 ~ops:[ Op.write y (Value.Int 3) ] ~inv:25 ~resp:35 in
+  let rf =
+    [
+      { History.reader = 1; obj = x; writer = Types.init_mop };
+      { History.reader = 2; obj = y; writer = 1 };
+    ]
+  in
+  let h = History.create ~n_objects:2 [ alpha; beta; gamma; delta ] ~rf in
+  let ww_edges = [ (1, 3); (3, 4) ] in
+  (h, (1, 2, 3, 4), ww_edges)
+
+(** Figure 3: the extension S1 = α γ δ β of H1 — sequential but not
+    legal (β reads y = 2 from α although δ overwrote y). *)
+let figure3_s1_order : Sequential.witness = [| Types.init_mop; 1; 3; 4; 2 |]
+
+(** A legal extension of H1 guided by the ~rw edge β ~rw δ:
+    α γ β δ. *)
+let figure2_legal_order : Sequential.witness = [| Types.init_mop; 1; 3; 2; 4 |]

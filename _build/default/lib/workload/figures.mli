@@ -1,0 +1,20 @@
+(** The paper's worked example histories as data (experiments F1, F2). *)
+
+open Mmc_core
+
+(** Figure 1 (reconstructed from the relations the text states):
+    returns the history and [(alpha, beta, eta, mu, delta)]. *)
+val figure1 : unit -> History.t * (int * int * int * int * int)
+
+(** Figure 2: H1 under the WW-constraint.  Returns the history,
+    [(alpha, beta, gamma, delta)], and the WW synchronization edges to
+    add to the base relation. *)
+val figure2 : unit -> History.t * (int * int * int * int) * (int * int) list
+
+(** Figure 3: the extension S1 = alpha gamma delta beta — sequential
+    but not legal. *)
+val figure3_s1_order : Sequential.witness
+
+(** A legal extension of H1 guided by the ~rw edge: alpha gamma beta
+    delta. *)
+val figure2_legal_order : Sequential.witness

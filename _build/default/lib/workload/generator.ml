@@ -1,0 +1,94 @@
+(** Random m-operation generators for the protocol runner. *)
+
+open Mmc_core
+open Mmc_sim
+open Mmc_store
+
+(** Build a straight-line program from a concrete operation plan. *)
+let prog_of_plan plan result =
+  List.fold_right
+    (fun op rest ->
+      match op with
+      | `R x -> Prog.Read (x, fun _ -> rest)
+      | `W (x, v) -> Prog.Write (x, v, rest))
+    plan (Prog.Done result)
+
+(** Mixed read/write workload per {!Spec.t}. *)
+let mixed (spec : Spec.t) rng ~proc ~step =
+  ignore proc;
+  ignore step;
+  let len = Rng.int_range rng ~lo:spec.Spec.mop_len_lo ~hi:spec.Spec.mop_len_hi in
+  let query = Rng.bernoulli rng ~p:spec.Spec.read_ratio in
+  let pick_obj () = Rng.zipf rng ~n:spec.Spec.n_objects ~s:spec.Spec.skew in
+  if query then begin
+    let xs =
+      List.init len (fun _ -> pick_obj ()) |> List.sort_uniq compare
+    in
+    let prog = Prog.read_all xs (fun vs -> Prog.return (Value.List vs)) in
+    (* Under conservative classification a read-only procedure whose
+       write set is not statically known must be declared as a
+       potential update (paper, Section 5) — it then loses the query
+       fast path. *)
+    let may_write = if spec.Spec.inflate_write_set then xs else [] in
+    Prog.mprog ~label:"q" ~may_touch:xs ~may_write prog
+  end
+  else begin
+    let plan =
+      List.init len (fun _ ->
+          let x = pick_obj () in
+          if Rng.bernoulli rng ~p:spec.Spec.write_prob then
+            `W (x, Value.Int (Rng.int rng ~bound:spec.Spec.value_range))
+          else `R x)
+    in
+    (* Guarantee at least one write so the classification matches. *)
+    let plan =
+      if List.exists (function `W _ -> true | `R _ -> false) plan then plan
+      else
+        `W (pick_obj (), Value.Int (Rng.int rng ~bound:spec.Spec.value_range))
+        :: plan
+    in
+    let touched =
+      List.map (function `R x -> x | `W (x, _) -> x) plan
+      |> List.sort_uniq compare
+    in
+    let written =
+      List.filter_map (function `W (x, _) -> Some x | `R _ -> None) plan
+      |> List.sort_uniq compare
+    in
+    let may_write = if spec.Spec.inflate_write_set then touched else written in
+    Prog.mprog ~label:"u" ~may_touch:touched ~may_write
+      (prog_of_plan plan Value.Unit)
+  end
+
+(** DCAS-heavy workload: processes contend with double
+    compare-and-swaps over pairs of registers, mixed with snapshots. *)
+let dcas_contention (spec : Spec.t) rng ~proc ~step =
+  ignore step;
+  let n = spec.Spec.n_objects in
+  if Rng.bernoulli rng ~p:spec.Spec.read_ratio then
+    Mmc_objects.Massign.snapshot
+      (List.sort_uniq compare [ Rng.int rng ~bound:n; Rng.int rng ~bound:n ])
+  else begin
+    let x1 = Rng.int rng ~bound:n in
+    let x2 = (x1 + 1 + Rng.int rng ~bound:(n - 1)) mod n in
+    (* Blind DCAS against freshly guessed old values; most fail under
+       contention, which is the interesting regime. *)
+    let guess () = Value.Int (Rng.int rng ~bound:4) in
+    Mmc_objects.Dcas.dcas x1 x2 ~old1:(guess ()) ~old2:(guess ())
+      ~new1:(Value.Int (100 + proc))
+      ~new2:(Value.Int (200 + proc))
+  end
+
+(** Bank workload: transfers between random accounts plus audits.  The
+    audit invariant (constant total) is what consistency buys. *)
+let bank ~initial_balance:_ (spec : Spec.t) rng ~proc ~step =
+  ignore proc;
+  ignore step;
+  let n = spec.Spec.n_objects in
+  if Rng.bernoulli rng ~p:spec.Spec.read_ratio then
+    Mmc_objects.Bank.audit (List.init n Fun.id)
+  else begin
+    let from_ = Rng.int rng ~bound:n in
+    let to_ = (from_ + 1 + Rng.int rng ~bound:(n - 1)) mod n in
+    Mmc_objects.Bank.transfer ~from_ ~to_ (1 + Rng.int rng ~bound:10)
+  end

@@ -1,0 +1,14 @@
+(** Random m-operation generators for the protocol runner. *)
+
+open Mmc_sim
+open Mmc_store
+
+(** Mixed read/write workload per the spec. *)
+val mixed : Spec.t -> Rng.t -> proc:int -> step:int -> Prog.mprog
+
+(** DCAS-heavy contention workload over register pairs. *)
+val dcas_contention : Spec.t -> Rng.t -> proc:int -> step:int -> Prog.mprog
+
+(** Bank workload: transfers between random accounts plus audits. *)
+val bank :
+  initial_balance:int -> Spec.t -> Rng.t -> proc:int -> step:int -> Prog.mprog

@@ -1,0 +1,241 @@
+(** Random history generators for the checker experiments.
+
+    Three families:
+    - {!legal_random}: consistent by construction (built from a random
+      legal sequential execution with concurrency layered on top) —
+      m-linearizable with the generation order as witness;
+    - {!random_register}: single-operation m-operations with an
+      arbitrarily chosen reads-from relation — a mixed bag of
+      linearizable and non-linearizable histories for the
+      checker-agreement property tests;
+    - {!random_multi}: multi-object m-operations with arbitrary
+      reads-from — the hard instances for the exhaustive checkers. *)
+
+open Mmc_core
+open Mmc_sim
+
+(* Lay out m-operation intervals so the history is well-formed (per
+   process sequential) and, if [respect_order] is set, so that the
+   generation order is a legal linearization (invocations
+   nondecreasing). *)
+let layout_times rng ~n_procs ~respect_order mops_draft =
+  let proc_last_resp = Array.make n_procs (-1) in
+  let clock = ref 0 in
+  List.map
+    (fun (proc, ops) ->
+      let lo =
+        if respect_order then max !clock (proc_last_resp.(proc) + 1)
+        else proc_last_resp.(proc) + 1
+      in
+      let inv = lo + Rng.int rng ~bound:5 in
+      let resp = inv + 1 + Rng.int rng ~bound:20 in
+      if respect_order then clock := max !clock inv;
+      proc_last_resp.(proc) <- resp;
+      (proc, ops, inv, resp))
+    mops_draft
+
+(** Consistent-by-construction history: executes randomly generated
+    m-operations sequentially against a value oracle, then assigns
+    overlapping real-time intervals whose order the serialization
+    respects.  Returns the history; the identity order is a valid
+    m-linearizability witness. *)
+let legal_random ~seed ~n_procs ~n_objects ~n_mops ~max_len ~read_ratio () =
+  let rng = Rng.create seed in
+  let store = Array.make n_objects Value.initial in
+  let drafts =
+    List.init n_mops (fun _ ->
+        let proc = Rng.int rng ~bound:n_procs in
+        let len = 1 + Rng.int rng ~bound:max_len in
+        let ops =
+          List.init len (fun _ ->
+              let x = Rng.int rng ~bound:n_objects in
+              if Rng.bernoulli rng ~p:read_ratio then Op.read x store.(x)
+              else begin
+                (* Small value range: collisions make value-based
+                   reads-from inference ambiguous on purpose; the
+                   explicit rf edges below stay exact. *)
+                let v = Value.Int (Rng.int rng ~bound:5) in
+                store.(x) <- v;
+                Op.write x v
+              end)
+        in
+        (proc, ops))
+  in
+  (* Re-execute sequentially to compute exact reads-from via version
+     tracking. *)
+  let writer = Array.make n_objects Types.init_mop in
+  let store2 = Array.make n_objects Value.initial in
+  let timed = layout_times rng ~n_procs ~respect_order:true drafts in
+  let rf = ref [] in
+  let mops =
+    List.mapi
+      (fun i (proc, ops, inv, resp) ->
+        let id = i + 1 in
+        let m = Mop.make ~id ~proc ~ops ~inv ~resp in
+        List.iter
+          (fun (x, v) ->
+            assert (Value.equal store2.(x) v);
+            rf := { History.reader = id; obj = x; writer = writer.(x) } :: !rf)
+          (Mop.external_reads m);
+        List.iter
+          (fun (x, v) ->
+            store2.(x) <- v;
+            writer.(x) <- id)
+          (Mop.final_writes m);
+        m)
+      timed
+  in
+  History.create ~n_objects mops ~rf:!rf
+
+(** Single-operation register history with arbitrary reads-from: every
+    m-operation is one read or one write; each read is wired to a
+    uniformly chosen writer of its object (or the initializer),
+    regardless of plausibility.  Such histories may or may not be
+    linearizable. *)
+let random_register ~seed ~n_procs ~n_objects ~n_mops ~write_ratio () =
+  let rng = Rng.create seed in
+  let drafts =
+    List.init n_mops (fun i ->
+        let proc = Rng.int rng ~bound:n_procs in
+        let x = Rng.int rng ~bound:n_objects in
+        if Rng.bernoulli rng ~p:write_ratio then
+          (* Unique value per write: id encodes it. *)
+          (proc, [ Op.write x (Value.Int (i + 1)) ])
+        else (proc, [ Op.read x Value.Unit ] (* value patched below *)))
+  in
+  let timed = layout_times rng ~n_procs ~respect_order:false drafts in
+  (* Writers per object, by prospective id. *)
+  let writers = Array.make n_objects [] in
+  List.iteri
+    (fun i (_, ops, _, _) ->
+      match ops with
+      | [ Op.Write (x, _) ] -> writers.(x) <- (i + 1) :: writers.(x)
+      | _ -> ())
+    timed;
+  let rf = ref [] in
+  let mops =
+    List.mapi
+      (fun i (proc, ops, inv, resp) ->
+        let id = i + 1 in
+        let ops =
+          match ops with
+          | [ Op.Read (x, _) ] ->
+            let choices = Types.init_mop :: writers.(x) in
+            let w = Rng.choose rng (List.filter (fun w -> w <> id) choices) in
+            let v = if w = Types.init_mop then Value.initial else Value.Int w in
+            rf := { History.reader = id; obj = x; writer = w } :: !rf;
+            [ Op.read x v ]
+          | ops -> ops
+        in
+        Mop.make ~id ~proc ~ops ~inv ~resp)
+      timed
+  in
+  History.create ~n_objects mops ~rf:!rf
+
+(** Multi-object m-operations with arbitrary reads-from (two-phase
+    generation: decide all write sets first, then wire each read to a
+    uniformly chosen final writer).  Reads precede writes inside each
+    m-operation so all reads are external. *)
+let random_multi ~seed ~n_procs ~n_objects ~n_mops ~max_reads ~max_writes () =
+  let rng = Rng.create seed in
+  (* Phase 1: write plans; value unique per (mop, object). *)
+  let write_plan =
+    Array.init (n_mops + 1) (fun id ->
+        if id = 0 then []
+        else begin
+          let k = Rng.int rng ~bound:(max_writes + 1) in
+          List.init k (fun _ -> Rng.int rng ~bound:n_objects)
+          |> List.sort_uniq compare
+          |> List.map (fun x -> (x, Value.Pair (Value.Int id, Value.Int x)))
+        end)
+  in
+  let writers = Array.make n_objects [ Types.init_mop ] in
+  Array.iteri
+    (fun id ws ->
+      if id > 0 then
+        List.iter (fun (x, _) -> writers.(x) <- id :: writers.(x)) ws)
+    write_plan;
+  (* Phase 2: reads wired anywhere. *)
+  let rf = ref [] in
+  let drafts =
+    List.init n_mops (fun i ->
+        let id = i + 1 in
+        let proc = Rng.int rng ~bound:n_procs in
+        let k = Rng.int rng ~bound:(max_reads + 1) in
+        let read_objs =
+          List.init k (fun _ -> Rng.int rng ~bound:n_objects)
+          |> List.sort_uniq compare
+        in
+        let reads =
+          List.filter_map
+            (fun x ->
+              match List.filter (fun w -> w <> id) writers.(x) with
+              | [] -> None
+              | choices ->
+                let w = Rng.choose rng choices in
+                let v =
+                  if w = Types.init_mop then Value.initial
+                  else List.assoc x write_plan.(w)
+                in
+                rf := { History.reader = id; obj = x; writer = w } :: !rf;
+                Some (Op.read x v))
+            read_objs
+        in
+        let writes = List.map (fun (x, v) -> Op.write x v) write_plan.(id) in
+        (proc, reads @ writes))
+  in
+  let timed = layout_times rng ~n_procs ~respect_order:false drafts in
+  let mops =
+    List.mapi
+      (fun i (proc, ops, inv, resp) -> Mop.make ~id:(i + 1) ~proc ~ops ~inv ~resp)
+      timed
+  in
+  History.create ~n_objects mops ~rf:!rf
+
+(** Redirect one reads-from edge of [h] to a different writer whose
+    final write to the same object has the same value (possible because
+    {!legal_random} draws values from a small range).  The result still
+    satisfies the history well-formedness checks but is only {e nearly}
+    consistent — these are the instances that drive the exhaustive
+    checkers into deep search (experiment T1).  Returns [None] when no
+    edge has an alternative writer. *)
+let perturb_rf ~seed h =
+  let rng = Rng.create seed in
+  let mops = History.mops h in
+  let value_of w x =
+    if w = Types.init_mop then Some Value.initial
+    else Mop.final_write_value mops.(w) x
+  in
+  let candidates =
+    List.concat_map
+      (fun (e : History.rf_edge) ->
+        match value_of e.History.writer e.History.obj with
+        | None -> []
+        | Some v ->
+          Array.to_list mops
+          |> List.filter_map (fun (m : Mop.t) ->
+                 let id = m.Mop.id in
+                 if
+                   id <> e.History.writer
+                   && id <> e.History.reader
+                   && value_of id e.History.obj = Some v
+                 then Some (e, id)
+                 else None))
+      (History.rf h)
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let edge, new_writer = Rng.choose rng candidates in
+    let rf =
+      List.map
+        (fun (e : History.rf_edge) ->
+          if e = edge then { e with History.writer = new_writer }
+          else e)
+        (History.rf h)
+    in
+    Some
+      (History.create
+         ~n_objects:(History.n_objects h)
+         (History.real_mops h)
+         ~rf)

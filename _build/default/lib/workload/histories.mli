@@ -1,0 +1,46 @@
+(** Random history generators for the checker experiments. *)
+
+open Mmc_core
+
+(** Consistent by construction: a random legal sequential execution
+    with overlapping intervals whose order the serialization respects —
+    m-linearizable with the identity order as witness. *)
+val legal_random :
+  seed:int ->
+  n_procs:int ->
+  n_objects:int ->
+  n_mops:int ->
+  max_len:int ->
+  read_ratio:float ->
+  unit ->
+  History.t
+
+(** Single-operation m-operations with an arbitrarily wired reads-from
+    relation — a mixed bag of linearizable and non-linearizable
+    register histories. *)
+val random_register :
+  seed:int ->
+  n_procs:int ->
+  n_objects:int ->
+  n_mops:int ->
+  write_ratio:float ->
+  unit ->
+  History.t
+
+(** Multi-object m-operations with arbitrary reads-from (reads precede
+    writes inside each m-operation, so all reads are external). *)
+val random_multi :
+  seed:int ->
+  n_procs:int ->
+  n_objects:int ->
+  n_mops:int ->
+  max_reads:int ->
+  max_writes:int ->
+  unit ->
+  History.t
+
+(** Redirect one reads-from edge to a different same-value writer:
+    still well-formed, only {e nearly} consistent — the hard instances
+    for the exhaustive checkers.  [None] when no edge has an
+    alternative writer. *)
+val perturb_rf : seed:int -> History.t -> History.t option

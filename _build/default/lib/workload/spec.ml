@@ -1,0 +1,38 @@
+(** Workload parameters for the protocol experiments. *)
+
+type t = {
+  n_objects : int;
+  read_ratio : float;  (** probability an m-operation is a query *)
+  mop_len_lo : int;  (** operations per m-operation, uniform range *)
+  mop_len_hi : int;
+  write_prob : float;
+      (** probability each operation inside an update m-operation is a
+          write (the rest are reads) *)
+  value_range : int;  (** written integer values drawn from [0, range) *)
+  inflate_write_set : bool;
+      (** declare [may_write] as {e all} objects the m-operation touches
+          even if it happens to write none — measures the cost of the
+          paper's conservative update classification *)
+  skew : float;
+      (** Zipf exponent for object selection: 0 = uniform, larger
+          values concentrate traffic on hot objects *)
+}
+
+let default =
+  {
+    n_objects = 8;
+    read_ratio = 0.5;
+    mop_len_lo = 1;
+    mop_len_hi = 4;
+    write_prob = 0.6;
+    value_range = 1000;
+    inflate_write_set = false;
+    skew = 0.0;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "objects=%d read_ratio=%.2f len=[%d,%d] write_prob=%.2f inflate=%b \
+     skew=%.2f"
+    t.n_objects t.read_ratio t.mop_len_lo t.mop_len_hi t.write_prob
+    t.inflate_write_set t.skew

@@ -1,0 +1,20 @@
+(** Workload parameters for the protocol experiments. *)
+
+type t = {
+  n_objects : int;
+  read_ratio : float;  (** probability an m-operation is a query *)
+  mop_len_lo : int;  (** operations per m-operation, uniform range *)
+  mop_len_hi : int;
+  write_prob : float;
+      (** probability an operation inside an update is a write *)
+  value_range : int;  (** written integers drawn from [0, range) *)
+  inflate_write_set : bool;
+      (** conservative classification: declare [may_write] = touched
+          objects even for read-only procedures (experiment C1) *)
+  skew : float;
+      (** Zipf exponent for object selection: 0 = uniform, larger
+          values concentrate traffic on hot objects *)
+}
+
+val default : t
+val pp : Format.formatter -> t -> unit

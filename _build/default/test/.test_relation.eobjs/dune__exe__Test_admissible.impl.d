@@ -1,0 +1,1 @@
+test/test_admissible.ml: Admissible Alcotest Gen History List Mmc_core Mmc_workload Mop Op QCheck QCheck_alcotest Sequential Types Value

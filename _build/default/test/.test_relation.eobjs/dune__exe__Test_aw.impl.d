@@ -1,0 +1,1 @@
+test/test_aw.ml: Admissible Alcotest Fmt History Mmc_core Mmc_sim Mmc_store Mmc_workload Runner Store

@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Abcast Alcotest Array Engine Fmt Fun Gen Latency List Mmc_broadcast Mmc_sim QCheck QCheck_alcotest Rng Select

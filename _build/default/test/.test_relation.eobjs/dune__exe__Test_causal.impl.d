@@ -1,0 +1,1 @@
+test/test_causal.ml: Admissible Alcotest Check_causal Fmt History Mmc_core Mmc_sim Mmc_store Mmc_workload Mop Op Runner Store Types Value

@@ -1,0 +1,1 @@
+test/test_check_constrained.ml: Admissible Alcotest Check_constrained Constraints Gen History Legality List Mmc_core Mmc_workload Mop Op QCheck QCheck_alcotest Relation Sequential Value

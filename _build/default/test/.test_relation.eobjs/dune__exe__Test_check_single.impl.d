@@ -1,0 +1,1 @@
+test/test_check_single.ml: Admissible Alcotest Check_single Gen History List Mmc_core Mmc_workload Mop Op QCheck QCheck_alcotest Sequential Types Value

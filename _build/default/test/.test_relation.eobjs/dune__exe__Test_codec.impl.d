@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Codec History List Mmc_core Mmc_workload Mop Op Types Value

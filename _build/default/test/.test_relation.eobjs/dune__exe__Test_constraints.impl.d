@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Constraints Gen History Legality List Mmc_core Mmc_workload Mop Op QCheck QCheck_alcotest Relation Value

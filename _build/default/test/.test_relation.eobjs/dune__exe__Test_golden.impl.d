@@ -1,0 +1,1 @@
+test/test_golden.ml: Admissible Alcotest Check_causal Codec Filename Fmt History List Mmc_core Sys

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest History List Mmc_core Mop Op Relation Types Value

@@ -1,0 +1,1 @@
+test/test_legality.ml: Alcotest Array Gen History Legality List Mmc_core Mmc_sim Mmc_workload Mop Op QCheck QCheck_alcotest Relation Sequential Types Value

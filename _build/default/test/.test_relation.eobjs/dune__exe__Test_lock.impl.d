@@ -1,0 +1,1 @@
+test/test_lock.ml: Admissible Alcotest Fmt Fun History List Lock_store Mmc_core Mmc_objects Mmc_sim Mmc_store Mmc_workload Prog Recorder Runner Store Value

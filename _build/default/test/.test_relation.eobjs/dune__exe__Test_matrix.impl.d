@@ -1,0 +1,1 @@
+test/test_matrix.ml: Abcast Admissible Alcotest Check_causal History List Mmc_broadcast Mmc_core Mmc_sim Mmc_store Mmc_workload QCheck QCheck_alcotest Runner Store

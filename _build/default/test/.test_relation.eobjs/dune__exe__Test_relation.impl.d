@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array List Mmc_core QCheck QCheck_alcotest Relation

@@ -1,0 +1,1 @@
+test/test_serializability.ml: Admissible Alcotest Array Hashtbl History List Mmc_core Mmc_sim Mop Op QCheck QCheck_alcotest Schedule Serializability Value

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Fifo_channel Fun Heap Latency List Mmc_sim Network QCheck QCheck_alcotest Rng Stats

@@ -1,0 +1,1 @@
+test/test_smallbank.ml: Admissible Alcotest Array Fmt Fun History List Lock_store Massign Mlin_store Mmc_broadcast Mmc_core Mmc_objects Mmc_sim Mmc_store Prog Recorder Smallbank Store String Value

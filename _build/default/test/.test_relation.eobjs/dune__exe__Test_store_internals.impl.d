@@ -1,0 +1,1 @@
+test/test_store_internals.ml: Alcotest Apply Array Dot Fmt History List Mmc_core Mmc_store Mmc_workload Mop Op Prog Recorder String Value

@@ -1,0 +1,1 @@
+test/test_value_op_mop.ml: Alcotest Fmt List Mmc_core Mop Op Types Value

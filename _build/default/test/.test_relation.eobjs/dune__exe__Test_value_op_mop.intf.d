@@ -1,0 +1,1 @@
+test/test_value_op_mop.mli:

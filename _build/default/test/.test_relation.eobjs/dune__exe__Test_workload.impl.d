@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fmt Fun History List Mmc_core Mmc_sim Mmc_store Mmc_workload Mop Prog Rng Sequential Value

@@ -1,0 +1,240 @@
+(* Tests for the exhaustive admissibility checkers (Theorems 1 and 2):
+   m-sequential consistency, m-normality, m-linearizability, and the
+   strict inclusions between them. *)
+
+open Mmc_core
+
+let w x v = Op.write x (Value.Int v)
+let r x v = Op.read x (Value.Int v)
+let r0 x = Op.read x Value.initial
+
+let mop id proc ops inv resp = Mop.make ~id ~proc ~ops ~inv ~resp
+
+let is_admissible = function
+  | Admissible.Admissible _ -> true
+  | Admissible.Not_admissible -> false
+  | Admissible.Aborted -> Alcotest.fail "checker aborted"
+
+let witness_of h flavour =
+  match Admissible.check h flavour with
+  | Admissible.Admissible wt -> wt
+  | _ -> Alcotest.fail "expected admissible"
+
+(* Dekker-style: each process writes its object then reads the other's
+   as still 0.  Sequentially consistent memory forbids both reads
+   returning 0. *)
+let dekker () =
+  History.create ~n_objects:2
+    [
+      mop 1 0 [ w 0 1 ] 0 5;
+      mop 2 0 [ r0 1 ] 10 15;
+      mop 3 1 [ w 1 1 ] 0 5;
+      mop 4 1 [ r0 0 ] 10 15;
+    ]
+    ~rf:
+      [
+        { History.reader = 2; obj = 1; writer = Types.init_mop };
+        { History.reader = 4; obj = 0; writer = Types.init_mop };
+      ]
+
+let test_dekker_not_msc () =
+  Alcotest.(check bool) "not m-SC" false
+    (is_admissible (Admissible.check (dekker ()) History.Msc))
+
+(* Stale read after a completed write: m-SC but not m-normal (hence not
+   m-linearizable). *)
+let stale_read () =
+  History.create ~n_objects:1
+    [ mop 1 0 [ w 0 1 ] 0 5; mop 2 1 [ r0 0 ] 10 15 ]
+    ~rf:[ { History.reader = 2; obj = 0; writer = Types.init_mop } ]
+
+let test_stale_read_separates_msc_mnorm () =
+  let h = stale_read () in
+  Alcotest.(check bool) "m-SC" true (is_admissible (Admissible.check h History.Msc));
+  Alcotest.(check bool) "not m-normal" false
+    (is_admissible (Admissible.check h History.Mnorm));
+  Alcotest.(check bool) "not m-linearizable" false
+    (is_admissible (Admissible.check h History.Mlin))
+
+(* m-normal but not m-linearizable: the real-time edge between
+   operations on disjoint objects (c -> b) is what breaks
+   admissibility; m-normality does not include it.
+
+   P0: a = w(x)1  [0,100]
+   P1: c = r(x)1  [10,20]   (reads from a)
+   P2: b = w(y)5  [25,28]   (c <t b, disjoint objects)
+   P3: f = r(y)5 r(x)0 [15,50]  (reads y from b, stale x) *)
+let norm_not_lin () =
+  History.create ~n_objects:2
+    [
+      mop 1 0 [ w 0 1 ] 0 100;
+      mop 2 1 [ r 0 1 ] 10 20;
+      mop 3 2 [ w 1 5 ] 25 28;
+      mop 4 3 [ r 1 5; r0 0 ] 15 50;
+    ]
+    ~rf:
+      [
+        { History.reader = 2; obj = 0; writer = 1 };
+        { History.reader = 4; obj = 1; writer = 3 };
+        { History.reader = 4; obj = 0; writer = Types.init_mop };
+      ]
+
+let test_norm_not_lin () =
+  let h = norm_not_lin () in
+  Alcotest.(check bool) "m-SC" true (is_admissible (Admissible.check h History.Msc));
+  Alcotest.(check bool) "m-normal" true
+    (is_admissible (Admissible.check h History.Mnorm));
+  Alcotest.(check bool) "not m-linearizable" false
+    (is_admissible (Admissible.check h History.Mlin))
+
+(* A fully consistent multi-object interleaving: DCAS-shaped history. *)
+let test_dcas_history_linearizable () =
+  (* P0 performs a successful DCAS over (x,y); P1 reads both after. *)
+  let h =
+    History.create ~n_objects:2
+      [
+        mop 1 0 [ r0 0; r0 1; w 0 1; w 1 2 ] 0 10;
+        mop 2 1 [ r 0 1; r 1 2 ] 20 30;
+      ]
+      ~rf:
+        [
+          { History.reader = 1; obj = 0; writer = Types.init_mop };
+          { History.reader = 1; obj = 1; writer = Types.init_mop };
+          { History.reader = 2; obj = 0; writer = 1 };
+          { History.reader = 2; obj = 1; writer = 1 };
+        ]
+  in
+  Alcotest.(check bool) "m-linearizable" true
+    (is_admissible (Admissible.check h History.Mlin))
+
+(* Torn multi-object read: P1's snapshot observes x after P0's second
+   m-operation but y before it — inconsistent cut, not m-SC. *)
+let test_torn_snapshot_not_msc () =
+  let h =
+    History.create ~n_objects:2
+      [
+        (* P0: two m-operations, each writing x and y together. *)
+        mop 1 0 [ w 0 1; w 1 1 ] 0 5;
+        mop 2 0 [ w 0 2; w 1 2 ] 10 15;
+        (* P1: snapshot reads x=2 (second) but y=1 (first). *)
+        mop 3 1 [ r 0 2; r 1 1 ] 20 30;
+      ]
+      ~rf:
+        [
+          { History.reader = 3; obj = 0; writer = 2 };
+          { History.reader = 3; obj = 1; writer = 1 };
+        ]
+  in
+  Alcotest.(check bool) "not m-SC" false
+    (is_admissible (Admissible.check h History.Msc))
+
+let test_witness_validates () =
+  let h = norm_not_lin () in
+  let wt = witness_of h History.Mnorm in
+  Alcotest.(check bool) "witness validates" true
+    (Sequential.validate h (History.base_relation h History.Mnorm) wt)
+
+let test_empty_history () =
+  let h = History.create ~n_objects:2 [] ~rf:[] in
+  Alcotest.(check bool) "empty admissible" true
+    (is_admissible (Admissible.check h History.Mlin))
+
+(* Properties. *)
+
+let flavours = [ History.Msc; History.Mnorm; History.Mlin ]
+
+let prop_legal_random_all_flavours =
+  QCheck.Test.make ~name:"consistent-by-construction histories pass all checkers"
+    ~count:60
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let h =
+        Mmc_workload.Histories.legal_random ~seed ~n_procs:3 ~n_objects:4
+          ~n_mops:9 ~max_len:3 ~read_ratio:0.5 ()
+      in
+      List.for_all
+        (fun f ->
+          match Admissible.check h f with
+          | Admissible.Admissible wt ->
+            Sequential.validate h (History.base_relation h f) wt
+          | Admissible.Not_admissible | Admissible.Aborted -> false)
+        flavours)
+
+let prop_inclusion_chain =
+  QCheck.Test.make
+    ~name:"m-lin => m-normal => m-SC on arbitrary histories" ~count:120
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let h =
+        Mmc_workload.Histories.random_multi ~seed ~n_procs:3 ~n_objects:3
+          ~n_mops:6 ~max_reads:2 ~max_writes:2 ()
+      in
+      let verdict f =
+        match Admissible.check h f with
+        | Admissible.Admissible _ -> true
+        | Admissible.Not_admissible -> false
+        | Admissible.Aborted -> QCheck.assume_fail ()
+      in
+      let lin = verdict History.Mlin
+      and norm = verdict History.Mnorm
+      and sc = verdict History.Msc in
+      (not lin || norm) && (not norm || sc))
+
+let prop_frontier_agreement =
+  QCheck.Test.make ~name:"both search frontiers give the same verdict"
+    ~count:120
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let h =
+        Mmc_workload.Histories.random_register ~seed ~n_procs:3 ~n_objects:2
+          ~n_mops:8 ~write_ratio:0.5 ()
+      in
+      let v frontier =
+        match Admissible.check ~frontier h History.Msc with
+        | Admissible.Admissible _ -> true
+        | Admissible.Not_admissible -> false
+        | Admissible.Aborted -> QCheck.assume_fail ()
+      in
+      v Admissible.By_id = v Admissible.By_inv)
+
+let prop_witness_always_validates =
+  QCheck.Test.make ~name:"returned witnesses validate" ~count:120
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let h =
+        Mmc_workload.Histories.random_register ~seed ~n_procs:4 ~n_objects:2
+          ~n_mops:8 ~write_ratio:0.5 ()
+      in
+      List.for_all
+        (fun f ->
+          match Admissible.check h f with
+          | Admissible.Admissible wt ->
+            Sequential.validate h (History.base_relation h f) wt
+          | Admissible.Not_admissible -> true
+          | Admissible.Aborted -> QCheck.assume_fail ())
+        flavours)
+
+let () =
+  Alcotest.run "admissible"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "dekker not m-SC" `Quick test_dekker_not_msc;
+          Alcotest.test_case "stale read: m-SC only" `Quick
+            test_stale_read_separates_msc_mnorm;
+          Alcotest.test_case "m-normal not m-linearizable" `Quick test_norm_not_lin;
+          Alcotest.test_case "DCAS history linearizable" `Quick
+            test_dcas_history_linearizable;
+          Alcotest.test_case "torn snapshot" `Quick test_torn_snapshot_not_msc;
+          Alcotest.test_case "witness validates" `Quick test_witness_validates;
+          Alcotest.test_case "empty history" `Quick test_empty_history;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_legal_random_all_flavours;
+            prop_inclusion_chain;
+            prop_frontier_agreement;
+            prop_witness_always_validates;
+          ] );
+    ]

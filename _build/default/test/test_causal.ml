@@ -1,0 +1,176 @@
+(* Causal consistency (the weaker condition of Raynal et al., paper
+   Section 1): checker semantics on classic separating histories, and
+   end-to-end validation of the causal store. *)
+
+open Mmc_core
+open Mmc_store
+
+let w x v = Op.write x (Value.Int v)
+let r x v = Op.read x (Value.Int v)
+let r0 x = Op.read x Value.initial
+
+let mop id proc ops inv resp = Mop.make ~id ~proc ~ops ~inv ~resp
+
+let is_causal h =
+  match Check_causal.check h with
+  | Check_causal.Causal _ -> true
+  | Check_causal.Not_causal _ -> false
+  | Check_causal.Aborted -> Alcotest.fail "causal checker aborted"
+
+let is_msc h =
+  match Admissible.check h History.Msc with
+  | Admissible.Admissible _ -> true
+  | Admissible.Not_admissible -> false
+  | Admissible.Aborted -> Alcotest.fail "checker aborted"
+
+(* Two concurrent writes observed in opposite orders by two readers:
+   causally consistent (the writes are concurrent) but not
+   m-sequentially consistent. *)
+let concurrent_writes_opposite_orders () =
+  History.create ~n_objects:1
+    [
+      mop 1 0 [ w 0 1 ] 0 5;
+      mop 2 1 [ w 0 2 ] 0 5;
+      mop 3 2 [ r 0 1 ] 10 15;
+      mop 4 2 [ r 0 2 ] 20 25;
+      mop 5 3 [ r 0 2 ] 10 15;
+      mop 6 3 [ r 0 1 ] 20 25;
+    ]
+    ~rf:
+      [
+        { History.reader = 3; obj = 0; writer = 1 };
+        { History.reader = 4; obj = 0; writer = 2 };
+        { History.reader = 5; obj = 0; writer = 2 };
+        { History.reader = 6; obj = 0; writer = 1 };
+      ]
+
+let test_causal_not_msc () =
+  let h = concurrent_writes_opposite_orders () in
+  Alcotest.(check bool) "causal" true (is_causal h);
+  Alcotest.(check bool) "not m-SC" false (is_msc h)
+
+(* Causally ordered writes observed in reverse: not even causal. *)
+let test_causal_violation () =
+  let h =
+    History.create ~n_objects:1
+      [
+        mop 1 0 [ w 0 1 ] 0 5;
+        mop 2 0 [ w 0 2 ] 10 15;
+        mop 3 1 [ r 0 2 ] 20 25;
+        mop 4 1 [ r 0 1 ] 30 35;
+      ]
+      ~rf:
+        [
+          { History.reader = 3; obj = 0; writer = 2 };
+          { History.reader = 4; obj = 0; writer = 1 };
+        ]
+  in
+  Alcotest.(check bool) "not causal" false (is_causal h)
+
+let test_dekker_causal () =
+  (* Dekker outcome: forbidden by m-SC, allowed by causal
+     consistency. *)
+  let h =
+    History.create ~n_objects:2
+      [
+        mop 1 0 [ w 0 1 ] 0 5;
+        mop 2 0 [ r0 1 ] 10 15;
+        mop 3 1 [ w 1 1 ] 0 5;
+        mop 4 1 [ r0 0 ] 10 15;
+      ]
+      ~rf:
+        [
+          { History.reader = 2; obj = 1; writer = Types.init_mop };
+          { History.reader = 4; obj = 0; writer = Types.init_mop };
+        ]
+  in
+  Alcotest.(check bool) "causal" true (is_causal h);
+  Alcotest.(check bool) "not m-SC" false (is_msc h)
+
+let test_msc_implies_causal () =
+  (* m-SC histories are causally consistent (any global witness also
+     serializes each process's view). *)
+  for seed = 0 to 9 do
+    let h =
+      Mmc_workload.Histories.legal_random ~seed ~n_procs:3 ~n_objects:3
+        ~n_mops:10 ~max_len:3 ~read_ratio:0.5 ()
+    in
+    Alcotest.(check bool) (Fmt.str "causal (seed %d)" seed) true (is_causal h)
+  done
+
+(* --- the causal store --- *)
+
+let spec = { Mmc_workload.Spec.default with n_objects = 3; read_ratio = 0.5 }
+
+let run_causal ~seed =
+  let cfg =
+    {
+      Runner.default_config with
+      n_procs = 3;
+      n_objects = 3;
+      ops_per_proc = 12;
+      kind = Store.Causal;
+    }
+  in
+  Runner.run ~seed cfg ~workload:(Mmc_workload.Generator.mixed spec)
+
+let test_causal_store_causal () =
+  for seed = 0 to 7 do
+    let res = run_causal ~seed in
+    Alcotest.(check int)
+      (Fmt.str "completed (seed %d)" seed)
+      36 res.Runner.completed;
+    Alcotest.(check bool)
+      (Fmt.str "causally consistent (seed %d)" seed)
+      true
+      (is_causal res.Runner.history)
+  done
+
+let test_causal_store_weaker_than_msc () =
+  (* Under write contention some run must violate m-SC — otherwise the
+     causal store would be an m-SC protocol for free. *)
+  let contended = { spec with read_ratio = 0.4; n_objects = 2 } in
+  let violated = ref false in
+  for seed = 0 to 14 do
+    let cfg =
+      {
+        Runner.default_config with
+        n_procs = 3;
+        n_objects = 2;
+        ops_per_proc = 10;
+        kind = Store.Causal;
+      }
+    in
+    let res =
+      Runner.run ~seed cfg ~workload:(Mmc_workload.Generator.mixed contended)
+    in
+    if not (is_msc res.Runner.history) then violated := true
+  done;
+  Alcotest.(check bool) "some run violates m-SC" true !violated
+
+let test_causal_store_local_updates () =
+  let res = run_causal ~seed:3 in
+  (* Updates apply locally: zero response latency, like queries. *)
+  Alcotest.(check int) "update p99" 0 res.Runner.update_latency.Mmc_sim.Stats.p99;
+  Alcotest.(check int) "query p99" 0 res.Runner.query_latency.Mmc_sim.Stats.p99;
+  (* But propagation still costs n-1 messages per update. *)
+  Alcotest.(check bool) "messages flow" true (res.Runner.messages > 0)
+
+let () =
+  Alcotest.run "causal"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "causal not m-SC" `Quick test_causal_not_msc;
+          Alcotest.test_case "causal violation" `Quick test_causal_violation;
+          Alcotest.test_case "dekker" `Quick test_dekker_causal;
+          Alcotest.test_case "m-SC implies causal" `Quick test_msc_implies_causal;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "store is causal" `Quick test_causal_store_causal;
+          Alcotest.test_case "store weaker than m-SC" `Quick
+            test_causal_store_weaker_than_msc;
+          Alcotest.test_case "local updates" `Quick test_causal_store_local_updates;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for the polynomial single-object linearizability checker (the
+   Misra contrast class of Section 3): agreement with the exhaustive
+   m-linearizability checker on single-operation register histories. *)
+
+open Mmc_core
+
+let w x v = Op.write x (Value.Int v)
+let r x v = Op.read x (Value.Int v)
+let r0 x = Op.read x Value.initial
+
+let mop id proc ops inv resp = Mop.make ~id ~proc ~ops ~inv ~resp
+
+let test_simple_linearizable () =
+  let h =
+    History.create ~n_objects:1
+      [ mop 1 0 [ w 0 1 ] 0 5; mop 2 1 [ r 0 1 ] 10 15 ]
+      ~rf:[ { History.reader = 2; obj = 0; writer = 1 } ]
+  in
+  match Check_single.check h with
+  | Check_single.Linearizable wt ->
+    Alcotest.(check bool) "witness validates" true
+      (Sequential.validate h (History.base_relation h History.Mlin) wt)
+  | _ -> Alcotest.fail "expected linearizable"
+
+let test_stale_read_rejected () =
+  let h =
+    History.create ~n_objects:1
+      [ mop 1 0 [ w 0 1 ] 0 5; mop 2 1 [ r0 0 ] 10 15 ]
+      ~rf:[ { History.reader = 2; obj = 0; writer = Types.init_mop } ]
+  in
+  Alcotest.(check bool) "not linearizable" true
+    (Check_single.check h = Check_single.Not_linearizable)
+
+let test_new_old_inversion_rejected () =
+  (* Two overlapping writes, then two sequential reads observing them
+     in opposite orders: classic non-linearizable pattern. *)
+  let h =
+    History.create ~n_objects:1
+      [
+        mop 1 0 [ w 0 1 ] 0 20;
+        mop 2 1 [ w 0 2 ] 0 20;
+        mop 3 2 [ r 0 1 ] 30 35;
+        mop 4 2 [ r 0 2 ] 40 45;
+        mop 5 3 [ r 0 2 ] 30 35;
+        mop 6 3 [ r 0 1 ] 40 45;
+      ]
+      ~rf:
+        [
+          { History.reader = 3; obj = 0; writer = 1 };
+          { History.reader = 4; obj = 0; writer = 2 };
+          { History.reader = 5; obj = 0; writer = 2 };
+          { History.reader = 6; obj = 0; writer = 1 };
+        ]
+  in
+  Alcotest.(check bool) "not linearizable" true
+    (Check_single.check h = Check_single.Not_linearizable)
+
+let test_concurrent_reads_ok () =
+  (* Two overlapping writes; a read concurrent with both observes w2,
+     later reads observe w1: linearizable as w2, r7, w1, r3..r6. *)
+  let h =
+    History.create ~n_objects:1
+      [
+        mop 1 0 [ w 0 1 ] 0 20;
+        mop 2 1 [ w 0 2 ] 0 20;
+        mop 3 2 [ r 0 1 ] 30 35;
+        mop 4 2 [ r 0 1 ] 40 45;
+        mop 5 3 [ r 0 1 ] 30 35;
+        mop 6 3 [ r 0 1 ] 40 45;
+        mop 7 4 [ r 0 2 ] 5 8;
+      ]
+      ~rf:
+        [
+          { History.reader = 3; obj = 0; writer = 1 };
+          { History.reader = 4; obj = 0; writer = 1 };
+          { History.reader = 5; obj = 0; writer = 1 };
+          { History.reader = 6; obj = 0; writer = 1 };
+          { History.reader = 7; obj = 0; writer = 2 };
+        ]
+  in
+  Alcotest.(check bool) "linearizable" true
+    (match Check_single.check h with Check_single.Linearizable _ -> true | _ -> false)
+
+let test_not_single_object () =
+  let h =
+    History.create ~n_objects:2
+      [ mop 1 0 [ w 0 1; w 1 2 ] 0 5 ]
+      ~rf:[]
+  in
+  Alcotest.(check bool) "outside class" true
+    (Check_single.check h = Check_single.Not_single_object)
+
+let prop_agrees_with_exhaustive =
+  QCheck.Test.make
+    ~name:"polynomial single-object checker agrees with exhaustive m-lin"
+    ~count:300
+    QCheck.(make Gen.(int_bound 10_000_000))
+    (fun seed ->
+      let h =
+        Mmc_workload.Histories.random_register ~seed ~n_procs:4 ~n_objects:2
+          ~n_mops:9 ~write_ratio:0.5 ()
+      in
+      let fast =
+        match Check_single.check h with
+        | Check_single.Linearizable _ -> true
+        | Check_single.Not_linearizable -> false
+        | Check_single.Not_single_object -> QCheck.assume_fail ()
+      in
+      let slow =
+        match Admissible.check h History.Mlin with
+        | Admissible.Admissible _ -> true
+        | Admissible.Not_admissible -> false
+        | Admissible.Aborted -> QCheck.assume_fail ()
+      in
+      fast = slow)
+
+let prop_accepts_protocol_histories =
+  QCheck.Test.make
+    ~name:"single-op histories from consistent generator accepted" ~count:60
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let h =
+        Mmc_workload.Histories.legal_random ~seed ~n_procs:4 ~n_objects:3
+          ~n_mops:10 ~max_len:1 ~read_ratio:0.5 ()
+      in
+      match Check_single.check h with
+      | Check_single.Linearizable _ -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "check-single"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "simple linearizable" `Quick test_simple_linearizable;
+          Alcotest.test_case "stale read" `Quick test_stale_read_rejected;
+          Alcotest.test_case "new-old inversion" `Quick test_new_old_inversion_rejected;
+          Alcotest.test_case "concurrent reads" `Quick test_concurrent_reads_ok;
+          Alcotest.test_case "outside class" `Quick test_not_single_object;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_agrees_with_exhaustive; prop_accepts_protocol_histories ] );
+    ]

@@ -1,0 +1,113 @@
+(* Round-trip tests for the text history format. *)
+
+open Mmc_core
+
+let roundtrip h =
+  let h' = Codec.of_string (Codec.to_string h) in
+  Alcotest.(check int) "n_objects" (History.n_objects h) (History.n_objects h');
+  Alcotest.(check int) "n_mops" (History.n_mops h) (History.n_mops h');
+  List.iter2
+    (fun (a : Mop.t) (b : Mop.t) ->
+      Alcotest.(check bool) "mop equal" true (Mop.equal a b))
+    (History.real_mops h) (History.real_mops h');
+  Alcotest.(check int) "rf size" (List.length (History.rf h))
+    (List.length (History.rf h'));
+  List.iter
+    (fun (e : History.rf_edge) ->
+      Alcotest.(check bool) "rf edge preserved" true
+        (List.exists (History.equal_rf_edge e) (History.rf h')))
+    (History.rf h)
+
+let test_simple_roundtrip () =
+  let mops =
+    [
+      Mop.make ~id:1 ~proc:0
+        ~ops:[ Op.write 0 (Value.Int 5); Op.read 1 Value.initial ]
+        ~inv:0 ~resp:10;
+      Mop.make ~id:2 ~proc:1 ~ops:[ Op.read 0 (Value.Int 5) ] ~inv:20 ~resp:30;
+    ]
+  in
+  let rf =
+    [
+      { History.reader = 1; obj = 1; writer = Types.init_mop };
+      { History.reader = 2; obj = 0; writer = 1 };
+    ]
+  in
+  roundtrip (History.create ~n_objects:2 mops ~rf)
+
+let test_value_kinds () =
+  let mops =
+    [
+      Mop.make ~id:1 ~proc:0
+        ~ops:
+          [
+            Op.write 0 (Value.Bool true);
+            Op.write 1 (Value.Str "hello");
+            Op.write 2 Value.Unit;
+            Op.write 3 (Value.Int (-42));
+          ]
+        ~inv:0 ~resp:10;
+    ]
+  in
+  roundtrip (History.create ~n_objects:4 mops ~rf:[])
+
+let test_generated_families () =
+  for seed = 0 to 9 do
+    roundtrip
+      (Mmc_workload.Histories.random_register ~seed ~n_procs:3 ~n_objects:2
+         ~n_mops:10 ~write_ratio:0.5 ())
+  done
+
+let test_structured_values_rejected () =
+  let mops =
+    [
+      Mop.make ~id:1 ~proc:0
+        ~ops:[ Op.write 0 (Value.List [ Value.Int 1 ]) ]
+        ~inv:0 ~resp:10;
+    ]
+  in
+  let h = History.create ~n_objects:1 mops ~rf:[] in
+  Alcotest.check_raises "structured values unsupported"
+    (Invalid_argument
+       "Codec: structured values are not supported by the text format")
+    (fun () -> ignore (Codec.to_string h))
+
+let expect_parse_error s =
+  match Codec.of_string s with
+  | exception Codec.Parse_error _ -> ()
+  | exception History.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "expected parse failure"
+
+let test_parse_errors () =
+  expect_parse_error "mop 1 0 0 10 w:0:i1";
+  (* missing objects line *)
+  expect_parse_error "objects 1\nbogus line";
+  expect_parse_error "objects 1\nmop 1 0 0 10 q:0:i1";
+  (* bad op kind *)
+  expect_parse_error "objects 1\nmop 1 0 0 10 w:0:z9"
+(* bad value *)
+
+let test_comments_and_blanks () =
+  let h =
+    Codec.of_string
+      "# a comment\n\nobjects 1\n\nmop 1 0 0 10 w:0:i1\n# trailing\n"
+  in
+  Alcotest.(check int) "one mop" 2 (History.n_mops h)
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "simple" `Quick test_simple_roundtrip;
+          Alcotest.test_case "value kinds" `Quick test_value_kinds;
+          Alcotest.test_case "generated" `Quick test_generated_families;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "structured values" `Quick
+            test_structured_values_rejected;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments" `Quick test_comments_and_blanks;
+        ] );
+    ]

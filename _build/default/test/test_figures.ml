@@ -1,0 +1,176 @@
+(* Experiments F1 and F2: the paper's worked figures reproduced and
+   validated with the checkers, plus scripted protocol runs shaped
+   after Figures 5 and 7. *)
+
+open Mmc_core
+open Mmc_store
+
+(* --- Figure 1: the relations stated in Section 2 hold. --- *)
+
+let test_figure1_relations () =
+  let h, (alpha, beta, eta, mu, delta) = Mmc_workload.Figures.figure1 () in
+  let m id = History.mop h id in
+  (* proc(alpha) = P1 (index 0), objects(alpha) = {x, y, z}. *)
+  Alcotest.(check int) "proc alpha" 0 (m alpha).Mop.proc;
+  Alcotest.(check (list int)) "objects alpha" [ 0; 1; 2 ] (Mop.objects (m alpha));
+  (* alpha ~P beta. *)
+  Alcotest.(check bool) "alpha ~P beta" true
+    ((m alpha).Mop.proc = (m beta).Mop.proc
+    && Mop.rt_precedes (m alpha) (m beta));
+  (* alpha ~rf delta and eta ~rf delta. *)
+  Alcotest.(check bool) "alpha ~rf delta" true
+    (History.rfobjects h delta alpha <> []);
+  Alcotest.(check bool) "eta ~rf delta" true (History.rfobjects h delta eta <> []);
+  (* alpha ~t mu, eta ~t beta, eta ~X beta. *)
+  Alcotest.(check bool) "alpha ~t mu" true (Mop.rt_precedes (m alpha) (m mu));
+  Alcotest.(check bool) "eta ~t beta" true (Mop.rt_precedes (m eta) (m beta));
+  Alcotest.(check bool) "eta ~X beta" true (Mop.obj_precedes (m eta) (m beta));
+  (* Stated in Section 4 about the same figure: alpha conflicts with
+     eta; delta, eta, alpha interfere. *)
+  Alcotest.(check bool) "alpha conflicts eta" true (Mop.conflict (m alpha) (m eta));
+  Alcotest.(check bool) "delta-eta-alpha interfere" true
+    (List.exists
+       (fun (t : Legality.triple) ->
+         t.Legality.alpha = delta && t.Legality.beta = eta
+         && t.Legality.gamma = alpha)
+       (Legality.interfering_triples h))
+
+let test_figure1_consistent () =
+  let h, _ = Mmc_workload.Figures.figure1 () in
+  (match Admissible.check h History.Msc with
+  | Admissible.Admissible _ -> ()
+  | _ -> Alcotest.fail "figure 1 should be m-SC");
+  match Admissible.check h History.Mlin with
+  | Admissible.Admissible _ -> ()
+  | _ -> Alcotest.fail "figure 1 should be m-linearizable"
+
+(* --- Figure 2/3: H1 under WW-constraint. --- *)
+
+let test_figure2_checkers () =
+  let h, _, ww = Mmc_workload.Figures.figure2 () in
+  let base = History.base_relation h History.Msc in
+  Relation.add_edges base ww;
+  (* The exhaustive checker and the Theorem 7 checker agree. *)
+  (match Admissible.search h base with
+  | Admissible.Admissible _ -> ()
+  | _ -> Alcotest.fail "H1 should be admissible");
+  match Check_constrained.check_relation h base Constraints.WW with
+  | Check_constrained.Admissible wt ->
+    (* Any witness must place beta before delta (the ~rw edge). *)
+    let pos = Array.make (History.n_mops h) 0 in
+    Array.iteri (fun k id -> pos.(id) <- k) wt;
+    Alcotest.(check bool) "beta before delta" true (pos.(2) < pos.(4))
+  | other ->
+    Alcotest.failf "expected admissible, got %a" Check_constrained.pp_result other
+
+(* --- Figure 5 shape: scripted m-SC protocol run. --- *)
+
+let test_figure5_protocol_run () =
+  (* Two processes, objects (x, y).  P0 writes x twice; P1 reads x
+     between the writes from its local copy.  The final version vector
+     on both replicas must agree, and the history must be m-SC. *)
+  let engine = Mmc_sim.Engine.create () in
+  let rng = Mmc_sim.Rng.create 31 in
+  let recorder = Recorder.create ~n_objects:2 in
+  let store =
+    Msc_store.create engine ~n:2 ~n_objects:2
+      ~latency:(Mmc_sim.Latency.Constant 5) ~rng
+      ~abcast_impl:Mmc_broadcast.Abcast.Sequencer_impl ~recorder
+  in
+  let results = ref [] in
+  Mmc_sim.Engine.schedule engine ~delay:1 (fun () ->
+      Store.invoke store ~proc:0 (Mmc_objects.Register.write 0 (Value.Int 1))
+        ~k:(fun _ ->
+          (* Processes are sequential: re-invoke strictly after the
+             response event. *)
+          Mmc_sim.Engine.schedule engine ~delay:1 (fun () ->
+              Store.invoke store ~proc:0
+                (Mmc_objects.Register.write 0 (Value.Int 4))
+                ~k:ignore)));
+  Mmc_sim.Engine.schedule engine ~delay:3 (fun () ->
+      Store.invoke store ~proc:1 (Mmc_objects.Register.read 0) ~k:(fun v ->
+          results := v :: !results));
+  Mmc_sim.Engine.run engine;
+  let h, stamps = Recorder.to_history recorder in
+  (match Admissible.check h History.Msc with
+  | Admissible.Admissible _ -> ()
+  | _ -> Alcotest.fail "figure 5 run should be m-SC");
+  (* The read returned a value some replica held: 0, 1 or 4. *)
+  (match !results with
+  | [ Value.Int v ] -> Alcotest.(check bool) "read plausible" true (List.mem v [ 0; 1; 4 ])
+  | _ -> Alcotest.fail "expected one read result");
+  (* Version vector of the final write is [2; 0] (x written twice). *)
+  let final_write =
+    History.real_mops h
+    |> List.filter (fun (m : Mop.t) -> Mop.is_update m)
+    |> List.length
+  in
+  Alcotest.(check int) "two updates recorded" 2 final_write;
+  let max_x_version =
+    Hashtbl.fold
+      (fun _ (s : Version_vector.stamped) acc ->
+        max acc s.Version_vector.finish_ts.(0))
+      stamps 0
+  in
+  Alcotest.(check int) "x reached version 2" 2 max_x_version
+
+(* --- Figure 7 shape: scripted m-linearizability protocol run. --- *)
+
+let test_figure7_protocol_run () =
+  (* P0 performs alpha = w(x)1 w(y)3; P1 performs beta = w(x)4; P2
+     queries r(x) after both responses — the query must return 4 or 1
+     depending on the broadcast order, but never observe y's write
+     without alpha entirely (reads are from a consistent replica
+     snapshot), and the whole run is m-linearizable. *)
+  let engine = Mmc_sim.Engine.create () in
+  let rng = Mmc_sim.Rng.create 8 in
+  let recorder = Recorder.create ~n_objects:2 in
+  let store =
+    Mlin_store.create engine ~n:3 ~n_objects:2
+      ~latency:(Mmc_sim.Latency.Uniform (2, 12))
+      ~rng ~abcast_impl:Mmc_broadcast.Abcast.Sequencer_impl ~recorder
+  in
+  let alpha =
+    Prog.mprog ~label:"alpha" ~may_write:[ 0; 1 ]
+      (Prog.write 0 (Value.Int 1)
+         (Prog.write 1 (Value.Int 3) (Prog.return Value.Unit)))
+  in
+  let beta = Mmc_objects.Register.write 0 (Value.Int 4) in
+  let done_count = ref 0 in
+  let snapshot = ref None in
+  Mmc_sim.Engine.schedule engine ~delay:1 (fun () ->
+      Store.invoke store ~proc:0 alpha ~k:(fun _ -> incr done_count));
+  Mmc_sim.Engine.schedule engine ~delay:1 (fun () ->
+      Store.invoke store ~proc:1 beta ~k:(fun _ -> incr done_count));
+  let rec poll () =
+    if !done_count = 2 then
+      Store.invoke store ~proc:2 (Mmc_objects.Massign.snapshot [ 0; 1 ])
+        ~k:(fun v -> snapshot := Some v)
+    else Mmc_sim.Engine.schedule engine ~delay:5 poll
+  in
+  Mmc_sim.Engine.schedule engine ~delay:5 poll;
+  Mmc_sim.Engine.run engine;
+  let h, _ = Recorder.to_history recorder in
+  (match Admissible.check h History.Mlin with
+  | Admissible.Admissible _ -> ()
+  | _ -> Alcotest.fail "figure 7 run should be m-linearizable");
+  (* Both updates completed before the query was issued: the query
+     must see their combined effect: x in {1, 4} and y = 3. *)
+  match !snapshot with
+  | Some (Value.List [ Value.Int x; Value.Int y ]) ->
+    Alcotest.(check bool) "x is a final value" true (x = 1 || x = 4);
+    Alcotest.(check int) "y fresh" 3 y
+  | _ -> Alcotest.fail "expected snapshot result"
+
+let () =
+  Alcotest.run "figures"
+    [
+      ( "figure1",
+        [
+          Alcotest.test_case "relations" `Quick test_figure1_relations;
+          Alcotest.test_case "consistent" `Quick test_figure1_consistent;
+        ] );
+      ("figure2", [ Alcotest.test_case "checkers" `Quick test_figure2_checkers ]);
+      ("figure5", [ Alcotest.test_case "protocol run" `Quick test_figure5_protocol_run ]);
+      ("figure7", [ Alcotest.test_case "protocol run" `Quick test_figure7_protocol_run ]);
+    ]

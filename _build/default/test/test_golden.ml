@@ -1,0 +1,64 @@
+(* Golden trace corpus: saved histories with pinned verdicts, read
+   through the text codec — regression protection for the codec, the
+   checkers, and the protocol behaviours that produced them. *)
+
+open Mmc_core
+
+(* `dune runtest` runs with cwd = the test directory; `dune exec` from
+   the project root does not — accept both. *)
+let load name =
+  let candidates =
+    [ Filename.concat "data" name; Filename.concat "test/data" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> Codec.of_file path
+  | None -> Alcotest.failf "fixture %s not found" name
+
+let verdict h flavour =
+  match Admissible.check ~max_states:10_000_000 h flavour with
+  | Admissible.Admissible _ -> `Pass
+  | Admissible.Not_admissible -> `Fail
+  | Admissible.Aborted -> `Unknown
+
+let check_verdict name flavour expected =
+  let h = load name in
+  let got = verdict h flavour in
+  Alcotest.(check string)
+    (Fmt.str "%s under %a" name History.pp_flavour flavour)
+    (match expected with `Pass -> "pass" | `Fail -> "fail" | `Unknown -> "?")
+    (match got with `Pass -> "pass" | `Fail -> "fail" | `Unknown -> "?")
+
+let test_mlin_good () =
+  check_verdict "mlin_good.trace" History.Mlin `Pass;
+  check_verdict "mlin_good.trace" History.Msc `Pass
+
+let test_local_bad () = check_verdict "local_bad.trace" History.Msc `Fail
+
+let test_aw_broken () =
+  check_verdict "aw_broken.trace" History.Mlin `Fail
+
+let test_dekker () =
+  check_verdict "dekker.trace" History.Msc `Fail;
+  (* Dekker outcome is causally consistent, though. *)
+  let h = load "dekker.trace" in
+  match Check_causal.check h with
+  | Check_causal.Causal _ -> ()
+  | _ -> Alcotest.fail "dekker should be causal"
+
+let test_stale_read () =
+  check_verdict "stale_read.trace" History.Msc `Pass;
+  check_verdict "stale_read.trace" History.Mnorm `Fail;
+  check_verdict "stale_read.trace" History.Mlin `Fail
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "mlin protocol trace" `Quick test_mlin_good;
+          Alcotest.test_case "unsynchronized trace" `Quick test_local_bad;
+          Alcotest.test_case "aw broken-bound trace" `Quick test_aw_broken;
+          Alcotest.test_case "dekker" `Quick test_dekker;
+          Alcotest.test_case "stale read" `Quick test_stale_read;
+        ] );
+    ]

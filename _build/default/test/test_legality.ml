@@ -1,0 +1,147 @@
+(* Tests for interference triples and legality (D 4.2, D 4.6). *)
+
+open Mmc_core
+
+let w x v = Op.write x (Value.Int v)
+let r x v = Op.read x (Value.Int v)
+
+let mop id proc ops inv resp = Mop.make ~id ~proc ~ops ~inv ~resp
+
+(* P0: a = w(0)1; P1: b = r(0)1; P2: c = w(0)2.
+   a --x0--> b is the only rf edge; c interferes. *)
+let h_three () =
+  History.create ~n_objects:1
+    [ mop 1 0 [ w 0 1 ] 0 5; mop 2 1 [ r 0 1 ] 10 15; mop 3 2 [ w 0 2 ] 20 25 ]
+    ~rf:[ { History.reader = 2; obj = 0; writer = 1 } ]
+
+let test_triples () =
+  let h = h_three () in
+  let ts = Legality.interfering_triples h in
+  (* Interfering writers of x0 distinct from a and b: c and the
+     initializer. *)
+  Alcotest.(check int) "two triples" 2 (List.length ts);
+  Alcotest.(check bool) "c triple present" true
+    (List.exists
+       (fun (t : Legality.triple) ->
+         t.Legality.alpha = 2 && t.Legality.beta = 1 && t.Legality.gamma = 3)
+       ts);
+  Alcotest.(check bool) "initializer triple present" true
+    (List.exists (fun (t : Legality.triple) -> t.Legality.gamma = Types.init_mop) ts)
+
+let closed_of_edges h edges =
+  Relation.transitive_closure (Relation.of_edges (History.n_mops h) edges)
+
+let test_legal_when_interferer_outside () =
+  let h = h_three () in
+  (* Order: init, a, b, c — c after the read: legal. *)
+  let closed = closed_of_edges h [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check bool) "legal" true (Legality.is_legal h closed)
+
+let test_illegal_when_interposed () =
+  let h = h_three () in
+  (* Order: init, a, c, b — c between writer and reader: illegal. *)
+  let closed = closed_of_edges h [ (0, 1); (1, 3); (3, 2) ] in
+  Alcotest.(check bool) "illegal" false (Legality.is_legal h closed);
+  match Legality.first_violation h closed with
+  | Some t ->
+    Alcotest.(check int) "violating gamma" 3 t.Legality.gamma;
+    Alcotest.(check int) "witness object" 0 t.Legality.obj
+  | None -> Alcotest.fail "expected violation"
+
+let test_partial_order_legal () =
+  let h = h_three () in
+  (* Unordered c: legality holds (no b ~ c ~ a chain). *)
+  let closed = closed_of_edges h [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "legal when unordered" true (Legality.is_legal h closed)
+
+let test_initializer_interference () =
+  (* b reads x from a; order init, a, b is legal even though the
+     initializer writes x — it precedes the writer a, not interposes. *)
+  let h =
+    History.create ~n_objects:1
+      [ mop 1 0 [ w 0 1 ] 0 5; mop 2 1 [ r 0 1 ] 10 15 ]
+      ~rf:[ { History.reader = 2; obj = 0; writer = 1 } ]
+  in
+  let closed = closed_of_edges h [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "legal" true (Legality.is_legal h closed)
+
+let test_read_of_initial_interference () =
+  (* b reads the initial value; a write of x interposed between init
+     and b makes it illegal. *)
+  let h =
+    History.create ~n_objects:1
+      [ mop 1 0 [ w 0 1 ] 0 5; mop 2 1 [ Op.read 0 Value.initial ] 10 15 ]
+      ~rf:[ { History.reader = 2; obj = 0; writer = Types.init_mop } ]
+  in
+  let bad = closed_of_edges h [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "illegal: write before stale read" false
+    (Legality.is_legal h bad);
+  let good = closed_of_edges h [ (0, 2); (2, 1) ] in
+  Alcotest.(check bool) "legal: read before write" true (Legality.is_legal h good)
+
+(* Random linear extension of a relation: Kahn's algorithm picking a
+   uniformly random available node at each step. *)
+let random_linear_extension rng rel =
+  let n = Relation.size rel in
+  let indeg = Array.make n 0 in
+  Relation.iter_edges rel (fun _ j -> indeg.(j) <- indeg.(j) + 1);
+  let available = ref [] in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then available := i :: !available
+  done;
+  let order = Array.make n (-1) in
+  for k = 0 to n - 1 do
+    let pick = Mmc_sim.Rng.choose rng !available in
+    available := List.filter (fun i -> i <> pick) !available;
+    order.(k) <- pick;
+    for j = 0 to n - 1 do
+      if Relation.mem rel pick j then begin
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then available := j :: !available
+      end
+    done
+  done;
+  order
+
+(* Property: on total orders that respect the reads-from edges (writer
+   before reader, initializer first), D4.6 legality agrees with the
+   last-writer sequential scan. *)
+let prop_sequential_agreement =
+  QCheck.Test.make ~name:"sequential legality agrees with D4.6 on rf-respecting orders"
+    ~count:200
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let h =
+        Mmc_workload.Histories.random_multi ~seed ~n_procs:3 ~n_objects:3
+          ~n_mops:5 ~max_reads:2 ~max_writes:2 ()
+      in
+      let n = History.n_mops h in
+      let rng = Mmc_sim.Rng.create (seed + 17) in
+      let rel = Relation.create n in
+      Relation.add_edges rel (History.rf_mop_edges h);
+      for j = 1 to n - 1 do
+        Relation.add rel Types.init_mop j
+      done;
+      (* Arbitrary reads-from can be cyclic (mutual reads); such
+         histories have no rf-respecting total order — skip them. *)
+      QCheck.assume (Relation.is_acyclic rel);
+      let order = random_linear_extension rng rel in
+      let closed = Relation.transitive_closure (Relation.of_total_order order) in
+      let d46 = Legality.is_legal h closed in
+      let seq = Sequential.legal_and_equivalent h order in
+      d46 = seq)
+
+let () =
+  Alcotest.run "legality"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "interfering triples" `Quick test_triples;
+          Alcotest.test_case "legal order" `Quick test_legal_when_interferer_outside;
+          Alcotest.test_case "illegal order" `Quick test_illegal_when_interposed;
+          Alcotest.test_case "partial order legal" `Quick test_partial_order_legal;
+          Alcotest.test_case "initializer interference" `Quick test_initializer_interference;
+          Alcotest.test_case "stale read of initial value" `Quick test_read_of_initial_interference;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_sequential_agreement ]);
+    ]

@@ -1,0 +1,196 @@
+(* The paper's lemmas as executable properties, beyond what the
+   checker-level suites already cover:
+
+   - P 4.1: interference implies pairwise conflict and a common object;
+   - Lemma 3: legal + OO-constraint => extension irreflexive;
+   - Lemma 4 is covered in test_constraints (WW variant);
+   - Lemma 5: legal + WO + irreflexive extension => admissible, with
+     *any* total extension of the extended relation legal (P 4.5);
+   - Lemma 6: admissible => legal;
+   - Theorem 7 under the OO-constraint (the WW variant is covered in
+     test_check_constrained). *)
+
+open Mmc_core
+
+let gen_seed = QCheck.(make Gen.(int_bound 10_000_000))
+
+(* Random linear extension (Kahn with random choice). *)
+let random_linear_extension rng rel =
+  let n = Relation.size rel in
+  let indeg = Array.make n 0 in
+  Relation.iter_edges rel (fun _ j -> indeg.(j) <- indeg.(j) + 1);
+  let available = ref [] in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then available := i :: !available
+  done;
+  let order = Array.make n (-1) in
+  for k = 0 to n - 1 do
+    let pick = Mmc_sim.Rng.choose rng !available in
+    available := List.filter (fun i -> i <> pick) !available;
+    order.(k) <- pick;
+    for j = 0 to n - 1 do
+      if Relation.mem rel pick j then begin
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then available := j :: !available
+      end
+    done
+  done;
+  order
+
+(* Install the OO-constraint on a consistent history: order every
+   conflicting pair by the generation (witness) order. *)
+let oo_base h =
+  let base = History.base_relation h History.Msc in
+  let ms = History.mops h in
+  Array.iter
+    (fun (a : Mop.t) ->
+      Array.iter
+        (fun (b : Mop.t) ->
+          if a.Mop.id < b.Mop.id && Mop.conflict a b then
+            Relation.add base a.Mop.id b.Mop.id)
+        ms)
+    ms;
+  base
+
+let consistent seed =
+  Mmc_workload.Histories.legal_random ~seed ~n_procs:3 ~n_objects:3 ~n_mops:9
+    ~max_len:3 ~read_ratio:0.5 ()
+
+let prop_p41_interfere_implies_conflict =
+  QCheck.Test.make ~name:"P4.1: interference implies pairwise conflict"
+    ~count:150 gen_seed (fun seed ->
+      let h =
+        Mmc_workload.Histories.random_multi ~seed ~n_procs:3 ~n_objects:3
+          ~n_mops:7 ~max_reads:2 ~max_writes:2 ()
+      in
+      List.for_all
+        (fun (t : Legality.triple) ->
+          let m id = History.mop h id in
+          Mop.conflict (m t.Legality.alpha) (m t.Legality.beta)
+          && Mop.conflict (m t.Legality.beta) (m t.Legality.gamma)
+          && Mop.conflict (m t.Legality.gamma) (m t.Legality.alpha)
+          &&
+          (* common object *)
+          List.exists
+            (fun x ->
+              List.mem x (Mop.objects (m t.Legality.beta))
+              && List.mem x (Mop.objects (m t.Legality.gamma)))
+            (Mop.objects (m t.Legality.alpha)))
+        (Legality.interfering_triples h))
+
+let prop_lemma3_oo =
+  QCheck.Test.make ~name:"lemma 3: legal + OO => extension irreflexive"
+    ~count:100 gen_seed (fun seed ->
+      let h = consistent seed in
+      let base = oo_base h in
+      let closed = Relation.transitive_closure base in
+      QCheck.assume (Relation.is_irreflexive closed);
+      QCheck.assume (Constraints.satisfies_oo h closed);
+      QCheck.assume (Legality.is_legal h closed);
+      Relation.is_irreflexive (Constraints.extended h closed))
+
+let prop_lemma5_any_extension_legal =
+  QCheck.Test.make
+    ~name:"lemma 5 / P4.5: every total extension of ~H+ is legal" ~count:60
+    gen_seed (fun seed ->
+      let h = consistent seed in
+      let base = oo_base h in
+      let closed = Relation.transitive_closure base in
+      QCheck.assume (Relation.is_irreflexive closed);
+      QCheck.assume (Legality.is_legal h closed);
+      let ext = Constraints.extended h closed in
+      QCheck.assume (Relation.is_irreflexive ext);
+      let rng = Mmc_sim.Rng.create (seed + 3) in
+      (* Ten random total extensions: all must be legal and
+         equivalent. *)
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let order = random_linear_extension rng ext in
+        if not (Sequential.legal_and_equivalent h order) then ok := false
+      done;
+      !ok)
+
+let prop_lemma6_admissible_implies_legal =
+  QCheck.Test.make ~name:"lemma 6: admissible => legal" ~count:150 gen_seed
+    (fun seed ->
+      let h =
+        Mmc_workload.Histories.random_register ~seed ~n_procs:3 ~n_objects:2
+          ~n_mops:7 ~write_ratio:0.5 ()
+      in
+      let base = History.base_relation h History.Mlin in
+      QCheck.assume (Relation.is_acyclic base);
+      match Admissible.search h base with
+      | Admissible.Admissible _ ->
+        Legality.is_legal h (Relation.transitive_closure base)
+      | Admissible.Not_admissible -> true
+      | Admissible.Aborted -> QCheck.assume_fail ())
+
+let prop_theorem7_oo =
+  QCheck.Test.make ~name:"theorem 7 under OO: legality <=> admissibility"
+    ~count:80 gen_seed (fun seed ->
+      let h =
+        Mmc_workload.Histories.random_register ~seed ~n_procs:3 ~n_objects:2
+          ~n_mops:7 ~write_ratio:0.5 ()
+      in
+      let base = oo_base h in
+      QCheck.assume (Relation.is_acyclic base);
+      let poly =
+        match Check_constrained.check_relation h base Constraints.OO with
+        | Check_constrained.Admissible _ -> true
+        | Check_constrained.Not_legal _ -> false
+        | _ -> QCheck.assume_fail ()
+      in
+      let exhaustive =
+        match Admissible.search h base with
+        | Admissible.Admissible _ -> true
+        | Admissible.Not_admissible -> false
+        | Admissible.Aborted -> QCheck.assume_fail ()
+      in
+      poly = exhaustive)
+
+(* Theorem 10 chain on protocol traces: P5.1-5.8 hold => admissible.
+   The protocol stores must satisfy both sides. *)
+let prop_theorem10_chain =
+  QCheck.Test.make ~name:"theorem 10: P5.x properties and admissibility together"
+    ~count:15 gen_seed (fun seed ->
+      let spec = { Mmc_workload.Spec.default with n_objects = 4 } in
+      let cfg =
+        {
+          Mmc_store.Runner.default_config with
+          n_procs = 3;
+          n_objects = 4;
+          ops_per_proc = 8;
+          kind = Mmc_store.Store.Msc;
+        }
+      in
+      let res =
+        Mmc_store.Runner.run ~seed cfg
+          ~workload:(Mmc_workload.Generator.mixed spec)
+      in
+      let h = res.Mmc_store.Runner.history in
+      let rel = History.base_relation h History.Msc in
+      let p5 =
+        Version_vector.check_monotonic h res.Mmc_store.Runner.stamps rel = []
+        && Version_vector.check_reads_from h res.Mmc_store.Runner.stamps = []
+      in
+      let admissible =
+        match Admissible.check h History.Msc with
+        | Admissible.Admissible _ -> true
+        | _ -> false
+      in
+      p5 && admissible)
+
+let () =
+  Alcotest.run "lemmas"
+    [
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_p41_interfere_implies_conflict;
+            prop_lemma3_oo;
+            prop_lemma5_any_extension_legal;
+            prop_lemma6_admissible_implies_legal;
+            prop_theorem7_oo;
+            prop_theorem10_chain;
+          ] );
+    ]

@@ -1,0 +1,195 @@
+(* End-to-end tests for the two-phase-locking store: strict
+   serializability (m-linearizability), deadlock freedom under
+   multi-object contention, bank invariants, and set enforcement. *)
+
+open Mmc_core
+open Mmc_store
+
+let spec = { Mmc_workload.Spec.default with n_objects = 4; read_ratio = 0.5 }
+
+let run ?(n_procs = 3) ?(ops = 12) ~seed () =
+  let cfg =
+    {
+      Runner.default_config with
+      n_procs;
+      n_objects = spec.Mmc_workload.Spec.n_objects;
+      ops_per_proc = ops;
+      kind = Store.Lock;
+    }
+  in
+  Runner.run ~seed cfg ~workload:(Mmc_workload.Generator.mixed spec)
+
+let admissible h flavour =
+  match Admissible.check ~max_states:5_000_000 h flavour with
+  | Admissible.Admissible _ -> true
+  | Admissible.Not_admissible -> false
+  | Admissible.Aborted -> Alcotest.fail "checker aborted"
+
+let test_mlin_across_seeds () =
+  List.iter
+    (fun seed ->
+      let res = run ~seed () in
+      Alcotest.(check int)
+        (Fmt.str "all completed (seed %d)" seed)
+        36 res.Runner.completed;
+      Alcotest.(check bool)
+        (Fmt.str "m-linearizable (seed %d)" seed)
+        true
+        (admissible res.Runner.history History.Mlin))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_deadlock_freedom_under_contention () =
+  (* Everyone repeatedly touches overlapping multi-object sets; the run
+     must reach quiescence with all operations completed. *)
+  let contended =
+    { spec with n_objects = 3; read_ratio = 0.2; mop_len_hi = 3 }
+  in
+  List.iter
+    (fun seed ->
+      let cfg =
+        {
+          Runner.default_config with
+          n_procs = 5;
+          n_objects = 3;
+          ops_per_proc = 10;
+          kind = Store.Lock;
+        }
+      in
+      let res =
+        Runner.run ~seed cfg ~workload:(Mmc_workload.Generator.mixed contended)
+      in
+      Alcotest.(check int)
+        (Fmt.str "no deadlock (seed %d)" seed)
+        50 res.Runner.completed)
+    [ 0; 1; 2 ]
+
+let test_latency_scales_with_touch_set () =
+  (* Cost per op grows with the number of locked objects (sequential
+     ascending acquisition), unlike the broadcast stores. *)
+  let narrow = { spec with mop_len_lo = 1; mop_len_hi = 1 } in
+  let wide = { spec with mop_len_lo = 4; mop_len_hi = 4 } in
+  let mean_update s =
+    let cfg =
+      {
+        Runner.default_config with
+        n_procs = 2;
+        n_objects = 8;
+        ops_per_proc = 20;
+        kind = Store.Lock;
+      }
+    in
+    let res = Runner.run ~seed:9 cfg ~workload:(Mmc_workload.Generator.mixed s) in
+    res.Runner.update_latency.Mmc_sim.Stats.mean
+  in
+  Alcotest.(check bool) "wider sets cost more" true
+    (mean_update { wide with n_objects = 8 }
+    > mean_update { narrow with n_objects = 8 })
+
+let test_bank_through_lock_store () =
+  let n_accounts = 4 in
+  let engine = Mmc_sim.Engine.create () in
+  let rng = Mmc_sim.Rng.create 11 in
+  let recorder = Recorder.create ~n_objects:n_accounts in
+  let store =
+    Lock_store.create engine ~n:3 ~n_objects:n_accounts
+      ~latency:(Mmc_sim.Latency.Uniform (2, 8))
+      ~rng ~recorder
+  in
+  Mmc_sim.Engine.schedule engine ~delay:0 (fun () ->
+      Store.invoke store ~proc:0
+        (Mmc_objects.Massign.assign
+           (List.init n_accounts (fun i -> (i, Value.Int 50))))
+        ~k:ignore);
+  let audits = ref [] in
+  let crng = Mmc_sim.Rng.create 5 in
+  let rec client proc step () =
+    if step < 8 then
+      let m =
+        if step mod 2 = 1 then Mmc_objects.Bank.audit (List.init n_accounts Fun.id)
+        else begin
+          let from_ = Mmc_sim.Rng.int crng ~bound:n_accounts in
+          let to_ = (from_ + 1) mod n_accounts in
+          Mmc_objects.Bank.transfer ~from_ ~to_ (1 + Mmc_sim.Rng.int crng ~bound:9)
+        end
+      in
+      Store.invoke store ~proc m ~k:(fun r ->
+          (match r with Value.Int t -> audits := t :: !audits | _ -> ());
+          Mmc_sim.Engine.schedule engine ~delay:2 (client proc (step + 1)))
+  in
+  for p = 0 to 2 do
+    Mmc_sim.Engine.schedule engine ~delay:200 (client p 0)
+  done;
+  Mmc_sim.Engine.run engine;
+  Alcotest.(check bool) "audits happened" true (!audits <> []);
+  List.iter
+    (fun total -> Alcotest.(check int) "conserved" (n_accounts * 50) total)
+    !audits;
+  let h, _ = Recorder.to_history recorder in
+  Alcotest.(check bool) "m-linearizable" true (admissible h History.Mlin)
+
+let test_dcas_exclusive_through_lock () =
+  (* Two concurrent DCAS against initial values: exactly one wins. *)
+  List.iter
+    (fun seed ->
+      let engine = Mmc_sim.Engine.create () in
+      let rng = Mmc_sim.Rng.create seed in
+      let recorder = Recorder.create ~n_objects:2 in
+      let store =
+        Lock_store.create engine ~n:2 ~n_objects:2
+          ~latency:(Mmc_sim.Latency.Uniform (2, 20))
+          ~rng ~recorder
+      in
+      let results = ref [] in
+      let d proc =
+        Mmc_objects.Dcas.dcas 0 1 ~old1:Value.initial ~old2:Value.initial
+          ~new1:(Value.Int (10 + proc))
+          ~new2:(Value.Int (20 + proc))
+      in
+      Mmc_sim.Engine.schedule engine ~delay:1 (fun () ->
+          Store.invoke store ~proc:0 (d 0) ~k:(fun r -> results := r :: !results));
+      Mmc_sim.Engine.schedule engine ~delay:1 (fun () ->
+          Store.invoke store ~proc:1 (d 1) ~k:(fun r -> results := r :: !results));
+      Mmc_sim.Engine.run engine;
+      let wins =
+        List.length (List.filter (Value.equal (Value.Bool true)) !results)
+      in
+      Alcotest.(check int) (Fmt.str "one winner (seed %d)" seed) 1 wins)
+    [ 0; 1; 2; 3 ]
+
+let test_undeclared_access_rejected () =
+  let engine = Mmc_sim.Engine.create () in
+  let rng = Mmc_sim.Rng.create 3 in
+  let recorder = Recorder.create ~n_objects:2 in
+  let store =
+    Lock_store.create engine ~n:1 ~n_objects:2
+      ~latency:(Mmc_sim.Latency.Constant 2) ~rng ~recorder
+  in
+  (* Declares x0 only, then reads x1. *)
+  let sneaky =
+    Prog.mprog ~label:"sneaky" ~may_write:[ 0 ]
+      (Prog.read 1 (fun _ -> Prog.return Value.Unit))
+  in
+  Mmc_sim.Engine.schedule engine ~delay:1 (fun () ->
+      Store.invoke store ~proc:0 sneaky ~k:ignore);
+  match Mmc_sim.Engine.run engine with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument for undeclared read"
+
+let () =
+  Alcotest.run "lock"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "m-linearizable" `Quick test_mlin_across_seeds;
+          Alcotest.test_case "deadlock freedom" `Quick
+            test_deadlock_freedom_under_contention;
+          Alcotest.test_case "touch-set latency" `Quick
+            test_latency_scales_with_touch_set;
+        ] );
+      ( "applications",
+        [
+          Alcotest.test_case "bank" `Quick test_bank_through_lock_store;
+          Alcotest.test_case "dcas exclusive" `Quick test_dcas_exclusive_through_lock;
+          Alcotest.test_case "undeclared access" `Quick test_undeclared_access_rejected;
+        ] );
+    ]

@@ -1,0 +1,92 @@
+(* Configuration-matrix property: every store satisfies its advertised
+   consistency condition across broadcast implementations, latency
+   models, process counts and seeds — the broadest single correctness
+   statement in the suite. *)
+
+open Mmc_core
+open Mmc_store
+open Mmc_broadcast
+
+let latencies =
+  [
+    Mmc_sim.Latency.Constant 7;
+    Mmc_sim.Latency.Uniform (2, 25);
+    Mmc_sim.Latency.Bimodal { fast = 3; slow = 80; p_slow = 0.15 };
+    Mmc_sim.Latency.Exponential 10;
+  ]
+
+let spec = { Mmc_workload.Spec.default with n_objects = 4; read_ratio = 0.5 }
+
+let run ~kind ~abcast ~latency ~n_procs ~seed =
+  let cfg =
+    {
+      Runner.default_config with
+      n_procs;
+      n_objects = 4;
+      ops_per_proc = 8;
+      kind;
+      abcast_impl = abcast;
+      latency;
+      (* The AW store's bound is deliberately NOT satisfied by all the
+         latency models above; it is excluded from this matrix (its
+         contract is conditional — see test_aw.ml). *)
+    }
+  in
+  Runner.run ~seed cfg ~workload:(Mmc_workload.Generator.mixed spec)
+
+let satisfied kind history =
+  let adm flavour =
+    match Admissible.check ~max_states:5_000_000 history flavour with
+    | Admissible.Admissible _ -> true
+    | Admissible.Not_admissible -> false
+    | Admissible.Aborted -> QCheck.assume_fail ()
+  in
+  match kind with
+  | Store.Msc -> adm History.Msc
+  | Store.Mlin | Store.Central | Store.Lock -> adm History.Mlin
+  | Store.Causal -> (
+    match Check_causal.check ~max_states:5_000_000 history with
+    | Check_causal.Causal _ -> true
+    | Check_causal.Not_causal _ -> false
+    | Check_causal.Aborted -> QCheck.assume_fail ())
+  | Store.Local | Store.Aw -> true (* no unconditional guarantee *)
+
+let gen_config =
+  QCheck.Gen.(
+    let* seed = int_bound 100_000 in
+    let* kind = oneofl [ Store.Msc; Store.Mlin; Store.Central; Store.Lock; Store.Causal ] in
+    let* abcast = oneofl [ Abcast.Sequencer_impl; Abcast.Lamport_impl ] in
+    let* latency_ix = int_bound (List.length latencies - 1) in
+    let* n_procs = int_range 2 4 in
+    return (seed, kind, abcast, latency_ix, n_procs))
+
+let prop_matrix =
+  QCheck.Test.make ~name:"every store satisfies its advertised condition"
+    ~count:40 (QCheck.make gen_config)
+    (fun (seed, kind, abcast, latency_ix, n_procs) ->
+      let latency = List.nth latencies latency_ix in
+      let res = run ~kind ~abcast ~latency ~n_procs ~seed in
+      res.Runner.completed = n_procs * 8
+      && satisfied kind res.Runner.history)
+
+(* Determinism across the matrix: identical configs yield identical
+   simulations. *)
+let prop_determinism =
+  QCheck.Test.make ~name:"identical configs are bit-identical" ~count:20
+    (QCheck.make gen_config)
+    (fun (seed, kind, abcast, latency_ix, n_procs) ->
+      let latency = List.nth latencies latency_ix in
+      let a = run ~kind ~abcast ~latency ~n_procs ~seed in
+      let b = run ~kind ~abcast ~latency ~n_procs ~seed in
+      a.Runner.duration = b.Runner.duration
+      && a.Runner.messages = b.Runner.messages
+      && a.Runner.events = b.Runner.events
+      && History.n_mops a.Runner.history = History.n_mops b.Runner.history)
+
+let () =
+  Alcotest.run "matrix"
+    [
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest [ prop_matrix; prop_determinism ]
+      );
+    ]

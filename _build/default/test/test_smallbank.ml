@@ -1,0 +1,170 @@
+(* SmallBank transaction-mix tests: pure semantics of each transaction,
+   conservation invariants, and end-to-end consistency through the
+   replicated stores. *)
+
+open Mmc_core
+open Mmc_store
+open Mmc_objects
+
+let vt = Alcotest.testable (Fmt.of_to_string Value.show) Value.equal
+
+let run_pure m arr = Prog.run_on_array m.Prog.prog arr
+
+let fresh ~customers = Array.make (Smallbank.n_objects ~customers) Value.initial
+
+let seed_accounts arr ~customers ~chk ~sav =
+  for c = 0 to customers - 1 do
+    arr.(Smallbank.checking c) <- Value.Int chk;
+    arr.(Smallbank.savings c) <- Value.Int sav
+  done
+
+let total arr =
+  Array.fold_left (fun a v -> a + Value.to_int v) 0 arr
+
+let test_balance_deposit () =
+  let arr = fresh ~customers:2 in
+  seed_accounts arr ~customers:2 ~chk:10 ~sav:5;
+  Alcotest.check vt "balance" (Value.Int 15) (run_pure (Smallbank.balance 0) arr);
+  Alcotest.check vt "deposit" (Value.Bool true)
+    (run_pure (Smallbank.deposit_checking 0 7) arr);
+  Alcotest.check vt "balance after" (Value.Int 22)
+    (run_pure (Smallbank.balance 0) arr)
+
+let test_transact_savings () =
+  let arr = fresh ~customers:1 in
+  seed_accounts arr ~customers:1 ~chk:0 ~sav:5;
+  Alcotest.check vt "withdraw ok" (Value.Bool true)
+    (run_pure (Smallbank.transact_savings 0 (-3)) arr);
+  Alcotest.check vt "insufficient" (Value.Bool false)
+    (run_pure (Smallbank.transact_savings 0 (-10)) arr);
+  Alcotest.check vt "unchanged on failure" (Value.Int 2) arr.(Smallbank.savings 0)
+
+let test_amalgamate_conserves () =
+  let arr = fresh ~customers:2 in
+  seed_accounts arr ~customers:2 ~chk:10 ~sav:5;
+  let before = total arr in
+  Alcotest.check vt "amalgamate" (Value.Bool true)
+    (run_pure (Smallbank.amalgamate 0 1) arr);
+  Alcotest.(check int) "conserved" before (total arr);
+  Alcotest.check vt "c0 emptied" (Value.Int 0) arr.(Smallbank.checking 0);
+  Alcotest.check vt "c0 savings emptied" (Value.Int 0) arr.(Smallbank.savings 0);
+  Alcotest.check vt "c1 got everything" (Value.Int 25) arr.(Smallbank.checking 1)
+
+let test_write_check_penalty () =
+  let arr = fresh ~customers:1 in
+  seed_accounts arr ~customers:1 ~chk:10 ~sav:0;
+  Alcotest.check vt "covered" (Value.Bool true)
+    (run_pure (Smallbank.write_check 0 4) arr);
+  Alcotest.check vt "chk after" (Value.Int 6) arr.(Smallbank.checking 0);
+  Alcotest.check vt "overdraft" (Value.Bool false)
+    (run_pure (Smallbank.write_check 0 20) arr);
+  (* 6 - (20 + 1) = -15: the penalty applied. *)
+  Alcotest.check vt "penalized" (Value.Int (-15)) arr.(Smallbank.checking 0)
+
+let test_send_payment () =
+  let arr = fresh ~customers:2 in
+  seed_accounts arr ~customers:2 ~chk:10 ~sav:0;
+  Alcotest.check vt "payment ok" (Value.Bool true)
+    (run_pure (Smallbank.send_payment 0 1 4) arr);
+  Alcotest.check vt "insufficient" (Value.Bool false)
+    (run_pure (Smallbank.send_payment 0 1 100) arr);
+  Alcotest.(check int) "conserved" 20 (total arr)
+
+(* End to end: the conserving mix through the m-lin store — every
+   audit sees the seeded total, and the trace is m-linearizable. *)
+let test_mix_through_mlin_store () =
+  let customers = 3 in
+  let n_objects = Smallbank.n_objects ~customers in
+  let engine = Mmc_sim.Engine.create () in
+  let rng = Mmc_sim.Rng.create 17 in
+  let recorder = Recorder.create ~n_objects in
+  let store =
+    Mlin_store.create engine ~n:3 ~n_objects
+      ~latency:(Mmc_sim.Latency.Uniform (2, 10))
+      ~rng ~abcast_impl:Mmc_broadcast.Abcast.Sequencer_impl ~recorder
+  in
+  (* Seed checking = 100, savings = 50 per customer atomically. *)
+  Mmc_sim.Engine.schedule engine ~delay:0 (fun () ->
+      Store.invoke store ~proc:0
+        (Massign.assign
+           (List.concat_map
+              (fun c ->
+                [
+                  (Smallbank.checking c, Value.Int 100);
+                  (Smallbank.savings c, Value.Int 50);
+                ])
+              (List.init customers Fun.id)))
+        ~k:ignore);
+  let expected = customers * 150 in
+  let audits = ref [] in
+  let wrng = Mmc_sim.Rng.create 23 in
+  let rec client proc step () =
+    if step < 12 then
+      let m = Smallbank.conserving_mix ~customers wrng ~proc ~step in
+      Store.invoke store ~proc m ~k:(fun r ->
+          (match (m.Prog.label, r) with
+          | label, Value.Int t
+            when String.length label >= 5 && String.sub label 0 5 = "audit" ->
+            audits := t :: !audits
+          | _ -> ());
+          Mmc_sim.Engine.schedule engine ~delay:2 (client proc (step + 1)))
+  in
+  for p = 0 to 2 do
+    Mmc_sim.Engine.schedule engine ~delay:150 (client p 0)
+  done;
+  Mmc_sim.Engine.run engine;
+  List.iter
+    (fun t -> Alcotest.(check int) "audit total invariant" expected t)
+    !audits;
+  let h, _ = Recorder.to_history recorder in
+  match Admissible.check ~max_states:5_000_000 h History.Mlin with
+  | Admissible.Admissible _ -> ()
+  | _ -> Alcotest.fail "SmallBank trace not m-linearizable"
+
+let test_mix_through_lock_store () =
+  let customers = 3 in
+  let n_objects = Smallbank.n_objects ~customers in
+  let engine = Mmc_sim.Engine.create () in
+  let rng = Mmc_sim.Rng.create 29 in
+  let recorder = Recorder.create ~n_objects in
+  let store =
+    Lock_store.create engine ~n:3 ~n_objects
+      ~latency:(Mmc_sim.Latency.Uniform (2, 8))
+      ~rng ~recorder
+  in
+  let completed = ref 0 in
+  let wrng = Mmc_sim.Rng.create 31 in
+  let rec client proc step () =
+    if step < 8 then
+      let m = Smallbank.conserving_mix ~customers wrng ~proc ~step in
+      Store.invoke store ~proc m ~k:(fun _ ->
+          incr completed;
+          Mmc_sim.Engine.schedule engine ~delay:2 (client proc (step + 1)))
+  in
+  for p = 0 to 2 do
+    Mmc_sim.Engine.schedule engine ~delay:1 (client p 0)
+  done;
+  Mmc_sim.Engine.run engine;
+  Alcotest.(check int) "all completed (no deadlock)" 24 !completed;
+  let h, _ = Recorder.to_history recorder in
+  match Admissible.check ~max_states:5_000_000 h History.Mlin with
+  | Admissible.Admissible _ -> ()
+  | _ -> Alcotest.fail "SmallBank 2PL trace not m-linearizable"
+
+let () =
+  Alcotest.run "smallbank"
+    [
+      ( "transactions",
+        [
+          Alcotest.test_case "balance/deposit" `Quick test_balance_deposit;
+          Alcotest.test_case "transact savings" `Quick test_transact_savings;
+          Alcotest.test_case "amalgamate" `Quick test_amalgamate_conserves;
+          Alcotest.test_case "write check" `Quick test_write_check_penalty;
+          Alcotest.test_case "send payment" `Quick test_send_payment;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "mlin store" `Quick test_mix_through_mlin_store;
+          Alcotest.test_case "lock store" `Quick test_mix_through_lock_store;
+        ] );
+    ]

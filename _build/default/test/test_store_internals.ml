@@ -1,0 +1,188 @@
+(* Unit tests for the store-layer internals: m-operation programs,
+   the apply helper, the recorder, and the dot export. *)
+
+open Mmc_core
+open Mmc_store
+
+let vt = Alcotest.testable (Fmt.of_to_string Value.show) Value.equal
+
+(* --- Prog --- *)
+
+let test_prog_combinators () =
+  let arr = [| Value.Int 1; Value.Int 2; Value.Int 3 |] in
+  Alcotest.check vt "read_all"
+    (Value.List [ Value.Int 1; Value.Int 3 ])
+    (Prog.run_on_array
+       (Prog.read_all [ 0; 2 ] (fun vs -> Prog.return (Value.List vs)))
+       arr);
+  ignore
+    (Prog.run_on_array
+       (Prog.write_all [ (0, Value.Int 9); (1, Value.Int 8) ])
+       arr);
+  Alcotest.check vt "write_all x0" (Value.Int 9) arr.(0);
+  Alcotest.check vt "write_all x1" (Value.Int 8) arr.(1)
+
+let test_prog_data_dependence () =
+  (* read x, write y = x + 1 *)
+  let p =
+    Prog.read 0 (fun v ->
+        Prog.write 1 (Value.Int (Value.to_int v + 1)) (Prog.return v))
+  in
+  let arr = [| Value.Int 41; Value.Int 0 |] in
+  Alcotest.check vt "result" (Value.Int 41) (Prog.run_on_array p arr);
+  Alcotest.check vt "dependent write" (Value.Int 42) arr.(1)
+
+let test_mprog_may_touch_default () =
+  let m = Prog.mprog ~may_write:[ 2; 0 ] (Prog.return Value.Unit) in
+  Alcotest.(check (list int)) "sorted write set" [ 0; 2 ] m.Prog.may_write;
+  Alcotest.(check (list int)) "touch defaults to write" [ 0; 2 ] m.Prog.may_touch;
+  let m2 =
+    Prog.mprog ~may_touch:[ 1 ] ~may_write:[ 0 ] (Prog.return Value.Unit)
+  in
+  Alcotest.(check (list int)) "touch includes writes" [ 0; 1 ] m2.Prog.may_touch
+
+(* --- Apply --- *)
+
+let test_apply_update_versions () =
+  let x = Array.make 2 Value.initial in
+  let ts = [| 3; 7 |] in
+  let p =
+    Prog.read 0 (fun _ ->
+        Prog.write 0 (Value.Int 1)
+          (Prog.write 1 (Value.Int 2)
+             (Prog.write 0 (Value.Int 5) (Prog.return Value.Unit))))
+  in
+  let a = Apply.update x ts ~ns:0 p in
+  (* External read of x0 at version 3. *)
+  Alcotest.(check bool) "read version" true (a.Apply.reads = [ (0, 3, 0) ]);
+  (* Each written object's version bumps exactly once. *)
+  Alcotest.(check int) "x0 version" 4 ts.(0);
+  Alcotest.(check int) "x1 version" 8 ts.(1);
+  Alcotest.(check bool) "writes recorded" true
+    (List.sort compare a.Apply.writes = [ (0, 4, 0); (1, 8, 0) ]);
+  Alcotest.check vt "final value" (Value.Int 5) x.(0);
+  Alcotest.(check int) "ops recorded" 4 (List.length a.Apply.ops)
+
+let test_apply_internal_read_not_recorded () =
+  let x = Array.make 1 Value.initial in
+  let ts = [| 0 |] in
+  let p =
+    Prog.write 0 (Value.Int 1) (Prog.read 0 (fun v -> Prog.return v))
+  in
+  let a = Apply.update x ts ~ns:0 p in
+  Alcotest.(check int) "no external reads" 0 (List.length a.Apply.reads);
+  Alcotest.check vt "reads own write" (Value.Int 1) a.Apply.result
+
+let test_apply_query_rejects_writes () =
+  let x = Array.make 1 Value.initial in
+  let ts = [| 0 |] in
+  match Apply.query x ts ~ns:0 (Prog.write 0 (Value.Int 1) (Prog.return Value.Unit)) with
+  | exception Apply.Query_wrote 0 -> ()
+  | _ -> Alcotest.fail "expected Query_wrote"
+
+(* --- Recorder --- *)
+
+let record ?(ns = 0) ~proc ~inv ~resp ~reads ~writes ops =
+  {
+    Recorder.proc;
+    inv;
+    resp;
+    ops;
+    reads = List.map (fun (o, v) -> (o, v, ns)) reads;
+    writes = List.map (fun (o, v) -> (o, v, ns)) writes;
+    start_ts = [| 0; 0 |];
+    finish_ts = [| 0; 0 |];
+    sync = None;
+  }
+
+let test_recorder_resolves_rf () =
+  let r = Recorder.create ~n_objects:2 in
+  Recorder.add r
+    (record ~proc:0 ~inv:0 ~resp:5 ~reads:[] ~writes:[ (0, 1) ]
+       [ Op.write 0 (Value.Int 7) ]);
+  Recorder.add r
+    (record ~proc:1 ~inv:10 ~resp:15 ~reads:[ (0, 1) ] ~writes:[]
+       [ Op.read 0 (Value.Int 7) ]);
+  let h, _ = Recorder.to_history r in
+  Alcotest.(check int) "two m-operations" 3 (History.n_mops h);
+  match History.rf h with
+  | [ e ] ->
+    Alcotest.(check int) "writer" 1 e.History.writer;
+    Alcotest.(check int) "reader" 2 e.History.reader
+  | _ -> Alcotest.fail "expected one rf edge"
+
+let test_recorder_orders_by_invocation () =
+  let r = Recorder.create ~n_objects:2 in
+  (* Added out of invocation order. *)
+  Recorder.add r
+    (record ~proc:1 ~inv:20 ~resp:25 ~reads:[] ~writes:[ (1, 1) ]
+       [ Op.write 1 (Value.Int 1) ]);
+  Recorder.add r
+    (record ~proc:0 ~inv:0 ~resp:5 ~reads:[] ~writes:[ (0, 1) ]
+       [ Op.write 0 (Value.Int 2) ]);
+  let h, _ = Recorder.to_history r in
+  Alcotest.(check int) "first mop is earliest" 0 (History.mop h 1).Mop.inv
+
+let test_recorder_rejects_duplicate_versions () =
+  let r = Recorder.create ~n_objects:2 in
+  Recorder.add r
+    (record ~proc:0 ~inv:0 ~resp:5 ~reads:[] ~writes:[ (0, 1) ]
+       [ Op.write 0 (Value.Int 7) ]);
+  Recorder.add r
+    (record ~proc:1 ~inv:10 ~resp:15 ~reads:[] ~writes:[ (0, 1) ]
+       [ Op.write 0 (Value.Int 8) ]);
+  match Recorder.to_history r with
+  | exception Recorder.Inconsistent_versions _ -> ()
+  | _ -> Alcotest.fail "expected Inconsistent_versions"
+
+let test_recorder_missing_writer () =
+  let r = Recorder.create ~n_objects:2 in
+  Recorder.add r
+    (record ~proc:0 ~inv:0 ~resp:5 ~reads:[ (0, 3) ] ~writes:[]
+       [ Op.read 0 (Value.Int 9) ]);
+  match Recorder.to_history r with
+  | exception Recorder.Inconsistent_versions _ -> ()
+  | _ -> Alcotest.fail "expected Inconsistent_versions"
+
+(* --- Dot --- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_dot_renders () =
+  let h, _, _ = Mmc_workload.Figures.figure2 () in
+  let s = Dot.history h in
+  Alcotest.(check bool) "digraph" true
+    (String.length s > 0 && String.sub s 0 7 = "digraph");
+  Alcotest.(check bool) "mentions rf object" true (contains s "label=\"x1\"");
+  let rel = History.base_relation h History.Msc in
+  let s2 = Dot.relation h rel ~name:"base" in
+  Alcotest.(check bool) "relation digraph" true (contains s2 "digraph base")
+
+let () =
+  Alcotest.run "store-internals"
+    [
+      ( "prog",
+        [
+          Alcotest.test_case "combinators" `Quick test_prog_combinators;
+          Alcotest.test_case "data dependence" `Quick test_prog_data_dependence;
+          Alcotest.test_case "may_touch" `Quick test_mprog_may_touch_default;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "versions" `Quick test_apply_update_versions;
+          Alcotest.test_case "internal read" `Quick test_apply_internal_read_not_recorded;
+          Alcotest.test_case "query writes" `Quick test_apply_query_rejects_writes;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "resolves rf" `Quick test_recorder_resolves_rf;
+          Alcotest.test_case "invocation order" `Quick test_recorder_orders_by_invocation;
+          Alcotest.test_case "duplicate versions" `Quick
+            test_recorder_rejects_duplicate_versions;
+          Alcotest.test_case "missing writer" `Quick test_recorder_missing_writer;
+        ] );
+      ("dot", [ Alcotest.test_case "renders" `Quick test_dot_renders ]);
+    ]

@@ -1,0 +1,130 @@
+(* Tests for Value, Op and Mop. *)
+
+open Mmc_core
+
+let v = Alcotest.testable (Fmt.of_to_string Value.show) Value.equal
+
+let test_value_basics () =
+  Alcotest.check v "int" (Value.Int 3) (Value.int 3);
+  Alcotest.(check int) "to_int" 7 (Value.to_int (Value.Int 7));
+  Alcotest.check_raises "to_int of bool" (Invalid_argument "Value.to_int: not an integer value")
+    (fun () -> ignore (Value.to_int (Value.Bool true)));
+  Alcotest.(check bool) "initial-as-empty-list" true (Value.to_list Value.initial = []);
+  Alcotest.(check bool)
+    "list round trip" true
+    (Value.to_list (Value.List [ Value.Int 1 ]) = [ Value.Int 1 ])
+
+let test_value_order () =
+  Alcotest.(check bool) "eq refl" true (Value.equal (Value.Pair (Value.Int 1, Value.Unit)) (Value.Pair (Value.Int 1, Value.Unit)));
+  Alcotest.(check bool) "neq" false (Value.equal (Value.Int 1) (Value.Int 2));
+  Alcotest.(check bool) "compare consistent" true (Value.compare (Value.Int 1) (Value.Int 1) = 0)
+
+let test_op () =
+  let r = Op.read 3 (Value.Int 5) in
+  let w = Op.write 2 (Value.Int 9) in
+  Alcotest.(check int) "obj of read" 3 (Op.obj r);
+  Alcotest.(check int) "obj of write" 2 (Op.obj w);
+  Alcotest.(check bool) "is_read" true (Op.is_read r && not (Op.is_read w));
+  Alcotest.(check bool) "is_write" true (Op.is_write w && not (Op.is_write r));
+  Alcotest.check v "value" (Value.Int 5) (Op.value r)
+
+let mk ops = Mop.make ~id:1 ~proc:0 ~ops ~inv:0 ~resp:10
+
+let test_mop_sets () =
+  let m =
+    mk [ Op.read 0 (Value.Int 1); Op.write 1 (Value.Int 2); Op.read 2 (Value.Int 3); Op.write 0 (Value.Int 4) ]
+  in
+  Alcotest.(check (list int)) "objects" [ 0; 1; 2 ] (Mop.objects m);
+  Alcotest.(check (list int)) "robjects" [ 0; 2 ] (Mop.robjects m);
+  Alcotest.(check (list int)) "wobjects" [ 0; 1 ] (Mop.wobjects m);
+  Alcotest.(check bool) "update" true (Mop.is_update m);
+  Alcotest.(check bool) "not query" false (Mop.is_query m)
+
+let test_query_classification () =
+  let q = mk [ Op.read 0 Value.initial; Op.read 1 Value.initial ] in
+  Alcotest.(check bool) "query" true (Mop.is_query q)
+
+let test_external_reads () =
+  (* read x; write x; read x again: only the first read is external. *)
+  let m =
+    mk
+      [
+        Op.read 0 (Value.Int 1);
+        Op.write 0 (Value.Int 2);
+        Op.read 0 (Value.Int 2);
+        Op.read 1 (Value.Int 3);
+        Op.read 1 (Value.Int 3);
+      ]
+  in
+  Alcotest.(check (list (pair int (Alcotest.testable (Fmt.of_to_string Value.show) Value.equal))))
+    "external reads"
+    [ (0, Value.Int 1); (1, Value.Int 3) ]
+    (Mop.external_reads m)
+
+let test_internal_read_after_write () =
+  let m = mk [ Op.write 0 (Value.Int 2); Op.read 0 (Value.Int 2) ] in
+  Alcotest.(check int) "no external reads" 0 (List.length (Mop.external_reads m))
+
+let test_final_writes () =
+  let m =
+    mk [ Op.write 0 (Value.Int 1); Op.write 0 (Value.Int 2); Op.write 1 (Value.Int 3) ]
+  in
+  Alcotest.(check bool) "final write of x0 is 2" true
+    (Mop.final_write_value m 0 = Some (Value.Int 2));
+  Alcotest.(check bool) "final write of x1 is 3" true
+    (Mop.final_write_value m 1 = Some (Value.Int 3));
+  Alcotest.(check bool) "no final write of x2" true (Mop.final_write_value m 2 = None)
+
+let test_conflict () =
+  let a = Mop.make ~id:1 ~proc:0 ~ops:[ Op.write 0 (Value.Int 1) ] ~inv:0 ~resp:1 in
+  let b = Mop.make ~id:2 ~proc:1 ~ops:[ Op.read 0 (Value.Int 1) ] ~inv:2 ~resp:3 in
+  let c = Mop.make ~id:3 ~proc:2 ~ops:[ Op.read 1 Value.initial ] ~inv:0 ~resp:1 in
+  let d = Mop.make ~id:4 ~proc:3 ~ops:[ Op.read 0 Value.initial ] ~inv:0 ~resp:1 in
+  Alcotest.(check bool) "write/read conflict" true (Mop.conflict a b);
+  Alcotest.(check bool) "disjoint objects no conflict" false (Mop.conflict a c);
+  Alcotest.(check bool) "read/read no conflict" false (Mop.conflict b d);
+  Alcotest.(check bool) "no self conflict" false (Mop.conflict a a)
+
+let test_rt_obj_precedence () =
+  let a = Mop.make ~id:1 ~proc:0 ~ops:[ Op.write 0 (Value.Int 1) ] ~inv:0 ~resp:5 in
+  let b = Mop.make ~id:2 ~proc:1 ~ops:[ Op.read 0 (Value.Int 1) ] ~inv:6 ~resp:9 in
+  let c = Mop.make ~id:3 ~proc:2 ~ops:[ Op.read 1 Value.initial ] ~inv:7 ~resp:9 in
+  let o = Mop.make ~id:4 ~proc:3 ~ops:[ Op.read 0 Value.initial ] ~inv:3 ~resp:8 in
+  Alcotest.(check bool) "rt precedes" true (Mop.rt_precedes a b);
+  Alcotest.(check bool) "overlap no rt" false (Mop.rt_precedes a o);
+  Alcotest.(check bool) "obj precedes" true (Mop.obj_precedes a b);
+  Alcotest.(check bool) "no shared object" false (Mop.obj_precedes a c)
+
+let test_make_validation () =
+  Alcotest.check_raises "resp before inv"
+    (Invalid_argument "Mop.make: response 0 precedes invocation 5") (fun () ->
+      ignore (Mop.make ~id:1 ~proc:0 ~ops:[] ~inv:5 ~resp:0))
+
+let test_initializer () =
+  let m = Mop.initializer_ ~n_objects:3 in
+  Alcotest.(check int) "id" Types.init_mop m.Mop.id;
+  Alcotest.(check (list int)) "writes all" [ 0; 1; 2 ] (Mop.wobjects m);
+  Alcotest.(check bool) "update" true (Mop.is_update m)
+
+let () =
+  Alcotest.run "value-op-mop"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "basics" `Quick test_value_basics;
+          Alcotest.test_case "order" `Quick test_value_order;
+        ] );
+      ("op", [ Alcotest.test_case "accessors" `Quick test_op ]);
+      ( "mop",
+        [
+          Alcotest.test_case "object sets" `Quick test_mop_sets;
+          Alcotest.test_case "query classification" `Quick test_query_classification;
+          Alcotest.test_case "external reads" `Quick test_external_reads;
+          Alcotest.test_case "internal read" `Quick test_internal_read_after_write;
+          Alcotest.test_case "final writes" `Quick test_final_writes;
+          Alcotest.test_case "conflicts" `Quick test_conflict;
+          Alcotest.test_case "rt/object precedence" `Quick test_rt_obj_precedence;
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "initializer" `Quick test_initializer;
+        ] );
+    ]

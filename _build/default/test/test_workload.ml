@@ -1,0 +1,125 @@
+(* Tests for the workload generators and random history families. *)
+
+open Mmc_core
+open Mmc_store
+open Mmc_sim
+
+let spec = Mmc_workload.Spec.default
+
+let test_mixed_generator_shapes () =
+  let rng = Rng.create 1 in
+  let queries = ref 0 and updates = ref 0 in
+  for step = 0 to 199 do
+    let m = Mmc_workload.Generator.mixed spec rng ~proc:0 ~step in
+    if Prog.is_query m then begin
+      incr queries;
+      (* Query programs must not write. *)
+      let arr = Array.make spec.Mmc_workload.Spec.n_objects Value.initial in
+      let before = Array.copy arr in
+      ignore (Prog.run_on_array m.Prog.prog arr);
+      Alcotest.(check bool) "query writes nothing" true (arr = before)
+    end
+    else begin
+      incr updates;
+      (* Declared write set covers the actual writes. *)
+      let arr = Array.make spec.Mmc_workload.Spec.n_objects Value.initial in
+      let written = ref [] in
+      let rd x = arr.(x) in
+      let wr x v =
+        arr.(x) <- v;
+        written := x :: !written
+      in
+      ignore (Prog.run m.Prog.prog ~read:rd ~write:wr);
+      Alcotest.(check bool) "may_write covers writes" true
+        (List.for_all (fun x -> List.mem x m.Prog.may_write) !written)
+    end
+  done;
+  Alcotest.(check bool) "both kinds generated" true (!queries > 20 && !updates > 20)
+
+let test_dcas_workload_write_sets () =
+  let rng = Rng.create 2 in
+  for step = 0 to 99 do
+    let m = Mmc_workload.Generator.dcas_contention spec rng ~proc:1 ~step in
+    let arr = Array.make spec.Mmc_workload.Spec.n_objects Value.initial in
+    let written = ref [] in
+    ignore
+      (Prog.run m.Prog.prog ~read:(fun x -> arr.(x))
+         ~write:(fun x v ->
+           arr.(x) <- v;
+           written := x :: !written));
+    Alcotest.(check bool) "declared superset" true
+      (List.for_all (fun x -> List.mem x m.Prog.may_write) !written)
+  done
+
+let test_legal_random_well_formed () =
+  for seed = 0 to 20 do
+    let h =
+      Mmc_workload.Histories.legal_random ~seed ~n_procs:4 ~n_objects:5
+        ~n_mops:15 ~max_len:4 ~read_ratio:0.5 ()
+    in
+    Alcotest.(check int)
+      (Fmt.str "mop count (seed %d)" seed)
+      16 (History.n_mops h)
+  done
+
+let test_legal_random_identity_witness () =
+  for seed = 0 to 20 do
+    let h =
+      Mmc_workload.Histories.legal_random ~seed ~n_procs:3 ~n_objects:4
+        ~n_mops:12 ~max_len:3 ~read_ratio:0.5 ()
+    in
+    let order = Array.init (History.n_mops h) Fun.id in
+    Alcotest.(check bool)
+      (Fmt.str "identity order is m-lin witness (seed %d)" seed)
+      true
+      (Sequential.validate h (History.base_relation h History.Mlin) order)
+  done
+
+let test_random_register_single_ops () =
+  let h =
+    Mmc_workload.Histories.random_register ~seed:5 ~n_procs:3 ~n_objects:2
+      ~n_mops:12 ~write_ratio:0.5 ()
+  in
+  List.iter
+    (fun (m : Mop.t) ->
+      Alcotest.(check int) "single op" 1 (List.length m.Mop.ops))
+    (History.real_mops h)
+
+let test_random_multi_valid () =
+  (* Construction must satisfy History.create's validation for many
+     seeds. *)
+  for seed = 0 to 30 do
+    let h =
+      Mmc_workload.Histories.random_multi ~seed ~n_procs:3 ~n_objects:3
+        ~n_mops:8 ~max_reads:3 ~max_writes:2 ()
+    in
+    Alcotest.(check int) (Fmt.str "count (seed %d)" seed) 9 (History.n_mops h)
+  done
+
+let test_figures_build () =
+  let h1, _ = Mmc_workload.Figures.figure1 () in
+  Alcotest.(check int) "figure 1 mops" 6 (History.n_mops h1);
+  let h2, _, ww = Mmc_workload.Figures.figure2 () in
+  Alcotest.(check int) "figure 2 mops" 5 (History.n_mops h2);
+  Alcotest.(check int) "figure 2 ww edges" 2 (List.length ww)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "mixed" `Quick test_mixed_generator_shapes;
+          Alcotest.test_case "dcas write sets" `Quick test_dcas_workload_write_sets;
+        ] );
+      ( "histories",
+        [
+          Alcotest.test_case "legal_random well-formed" `Quick
+            test_legal_random_well_formed;
+          Alcotest.test_case "legal_random witness" `Quick
+            test_legal_random_identity_witness;
+          Alcotest.test_case "random_register shape" `Quick
+            test_random_register_single_ops;
+          Alcotest.test_case "random_multi valid" `Quick test_random_multi_valid;
+          Alcotest.test_case "figures build" `Quick test_figures_build;
+        ] );
+    ]
