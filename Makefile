@@ -1,0 +1,31 @@
+# Repeatable entry points; `make check` is the tier-1 gate.
+
+DUNE ?= dune
+
+.PHONY: all build test check smoke experiments clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+# Full test suite (includes the fault-sweep smoke rules in test/dune).
+test:
+	$(DUNE) runtest
+
+# Tier-1 gate: everything builds and every test passes.
+check: build test
+
+# Stand-alone fault smoke: lossy plan with a partition and a crash
+# window; exits non-zero unless the trace passes the Theorem-7 check.
+smoke: build
+	$(DUNE) exec bin/mmc_cli.exe -- faults --store msc \
+	  --plan 'drop=0.3,spike=0.05:40,part=100:350:0,crash=2:50:300' \
+	  --ops 8 --seed 1
+
+# Quick versions of every registered experiment table.
+experiments: build
+	$(DUNE) exec bin/mmc_cli.exe -- experiments all --quick
+
+clean:
+	$(DUNE) clean

@@ -293,6 +293,207 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a random history")
     Term.(const generate $ family $ procs $ objects $ mops $ seed $ out)
 
+(* --- faults --- *)
+
+let fault_plan_conv =
+  (* "drop=0.2,spike=0.05:40,part=150:400:0,crash=2:60:300" — any subset,
+     comma-separated; part islands use '+'-separated node lists. *)
+  let parse s =
+    try
+      let plan =
+        List.fold_left
+          (fun plan field ->
+            match String.index_opt field '=' with
+            | None -> failwith (Fmt.str "bad fault field %S" field)
+            | Some i -> (
+              let key = String.sub field 0 i in
+              let v = String.sub field (i + 1) (String.length field - i - 1) in
+              let ints_of sep str =
+                String.split_on_char sep str |> List.map int_of_string
+              in
+              match (key, String.split_on_char ':' v) with
+              | "drop", [ p ] ->
+                { plan with Mmc_sim.Fault.drop = float_of_string p }
+              | "spike", [ p; d ] ->
+                {
+                  plan with
+                  Mmc_sim.Fault.spike_prob = float_of_string p;
+                  spike_delay = int_of_string d;
+                }
+              | "part", [ from_; until; island ] ->
+                {
+                  plan with
+                  Mmc_sim.Fault.partitions =
+                    {
+                      Mmc_sim.Fault.from_ = int_of_string from_;
+                      until = int_of_string until;
+                      island = ints_of '+' island;
+                    }
+                    :: plan.Mmc_sim.Fault.partitions;
+                }
+              | "crash", [ node; at; back ] ->
+                {
+                  plan with
+                  Mmc_sim.Fault.crashes =
+                    {
+                      Mmc_sim.Fault.node = int_of_string node;
+                      at = int_of_string at;
+                      back = int_of_string back;
+                    }
+                    :: plan.Mmc_sim.Fault.crashes;
+                }
+              | _ -> failwith (Fmt.str "bad fault field %S" field)))
+          Mmc_sim.Fault.none
+          (String.split_on_char ',' s)
+      in
+      Mmc_sim.Fault.validate plan;
+      Ok plan
+    with
+    | Failure msg -> Error (`Msg msg)
+    | Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Mmc_sim.Fault.pp_plan)
+
+let faults kind procs objects ops abcast latency seed plan save =
+  (* the converter validates the plan in isolation; node ids can only
+     be range-checked against --procs here *)
+  (try Mmc_sim.Fault.validate ~n:procs plan
+   with Invalid_argument msg ->
+     Fmt.epr "mmc: faults: %s@." msg;
+     exit 124);
+  let spec = { Mmc_workload.Spec.default with n_objects = objects } in
+  let cfg =
+    {
+      Mmc_store.Runner.default_config with
+      n_procs = procs;
+      n_objects = objects;
+      ops_per_proc = ops;
+      kind;
+      abcast_impl = abcast;
+      latency;
+      fault = plan;
+    }
+  in
+  let res =
+    Mmc_store.Runner.run ~seed cfg ~workload:(Mmc_workload.Generator.mixed spec)
+  in
+  Fmt.pr "store           %a over %a@." Mmc_store.Store.pp_kind kind
+    Mmc_broadcast.Abcast.pp_impl abcast;
+  Fmt.pr "fault plan      %a@." Mmc_sim.Fault.pp_plan plan;
+  Fmt.pr "completed ops   %d@." res.Mmc_store.Runner.completed;
+  Fmt.pr "virtual time    %d@." res.Mmc_store.Runner.duration;
+  Fmt.pr "messages        %d@." res.Mmc_store.Runner.messages;
+  Fmt.pr "update latency  %a@." Mmc_sim.Stats.pp_summary
+    res.Mmc_store.Runner.update_latency;
+  (match res.Mmc_store.Runner.fault with
+  | None -> Fmt.pr "faults          none injected (empty plan)@."
+  | Some f ->
+    let c = Mmc_sim.Fault.counts f in
+    Fmt.pr "dropped         %d (loss %d, partition %d, crashed %d)@."
+      (Mmc_sim.Fault.dropped f) c.Mmc_sim.Fault.loss c.Mmc_sim.Fault.partitioned
+      c.Mmc_sim.Fault.crashed;
+    Fmt.pr "spikes          %d@." c.Mmc_sim.Fault.spikes;
+    Fmt.pr "retransmits     %d (given up %d)@." c.Mmc_sim.Fault.retransmissions
+      c.Mmc_sim.Fault.abandoned;
+    Fmt.pr "acks            %d@." c.Mmc_sim.Fault.acks;
+    Fmt.pr "dups suppressed %d@." c.Mmc_sim.Fault.duplicates;
+    Fmt.pr "delivery delay  %a@." Mmc_sim.Stats.pp_summary
+      (Mmc_sim.Fault.delivery_delay f);
+    Fmt.pr "recovery time   %d@." (Mmc_sim.Fault.recovery_time f));
+  let h = res.Mmc_store.Runner.history in
+  (match save with
+  | Some path ->
+    Codec.to_file h path;
+    Fmt.pr "history saved   %s@." path
+  | None -> ());
+  let flavour =
+    match kind with
+    | Mmc_store.Store.Msc | Mmc_store.Store.Local -> History.Msc
+    | _ -> History.Mlin
+  in
+  let base = History.base_relation h flavour in
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+      Relation.add base a b;
+      link rest
+    | [ _ ] | [] -> ()
+  in
+  link res.Mmc_store.Runner.sync_order;
+  (match Check_constrained.check_relation h base Constraints.WW with
+  | Check_constrained.Admissible _ ->
+    Fmt.pr "check           %a (Theorem 7, WW): PASS@." History.pp_flavour
+      flavour;
+    0
+  | r ->
+    Fmt.pr "check           %a (Theorem 7, WW): FAIL (%a)@." History.pp_flavour
+      flavour Check_constrained.pp_result r;
+    1)
+
+let faults_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt store_kind_conv Mmc_store.Store.Msc
+      & info [ "store" ] ~docv:"STORE"
+          ~doc:"Store protocol: msc, mlin, central, local, causal, lock or aw.")
+  in
+  let procs =
+    Arg.(value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Number of processes.")
+  in
+  let objects =
+    Arg.(
+      value & opt int 8
+      & info [ "objects" ] ~docv:"N" ~doc:"Number of shared objects.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 20
+      & info [ "ops" ] ~docv:"N" ~doc:"m-operations per process.")
+  in
+  let abcast =
+    Arg.(
+      value
+      & opt abcast_conv Mmc_broadcast.Abcast.Sequencer_impl
+      & info [ "abcast" ] ~docv:"IMPL"
+          ~doc:"Atomic broadcast: sequencer or lamport.")
+  in
+  let latency =
+    Arg.(
+      value
+      & opt latency_conv (Mmc_sim.Latency.Uniform (5, 15))
+      & info [ "latency" ] ~docv:"MODEL" ~doc:"Latency model.")
+  in
+  let plan =
+    Arg.(
+      value
+      & opt fault_plan_conv
+          {
+            Mmc_sim.Fault.none with
+            Mmc_sim.Fault.drop = 0.2;
+            partitions =
+              [ { Mmc_sim.Fault.from_ = 150; until = 400; island = [ 0 ] } ];
+          }
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan, comma-separated fields: drop=P, spike=P:DELAY, \
+             part=FROM:UNTIL:N1+N2+.., crash=NODE:AT:BACK (part/crash \
+             repeatable).")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Save the history in the text format.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a protocol over a faulty transport and verify the trace \
+          (Theorem-7 admissibility as a fault-tolerance oracle)")
+    Term.(
+      const faults $ kind $ procs $ objects $ ops $ abcast $ latency $ seed
+      $ plan $ save)
+
 (* --- experiments --- *)
 
 let experiments ids quick =
@@ -438,6 +639,7 @@ let main_cmd =
        ~doc:"Multi-object consistency conditions: protocols and checkers")
     [
       simulate_cmd;
+      faults_cmd;
       check_cmd;
       generate_cmd;
       experiments_cmd;

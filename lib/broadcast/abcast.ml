@@ -26,9 +26,13 @@ let name t = t.name
 
 (** Implementations are functions of this shape.  [duplicate] makes the
     underlying network at-least-once; both implementations suppress
-    duplicates and still deliver exactly once in total order. *)
+    duplicates and still deliver exactly once in total order.  [fault]
+    attaches a fault injector: the implementation then runs over the
+    reliable ack/retransmit transport and keeps its guarantees over
+    message loss, partitions and crash/recovery windows. *)
 type 'p factory =
   ?duplicate:float ->
+  ?fault:Mmc_sim.Fault.t ->
   Mmc_sim.Engine.t ->
   n:int ->
   latency:Mmc_sim.Latency.t ->

@@ -18,9 +18,13 @@ val name : 'p t -> string
 (** Implementations are functions of this shape; [deliver] is invoked
     at every node, in the agreed total order.  [duplicate] makes the
     underlying network at-least-once; both implementations suppress
-    duplicates and still deliver exactly once. *)
+    duplicates and still deliver exactly once.  [fault] attaches a
+    fault injector: the implementation then runs over the reliable
+    ack/retransmit transport and keeps its guarantees over message
+    loss, partitions and crash/recovery windows. *)
 type 'p factory =
   ?duplicate:float ->
+  ?fault:Mmc_sim.Fault.t ->
   Mmc_sim.Engine.t ->
   n:int ->
   latency:Mmc_sim.Latency.t ->

@@ -18,8 +18,8 @@ type 'p msg =
 
 let sequencer_node = 0
 
-let create ?duplicate engine ~n ~latency ~rng ~deliver : 'p Abcast.t =
-  let net = Network.create ?duplicate engine ~n ~latency ~rng in
+let create ?duplicate ?fault engine ~n ~latency ~rng ~deliver : 'p Abcast.t =
+  let net = Transport.create ?duplicate ?fault engine ~n ~latency ~rng in
   let next_seq = ref 0 in
   (* Sequencer-side per-origin cursor and reorder buffer: requests are
      stamped in origin_seq order, duplicates (below the cursor) are
@@ -36,7 +36,7 @@ let create ?duplicate engine ~n ~latency ~rng ~deliver : 'p Abcast.t =
     Array.init n (fun _ -> Hashtbl.create 16)
   in
   for node = 0 to n - 1 do
-    Network.set_handler net node (fun _src msg ->
+    Transport.set_handler net node (fun _src msg ->
         match msg with
         | To_sequencer { origin; origin_seq; payload } ->
           assert (node = sequencer_node);
@@ -50,7 +50,7 @@ let create ?duplicate engine ~n ~latency ~rng ~deliver : 'p Abcast.t =
               stamped.(origin) <- stamped.(origin) + 1;
               let seq = !next_seq in
               incr next_seq;
-              Network.send_all net ~src:node (Ordered { seq; origin; payload });
+              Transport.send_all net ~src:node (Ordered { seq; origin; payload });
               stamp ()
           in
           stamp ()
@@ -74,7 +74,7 @@ let create ?duplicate engine ~n ~latency ~rng ~deliver : 'p Abcast.t =
       (fun ~src payload ->
         let origin_seq = origin_seqs.(src) in
         origin_seqs.(src) <- origin_seq + 1;
-        Network.send net ~src ~dst:sequencer_node
+        Transport.send net ~src ~dst:sequencer_node
           (To_sequencer { origin = src; origin_seq; payload }));
-    messages_sent = (fun () -> Network.messages_sent net);
+    messages_sent = (fun () -> Transport.messages_sent net);
   }

@@ -100,6 +100,18 @@ let all : entry list =
       quick = (fun () -> Exp_checker.v2 ~sizes:[ 30; 60 ] ());
     };
     {
+      id = "R1";
+      description = "fault injection: drop-rate sweep + sequencer partition";
+      run = (fun () -> Exp_faults.f1 ());
+      quick = (fun () -> Exp_faults.f1 ~drops:[ 0.0; 0.3 ] ~seeds:2 ~ops:8 ());
+    };
+    {
+      id = "R2";
+      description = "fault injection: outage-length sweep (partition + crash)";
+      run = (fun () -> Exp_faults.f2 ());
+      quick = (fun () -> Exp_faults.f2 ~lengths:[ 0; 250 ] ~seeds:2 ~ops:8 ());
+    };
+    {
       id = "Z1";
       description = "Zipf contention skew: 2PL vs broadcast";
       run = (fun () -> Exp_protocol.z1 ());

@@ -1,0 +1,193 @@
+(** Fault injection below the transport: message loss, latency spikes,
+    timed partitions and node crash/recovery windows, driven by a
+    deterministic PRNG stream; see the interface for semantics. *)
+
+type partition = { from_ : int; until : int; island : int list }
+
+type crash = { node : int; at : int; back : int }
+
+type plan = {
+  drop : float;
+  link_drop : ((int * int) * float) list;
+  spike_prob : float;
+  spike_delay : int;
+  partitions : partition list;
+  crashes : crash list;
+}
+
+let none =
+  {
+    drop = 0.0;
+    link_drop = [];
+    spike_prob = 0.0;
+    spike_delay = 0;
+    partitions = [];
+    crashes = [];
+  }
+
+let is_none p = p = none
+
+let check_prob what p =
+  (* The negated form also rejects NaN. *)
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Fmt.str "Fault.validate: %s must be in [0,1], got %g" what p)
+
+let check_node ?n what id =
+  if id < 0 then invalid_arg (Fmt.str "Fault.validate: negative %s node" what);
+  match n with
+  | Some n when id >= n ->
+    invalid_arg (Fmt.str "Fault.validate: %s node %d out of range [0,%d)" what id n)
+  | _ -> ()
+
+let validate ?n plan =
+  check_prob "drop" plan.drop;
+  List.iter
+    (fun ((src, dst), p) ->
+      check_node ?n "link" src;
+      check_node ?n "link" dst;
+      check_prob (Fmt.str "link_drop(%d,%d)" src dst) p)
+    plan.link_drop;
+  check_prob "spike_prob" plan.spike_prob;
+  if plan.spike_delay < 0 then
+    invalid_arg "Fault.validate: spike_delay must be non-negative";
+  List.iter
+    (fun w ->
+      if w.from_ < 0 || w.until <= w.from_ then
+        invalid_arg "Fault.validate: partition window must satisfy 0 <= from < until";
+      if w.island = [] then invalid_arg "Fault.validate: empty partition island";
+      List.iter (check_node ?n "partition") w.island)
+    plan.partitions;
+  List.iter
+    (fun c ->
+      if c.at < 0 || c.back <= c.at then
+        invalid_arg "Fault.validate: crash window must satisfy 0 <= at < back";
+      check_node ?n "crash" c.node)
+    plan.crashes
+
+let pp_plan ppf p =
+  Fmt.pf ppf "drop=%g spikes=%g/+%d partitions=%a crashes=%a" p.drop
+    p.spike_prob p.spike_delay
+    Fmt.(list ~sep:comma (fun ppf w ->
+        pf ppf "[%d,%d)x{%a}" w.from_ w.until (list ~sep:semi int) w.island))
+    p.partitions
+    Fmt.(list ~sep:comma (fun ppf c -> pf ppf "%d:[%d,%d)" c.node c.at c.back))
+    p.crashes
+
+type reason = Loss | Partitioned | Crashed_src | Crashed_dst
+
+type verdict = Deliver of int | Drop of reason
+
+type counts = {
+  loss : int;
+  partitioned : int;
+  crashed : int;
+  spikes : int;
+  retransmissions : int;
+  acks : int;
+  abandoned : int;
+  duplicates : int;
+}
+
+type t = {
+  plan : plan;
+  rng : Rng.t;
+  mutable c : counts;
+  delays : Stats.t;
+  heals : int list;  (** partition heal and crash recovery instants *)
+  mutable recovery : int;
+}
+
+let create plan ~rng =
+  validate plan;
+  {
+    plan;
+    rng;
+    c =
+      {
+        loss = 0;
+        partitioned = 0;
+        crashed = 0;
+        spikes = 0;
+        retransmissions = 0;
+        acks = 0;
+        abandoned = 0;
+        duplicates = 0;
+      };
+    delays = Stats.create ();
+    heals =
+      List.map (fun w -> w.until) plan.partitions
+      @ List.map (fun c -> c.back) plan.crashes;
+    recovery = 0;
+  }
+
+let plan t = t.plan
+
+let node_up t ~now ~node =
+  not
+    (List.exists
+       (fun c -> c.node = node && c.at <= now && now < c.back)
+       t.plan.crashes)
+
+let severed t ~now ~src ~dst =
+  src <> dst
+  && List.exists
+       (fun w ->
+         w.from_ <= now && now < w.until
+         && List.mem src w.island <> List.mem dst w.island)
+       t.plan.partitions
+
+let drop_prob t ~src ~dst =
+  match List.assoc_opt (src, dst) t.plan.link_drop with
+  | Some p -> p
+  | None -> t.plan.drop
+
+let note_drop t reason =
+  t.c <-
+    (match reason with
+    | Loss -> { t.c with loss = t.c.loss + 1 }
+    | Partitioned -> { t.c with partitioned = t.c.partitioned + 1 }
+    | Crashed_src | Crashed_dst -> { t.c with crashed = t.c.crashed + 1 })
+
+let judge t ~now ~src ~dst =
+  let verdict =
+    if not (node_up t ~now ~node:src) then Drop Crashed_src
+    else if severed t ~now ~src ~dst then Drop Partitioned
+    else begin
+      let p = drop_prob t ~src ~dst in
+      if p > 0.0 && Rng.bernoulli t.rng ~p then Drop Loss
+      else if
+        t.plan.spike_prob > 0.0 && Rng.bernoulli t.rng ~p:t.plan.spike_prob
+      then begin
+        t.c <- { t.c with spikes = t.c.spikes + 1 };
+        Deliver t.plan.spike_delay
+      end
+      else Deliver 0
+    end
+  in
+  (match verdict with Drop r -> note_drop t r | Deliver _ -> ());
+  verdict
+
+let note_retransmission t =
+  t.c <- { t.c with retransmissions = t.c.retransmissions + 1 }
+
+let note_ack t = t.c <- { t.c with acks = t.c.acks + 1 }
+
+let note_abandoned t = t.c <- { t.c with abandoned = t.c.abandoned + 1 }
+
+let note_duplicate t = t.c <- { t.c with duplicates = t.c.duplicates + 1 }
+
+let note_delivery t ~sent ~delivered =
+  Stats.add t.delays (delivered - sent);
+  List.iter
+    (fun heal ->
+      if sent < heal && delivered >= heal then
+        t.recovery <- max t.recovery (delivered - heal))
+    t.heals
+
+let counts t = t.c
+
+let dropped t = t.c.loss + t.c.partitioned + t.c.crashed
+
+let delivery_delay t = Stats.summarize t.delays
+
+let recovery_time t = t.recovery

@@ -1,0 +1,113 @@
+(** Fault injection below the transport.
+
+    The paper's Section 5 protocols assume reliable (but reordering)
+    channels.  This module breaks that assumption on purpose: a
+    {!plan} describes message loss, latency spikes, timed network
+    partitions and node crash/recovery windows; an injector {!t}
+    applies the plan with its own deterministic PRNG stream and
+    accumulates every robustness metric of a run (drops by cause,
+    retransmissions, suppressed duplicates, end-to-end delivery delay,
+    post-heal recovery time).  {!Reliable} rebuilds the paper's channel
+    assumption on top; {!Transport} composes the two.
+
+    Crash semantics are fail-recover with stable state: while a node is
+    down it neither sends nor receives (equivalently, it is partitioned
+    into a singleton island), and on recovery it rejoins with its
+    replica state intact — missed messages reach it through
+    retransmission. *)
+
+(** Nodes in [island] cannot exchange messages with the rest during
+    [\[from_, until)]; the partition heals at [until]. *)
+type partition = { from_ : int; until : int; island : int list }
+
+(** Node [node] is down during [\[at, back)] and recovers at [back]. *)
+type crash = { node : int; at : int; back : int }
+
+type plan = {
+  drop : float;  (** per-message loss probability, every link *)
+  link_drop : ((int * int) * float) list;
+      (** per-link [(src, dst)] overrides of [drop] *)
+  spike_prob : float;  (** probability of a latency spike *)
+  spike_delay : int;  (** extra delay a spiked message pays *)
+  partitions : partition list;
+  crashes : crash list;
+}
+
+(** No faults at all: the plan every configuration defaults to. *)
+val none : plan
+
+val is_none : plan -> bool
+
+(** Raise [Invalid_argument] unless probabilities are in [0,1], delays
+    non-negative, windows well-formed, and (when [n] is given) node
+    ids in range. *)
+val validate : ?n:int -> plan -> unit
+
+val pp_plan : Format.formatter -> plan -> unit
+
+(** A fault injector: a validated plan, a private PRNG stream, and the
+    accumulated counters of the run. *)
+type t
+
+val create : plan -> rng:Rng.t -> t
+val plan : t -> plan
+
+type reason =
+  | Loss  (** random per-message loss *)
+  | Partitioned  (** src and dst on opposite sides of an open window *)
+  | Crashed_src  (** sender was down at send time *)
+  | Crashed_dst  (** destination was down at delivery time *)
+
+type verdict =
+  | Deliver of int  (** deliver with this much extra delay (spikes) *)
+  | Drop of reason
+
+(** Judge one transmission attempt at send time ([now]); drops are
+    counted.  [Crashed_dst] is never returned here — the destination is
+    re-checked at delivery time via {!node_up} because it may crash (or
+    recover) while the message is in flight. *)
+val judge : t -> now:int -> src:int -> dst:int -> verdict
+
+(** Is [node] up at [now]? *)
+val node_up : t -> now:int -> node:int -> bool
+
+(** Count a drop decided outside {!judge} (the transport uses this for
+    in-flight messages arriving at a crashed destination). *)
+val note_drop : t -> reason -> unit
+
+(** {2 Counters maintained by the reliability layer} *)
+
+val note_retransmission : t -> unit
+val note_ack : t -> unit
+val note_abandoned : t -> unit
+val note_duplicate : t -> unit
+
+(** Record a successful first delivery: feeds the delivery-delay
+    distribution and, when the message was sent before a heal point
+    (partition [until] or crash [back]) and delivered after it, the
+    recovery-time metric. *)
+val note_delivery : t -> sent:int -> delivered:int -> unit
+
+type counts = {
+  loss : int;
+  partitioned : int;
+  crashed : int;  (** [Crashed_src] + [Crashed_dst] *)
+  spikes : int;
+  retransmissions : int;
+  acks : int;
+  abandoned : int;  (** messages given up after the retry budget *)
+  duplicates : int;  (** redundant deliveries suppressed *)
+}
+
+val counts : t -> counts
+val dropped : t -> int  (** loss + partitioned + crashed *)
+
+(** Distribution of first-delivery delay (send to delivery, including
+    retransmission time) over the messages delivered so far. *)
+val delivery_delay : t -> Stats.summary
+
+(** Max over delivered messages of (delivery time − heal point) for
+    messages sent before a heal point and delivered after it: how long
+    the retransmission layer needed to catch up once connectivity
+    returned.  0 when no message straddled a heal. *)
+val recovery_time : t -> int

@@ -1,14 +1,16 @@
-(** FIFO channel layer over the reordering network.
+(** FIFO channel layer over a reordering transport.
 
     Tags each message with a per-(src,dst) sequence number and buffers
     out-of-order arrivals, releasing them in send order.  The Lamport
     atomic-broadcast implementation requires FIFO channels for its
-    stability rule. *)
+    stability rule.  Runs over either transport stack: the plain
+    network, or — under a fault plan — the reliable ack/retransmit
+    layer. *)
 
 type 'msg tagged = { fifo_seq : int; payload : 'msg }
 
 type 'msg t = {
-  net : 'msg tagged Network.t;
+  net : 'msg tagged Transport.t;
   send_seq : int array array;  (** next seq to use, [src].(dst) *)
   recv_seq : int array array;  (** next seq expected, [dst].(src) *)
   pending : (int, 'msg) Hashtbl.t array array;
@@ -16,8 +18,8 @@ type 'msg t = {
   handlers : (int -> 'msg -> unit) array;
 }
 
-let create ?duplicate engine ~n ~latency ~rng =
-  let net = Network.create ?duplicate engine ~n ~latency ~rng in
+let create ?duplicate ?fault engine ~n ~latency ~rng =
+  let net = Transport.create ?duplicate ?fault engine ~n ~latency ~rng in
   let t =
     {
       net;
@@ -28,7 +30,7 @@ let create ?duplicate engine ~n ~latency ~rng =
     }
   in
   for dst = 0 to n - 1 do
-    Network.set_handler net dst (fun src tagged ->
+    Transport.set_handler net dst (fun src tagged ->
         let buf = t.pending.(dst).(src) in
         (* Duplicate suppression: sequence numbers already released are
            dropped; re-buffering a pending duplicate is idempotent. *)
@@ -55,11 +57,11 @@ let set_handler t node handler = t.handlers.(node) <- handler
 let send t ~src ~dst msg =
   let seq = t.send_seq.(src).(dst) in
   t.send_seq.(src).(dst) <- seq + 1;
-  Network.send t.net ~src ~dst { fifo_seq = seq; payload = msg }
+  Transport.send t.net ~src ~dst { fifo_seq = seq; payload = msg }
 
 let send_all t ~src msg =
   for dst = 0 to n_nodes t - 1 do
     send t ~src ~dst msg
   done
 
-let messages_sent t = Network.messages_sent t.net
+let messages_sent t = Transport.messages_sent t.net

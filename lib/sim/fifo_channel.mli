@@ -1,13 +1,23 @@
-(** FIFO channel layer over the reordering network: per-(src,dst)
+(** FIFO channel layer over a reordering transport: per-(src,dst)
     sequence numbers with out-of-order buffering.  Required by the
     Lamport atomic broadcast's stability rule. *)
 
 type 'msg t
 
 (** The layer suppresses duplicates, so it provides exactly-once FIFO
-    delivery even over an at-least-once network ([duplicate] > 0). *)
+    delivery even over an at-least-once network ([duplicate] > 0).
+    With [fault] it runs over the reliable ack/retransmit transport:
+    FIFO exactly-once delivery survives message loss, partitions and
+    crash/recovery windows. *)
 val create :
-  ?duplicate:float -> Engine.t -> n:int -> latency:Latency.t -> rng:Rng.t -> 'msg t
+  ?duplicate:float ->
+  ?fault:Fault.t ->
+  Engine.t ->
+  n:int ->
+  latency:Latency.t ->
+  rng:Rng.t ->
+  'msg t
+
 val n_nodes : 'msg t -> int
 val set_handler : 'msg t -> int -> (int -> 'msg -> unit) -> unit
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit

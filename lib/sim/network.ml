@@ -1,8 +1,15 @@
 (** Point-to-point message network.
 
-    Reliable (no loss), asynchronous (per-message sampled delay, hence
-    reordering), delivering by invoking a handler registered per
-    destination node.  Handlers run as atomic engine events.
+    By default reliable (no loss), asynchronous (per-message sampled
+    delay, hence reordering), delivering by invoking a handler
+    registered per destination node.  Handlers run as atomic engine
+    events.
+
+    With a {!Fault} injector attached the network becomes a lossy raw
+    wire: sends may be dropped (random loss, partitions, crashed
+    sender), delayed further (latency spikes), and in-flight messages
+    to a node that is down at delivery time are lost.  {!Reliable}
+    restores the reliable-channel abstraction on top.
 
     The handler table is populated after creation ([set_handler])
     because protocol nodes need the network in scope to send replies. *)
@@ -12,18 +19,24 @@ type 'msg t = {
   rng : Rng.t;
   latency : Latency.t;
   duplicate : float;  (** probability a message is delivered twice *)
+  fault : Fault.t option;
   handlers : (int -> 'msg -> unit) array;  (** per destination node *)
   mutable sent : int;
   mutable delivered : int;
   mutable total_delay : int;
 }
 
-let create ?(duplicate = 0.0) engine ~n ~latency ~rng =
+let create ?(duplicate = 0.0) ?fault engine ~n ~latency ~rng =
+  (* The negated form also rejects NaN. *)
+  if not (duplicate >= 0.0 && duplicate <= 1.0) then
+    invalid_arg
+      (Fmt.str "Network.create: duplicate must be in [0,1], got %g" duplicate);
   {
     engine;
     rng;
     latency;
     duplicate;
+    fault;
     handlers = Array.make n (fun _ _ -> failwith "Network: no handler");
     sent = 0;
     delivered = 0;
@@ -43,18 +56,33 @@ let set_handler t node handler = t.handlers.(node) <- handler
 let send t ~src ~dst msg =
   if dst < 0 || dst >= n_nodes t then
     invalid_arg (Fmt.str "Network.send: bad destination %d" dst);
-  let deliver_once () =
-    let delay = Latency.sample t.latency t.rng in
+  let deliver_once ?(extra = 0) () =
+    let delay = Latency.sample t.latency t.rng + extra in
     t.total_delay <- t.total_delay + delay;
     Engine.schedule t.engine ~delay (fun () ->
-        t.delivered <- t.delivered + 1;
-        t.handlers.(dst) src msg)
+        (* A destination that is down when the message arrives loses
+           it — messages in flight to a crashed node are not queued. *)
+        match t.fault with
+        | Some f when not (Fault.node_up f ~now:(Engine.now t.engine) ~node:dst)
+          ->
+          Fault.note_drop f Fault.Crashed_dst
+        | _ ->
+          t.delivered <- t.delivered + 1;
+          t.handlers.(dst) src msg)
+  in
+  let attempt () =
+    match t.fault with
+    | None -> deliver_once ()
+    | Some f -> (
+      match Fault.judge f ~now:(Engine.now t.engine) ~src ~dst with
+      | Fault.Drop _ -> ()
+      | Fault.Deliver extra -> deliver_once ~extra ())
   in
   t.sent <- t.sent + 1;
-  deliver_once ();
+  attempt ();
   (* At-least-once channels: occasionally deliver a duplicate with an
-     independent delay. *)
-  if t.duplicate > 0.0 && Rng.bernoulli t.rng ~p:t.duplicate then deliver_once ()
+     independent delay (and an independent fault judgement). *)
+  if t.duplicate > 0.0 && Rng.bernoulli t.rng ~p:t.duplicate then attempt ()
 
 (** Broadcast to every node (including [src]). *)
 let send_all t ~src msg =

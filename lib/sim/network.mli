@@ -1,16 +1,33 @@
-(** Point-to-point message network: reliable, asynchronous
-    (per-message sampled delay, hence reordering).  Handlers run as
-    atomic engine events and are registered after creation so protocol
-    nodes can close over the network. *)
+(** Point-to-point message network: asynchronous (per-message sampled
+    delay, hence reordering); reliable by default, a lossy raw wire
+    when a {!Fault} injector is attached.  Handlers run as atomic
+    engine events and are registered after creation so protocol nodes
+    can close over the network. *)
 
 type 'msg t
 
-(** [duplicate] is the probability a message is delivered twice (with
-    independent delays) — at-least-once channels for the
-    duplication-tolerance experiments.  Default 0 (exactly-once, the
-    paper's assumption). *)
+(** [duplicate] is the probability that a message is delivered twice,
+    each delivery with an independently sampled delay — at-least-once
+    channels for the duplication-tolerance experiments.  It must lie in
+    [0,1]; [create] raises [Invalid_argument] otherwise ([0] means
+    exactly-once, the paper's assumption, and is the default; [1] means
+    every message is delivered exactly twice).
+
+    [fault] attaches a fault injector: each transmission attempt (the
+    original and any duplicate, independently) may be dropped by random
+    loss, an open partition window, or a crashed sender; surviving
+    messages may pay a latency spike; and a message in flight to a node
+    that is down at delivery time is lost.  Without [fault] the network
+    is reliable. *)
 val create :
-  ?duplicate:float -> Engine.t -> n:int -> latency:Latency.t -> rng:Rng.t -> 'msg t
+  ?duplicate:float ->
+  ?fault:Fault.t ->
+  Engine.t ->
+  n:int ->
+  latency:Latency.t ->
+  rng:Rng.t ->
+  'msg t
+
 val n_nodes : 'msg t -> int
 
 (** Register node [node]'s handler (receives source and message). *)

@@ -1,0 +1,64 @@
+(** Reliable exactly-once channels over a lossy wire.
+
+    Rebuilds the paper's channel assumption — reliable, possibly
+    reordering, exactly-once — on top of a {!Network} subjected to a
+    {!Fault} plan.  Classic positive-ack protocol: every logical
+    message gets a per-(src,dst) sequence number and is retransmitted
+    on a timeout with exponential backoff until acknowledged (or a
+    generous retry budget runs out); the receiver acknowledges every
+    [Data] packet (including duplicates, whose earlier ack may have
+    been lost) and suppresses redundant deliveries with a watermark
+    plus out-of-order-set per (dst,src) stream.
+
+    Delivery guarantee: once connectivity returns (a partition heals, a
+    crashed node recovers) and while the retry budget lasts, every
+    message sent is delivered exactly once at its destination.  The
+    default budget ([max_retries] backoffs capped at [max_rto])
+    outlasts any outage the experiments inject by an order of
+    magnitude.
+
+    Delivery is {e not} FIFO — reordering is allowed, exactly as the
+    paper assumes; layer {!Fifo_channel} on top when send order
+    matters. *)
+
+type config = {
+  rto : int;  (** initial retransmission timeout *)
+  backoff : int;  (** timeout multiplier per retry *)
+  max_rto : int;  (** backoff cap *)
+  max_retries : int;  (** retransmissions before giving up *)
+}
+
+(** rto 40, backoff 2, max_rto 640, max_retries 40. *)
+val default_config : config
+
+type 'msg t
+
+(** The injector drives loss on the underlying wire and accumulates
+    this layer's counters (retransmissions, acks, suppressed
+    duplicates, delivery delay, recovery time).  [duplicate] applies to
+    the wire below, as in {!Network.create}. *)
+val create :
+  ?duplicate:float ->
+  ?config:config ->
+  fault:Fault.t ->
+  Engine.t ->
+  n:int ->
+  latency:Latency.t ->
+  rng:Rng.t ->
+  'msg t
+
+val n_nodes : 'msg t -> int
+val set_handler : 'msg t -> int -> (int -> 'msg -> unit) -> unit
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+val send_all : 'msg t -> src:int -> 'msg -> unit
+
+(** Transport packets on the wire, including acks and retransmissions. *)
+val messages_sent : 'msg t -> int
+
+val fault : 'msg t -> Fault.t
+
+(** Logical messages accepted by [send] so far. *)
+val accepted : 'msg t -> int
+
+(** Logical messages delivered (exactly once each) so far. *)
+val delivered : 'msg t -> int

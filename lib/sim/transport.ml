@@ -1,0 +1,44 @@
+(** Uniform face over {!Network} (no faults) and {!Reliable} (faulty
+    wire + ack/retransmit recovery); see the interface. *)
+
+type 'msg t = {
+  n : int;
+  send : src:int -> dst:int -> 'msg -> unit;
+  set_handler : int -> (int -> 'msg -> unit) -> unit;
+  messages_sent : unit -> int;
+}
+
+let of_network net =
+  {
+    n = Network.n_nodes net;
+    send = (fun ~src ~dst msg -> Network.send net ~src ~dst msg);
+    set_handler = (fun node h -> Network.set_handler net node h);
+    messages_sent = (fun () -> Network.messages_sent net);
+  }
+
+let of_reliable r =
+  {
+    n = Reliable.n_nodes r;
+    send = (fun ~src ~dst msg -> Reliable.send r ~src ~dst msg);
+    set_handler = (fun node h -> Reliable.set_handler r node h);
+    messages_sent = (fun () -> Reliable.messages_sent r);
+  }
+
+let create ?duplicate ?fault ?config engine ~n ~latency ~rng =
+  match fault with
+  | None -> of_network (Network.create ?duplicate engine ~n ~latency ~rng)
+  | Some fault ->
+    of_reliable (Reliable.create ?duplicate ?config ~fault engine ~n ~latency ~rng)
+
+let n_nodes t = t.n
+
+let set_handler t node handler = t.set_handler node handler
+
+let send t ~src ~dst msg = t.send ~src ~dst msg
+
+let send_all t ~src msg =
+  for dst = 0 to t.n - 1 do
+    send t ~src ~dst msg
+  done
+
+let messages_sent t = t.messages_sent ()

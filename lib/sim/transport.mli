@@ -1,0 +1,35 @@
+(** Uniform face over the two channel stacks.
+
+    The paper's protocols assume reliable reordering channels.  A
+    transport is that assumption, packaged: without a fault injector it
+    is the plain {!Network}; with one it is {!Reliable} over a faulty
+    {!Network} — ack/retransmit delivery, exactly-once, still
+    reordering.  Protocol code written against this interface runs
+    unmodified over either stack. *)
+
+type 'msg t
+
+(** Pick the stack: [fault] absent — plain network (reliable wire,
+    [duplicate] as in {!Network.create}); [fault] present — reliable
+    channels ([config] tunes the retransmission protocol, default
+    {!Reliable.default_config}). *)
+val create :
+  ?duplicate:float ->
+  ?fault:Fault.t ->
+  ?config:Reliable.config ->
+  Engine.t ->
+  n:int ->
+  latency:Latency.t ->
+  rng:Rng.t ->
+  'msg t
+
+val n_nodes : 'msg t -> int
+val set_handler : 'msg t -> int -> (int -> 'msg -> unit) -> unit
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+(** Send to every node, including [src]. *)
+val send_all : 'msg t -> src:int -> 'msg -> unit
+
+(** Transport packets on the wire (with faults this includes acks and
+    retransmissions — the message-complexity price of reliability). *)
+val messages_sent : 'msg t -> int

@@ -41,9 +41,9 @@ type node_state = {
   tags : (int * int) array;  (** (ns, version) of each object's value *)
 }
 
-let create engine ~n ~n_objects ~latency ~rng ~delta ~recorder : Store.t =
+let create ?fault engine ~n ~n_objects ~latency ~rng ~delta ~recorder : Store.t =
   if delta < 1 then invalid_arg "Aw_store.create: delta must be >= 1";
-  let net = Network.create engine ~n ~latency ~rng:(Rng.split rng) in
+  let net = Transport.create ?fault engine ~n ~latency ~rng:(Rng.split rng) in
   let states =
     Array.init n (fun _ ->
         { x = Array.make n_objects Value.initial; tags = Array.make n_objects (0, 0) })
@@ -127,7 +127,7 @@ let create engine ~n ~n_objects ~latency ~rng ~delta ~recorder : Store.t =
     else Engine.schedule engine ~delay:(due u - now) (fun () -> flush node)
   in
   for node = 0 to n - 1 do
-    Network.set_handler net node (fun _src (u : update_msg) -> enqueue node u)
+    Transport.set_handler net node (fun _src (u : update_msg) -> enqueue node u)
   done;
   let invoke ~proc (m : Prog.mprog) ~k =
     let now = Engine.now engine in
@@ -169,7 +169,7 @@ let create engine ~n ~n_objects ~latency ~rng ~delta ~recorder : Store.t =
       (* Remote replicas via the network; the origin enqueues directly —
          its own clock fires exactly at [now + delta]. *)
       for dst = 0 to n - 1 do
-        if dst <> proc then Network.send net ~src:proc ~dst u
+        if dst <> proc then Transport.send net ~src:proc ~dst u
       done;
       enqueue proc u
     end
@@ -177,5 +177,5 @@ let create engine ~n ~n_objects ~latency ~rng ~delta ~recorder : Store.t =
   {
     Store.name = "aw";
     invoke;
-    messages_sent = (fun () -> Network.messages_sent net);
+    messages_sent = (fun () -> Transport.messages_sent net);
   }

@@ -36,8 +36,8 @@ type node_state = {
   write_counts : int array array;
 }
 
-let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
-  let net = Network.create engine ~n ~latency ~rng:(Rng.split rng) in
+let create ?fault engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
+  let net = Transport.create ?fault engine ~n ~latency ~rng:(Rng.split rng) in
   let states =
     Array.init n (fun _ ->
         {
@@ -102,7 +102,7 @@ let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
       drain node
   in
   for node = 0 to n - 1 do
-    Network.set_handler net node (fun _src (u : update_msg) ->
+    Transport.set_handler net node (fun _src (u : update_msg) ->
         states.(node).pending <- states.(node).pending @ [ u ];
         drain node)
   done;
@@ -158,7 +158,7 @@ let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
           sync = None;
         };
       for dst = 0 to n - 1 do
-        if dst <> proc then Network.send net ~src:proc ~dst u
+        if dst <> proc then Transport.send net ~src:proc ~dst u
       done;
       k result
     end
@@ -166,5 +166,5 @@ let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
   {
     Store.name = "causal";
     invoke;
-    messages_sent = (fun () -> Network.messages_sent net);
+    messages_sent = (fun () -> Transport.messages_sent net);
   }

@@ -13,7 +13,11 @@
     conditional transfers) can diverge across replicas; the recorder
     then rejects the trace. *)
 
+(** [fault] attaches a fault injector: all of the protocol's traffic
+    then runs over the reliable ack/retransmit transport and survives
+    message loss, partitions and crash/recovery windows. *)
 val create :
+  ?fault:Mmc_sim.Fault.t ->
   Mmc_sim.Engine.t ->
   n:int ->
   n_objects:int ->

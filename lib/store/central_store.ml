@@ -23,15 +23,15 @@ type msg =
 
 let server_node = 0
 
-let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
+let create ?fault engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
   let x = Array.make n_objects Value.initial in
   let ts = Array.make n_objects 0 in
-  let net = Network.create engine ~n ~latency ~rng:(Rng.split rng) in
+  let net = Transport.create ?fault engine ~n ~latency ~rng:(Rng.split rng) in
   let conts : (int, Value.t -> unit) Hashtbl.t = Hashtbl.create 16 in
   let next_reqid = ref 0 in
   let exec_count = ref 0 in
   for node = 0 to n - 1 do
-    Network.set_handler net node (fun _src msg ->
+    Transport.set_handler net node (fun _src msg ->
         match msg with
         | Exec { origin; mprog; inv; reqid } ->
           assert (node = server_node);
@@ -39,7 +39,7 @@ let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
           let position = !exec_count in
           incr exec_count;
           let applied = Apply.update x ts ~ns:0 mprog.Prog.prog in
-          Network.send net ~src:node ~dst:origin
+          Transport.send net ~src:node ~dst:origin
             (Result
                {
                  reqid;
@@ -70,11 +70,11 @@ let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
     let reqid = !next_reqid in
     incr next_reqid;
     Hashtbl.replace conts reqid k;
-    Network.send net ~src:proc ~dst:server_node
+    Transport.send net ~src:proc ~dst:server_node
       (Exec { origin = proc; mprog = m; inv = Engine.now engine; reqid })
   in
   {
     Store.name = "central";
     invoke;
-    messages_sent = (fun () -> Network.messages_sent net);
+    messages_sent = (fun () -> Transport.messages_sent net);
   }

@@ -53,8 +53,8 @@ type manager_obj = {
   mutable queue : (int * int) list;  (** (reqid, client), FIFO *)
 }
 
-let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
-  let net = Network.create engine ~n ~latency ~rng:(Rng.split rng) in
+let create ?fault engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
+  let net = Transport.create ?fault engine ~n ~latency ~rng:(Rng.split rng) in
   let owner obj = obj mod n in
   (* Manager-side state, per node, for the objects it owns. *)
   let objects_of : manager_obj array =
@@ -71,7 +71,7 @@ let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
       (* Respond, then release all locks (strict 2PL). *)
       Hashtbl.remove pending reqid;
       List.iter
-        (fun obj -> Network.send net ~src:p.proc ~dst:(owner obj) (Unlock { obj }))
+        (fun obj -> Transport.send net ~src:p.proc ~dst:(owner obj) (Unlock { obj }))
         p.mprog.Prog.may_touch;
       Recorder.add recorder
         {
@@ -91,32 +91,32 @@ let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
         invalid_arg
           (Fmt.str "Lock_store: read of x%d outside declared touch set" obj);
       p.cont <- `Read k;
-      Network.send net ~src:p.proc ~dst:(owner obj)
+      Transport.send net ~src:p.proc ~dst:(owner obj)
         (Read_req { obj; reqid; client = p.proc })
     | Prog.Write (obj, value, rest) ->
       if not (List.mem obj p.mprog.Prog.may_write) then
         invalid_arg
           (Fmt.str "Lock_store: write of x%d outside declared write set" obj);
       p.cont <- `Write rest;
-      Network.send net ~src:p.proc ~dst:(owner obj)
+      Transport.send net ~src:p.proc ~dst:(owner obj)
         (Write_req { obj; value; reqid; client = p.proc })
   in
   let acquire_next reqid (p : pending) =
     match p.to_lock with
     | obj :: _ ->
-      Network.send net ~src:p.proc ~dst:(owner obj)
+      Transport.send net ~src:p.proc ~dst:(owner obj)
         (Lock_req { obj; reqid; client = p.proc })
     | [] -> step reqid p
   in
   for node = 0 to n - 1 do
-    Network.set_handler net node (fun _src msg ->
+    Transport.set_handler net node (fun _src msg ->
         match msg with
         | Lock_req { obj; reqid; client } ->
           let o = objects_of.(obj) in
           if o.locked then o.queue <- o.queue @ [ (reqid, client) ]
           else begin
             o.locked <- true;
-            Network.send net ~src:node ~dst:client (Lock_grant { obj; reqid })
+            Transport.send net ~src:node ~dst:client (Lock_grant { obj; reqid })
           end
         | Unlock { obj } -> (
           let o = objects_of.(obj) in
@@ -124,16 +124,16 @@ let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
           | [] -> o.locked <- false
           | (reqid, client) :: rest ->
             o.queue <- rest;
-            Network.send net ~src:node ~dst:client (Lock_grant { obj; reqid }))
+            Transport.send net ~src:node ~dst:client (Lock_grant { obj; reqid }))
         | Read_req { obj; reqid; client } ->
           let o = objects_of.(obj) in
-          Network.send net ~src:node ~dst:client
+          Transport.send net ~src:node ~dst:client
             (Read_resp { reqid; value = o.value; version = o.version })
         | Write_req { obj; value; reqid; client } ->
           let o = objects_of.(obj) in
           o.value <- value;
           o.version <- o.version + 1;
-          Network.send net ~src:node ~dst:client
+          Transport.send net ~src:node ~dst:client
             (Write_ack { reqid; version = o.version })
         | Lock_grant { obj; reqid } ->
           let p = Hashtbl.find pending reqid in
@@ -197,5 +197,5 @@ let create engine ~n ~n_objects ~latency ~rng ~recorder : Store.t =
   {
     Store.name = "lock";
     invoke;
-    messages_sent = (fun () -> Network.messages_sent net);
+    messages_sent = (fun () -> Transport.messages_sent net);
   }

@@ -9,7 +9,11 @@
     [may_touch] or a write outside [may_write] raises
     [Invalid_argument]. *)
 
+(** [fault] attaches a fault injector: all of the protocol's traffic
+    then runs over the reliable ack/retransmit transport and survives
+    message loss, partitions and crash/recovery windows. *)
 val create :
+  ?fault:Mmc_sim.Fault.t ->
   Mmc_sim.Engine.t ->
   n:int ->
   n_objects:int ->

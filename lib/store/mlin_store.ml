@@ -37,7 +37,8 @@ type pending_query = {
   q_k : Value.t -> unit;
 }
 
-let create engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder : Store.t =
+let create ?fault engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder :
+    Store.t =
   let xs = Array.init n (fun _ -> Array.make n_objects Value.initial) in
   let tss = Array.init n (fun _ -> Array.make n_objects 0) in
   let delivered = Array.make n 0 in
@@ -66,17 +67,18 @@ let create engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder : Store.t =
     end
   in
   let abcast =
-    (Select.factory abcast_impl) engine ~n ~latency ~rng:(Rng.split rng) ~deliver
+    (Select.factory abcast_impl) ?fault engine ~n ~latency ~rng:(Rng.split rng)
+      ~deliver
   in
-  let qnet = Network.create engine ~n ~latency ~rng:(Rng.split rng) in
+  let qnet = Transport.create ?fault engine ~n ~latency ~rng:(Rng.split rng) in
   let pending : (int, pending_query) Hashtbl.t = Hashtbl.create 16 in
   let next_qid = ref 0 in
   for node = 0 to n - 1 do
-    Network.set_handler qnet node (fun _src msg ->
+    Transport.set_handler qnet node (fun _src msg ->
         match msg with
         | Query { qid; origin } ->
           (* (A4): reply with a snapshot of the local copy. *)
-          Network.send qnet ~src:node ~dst:origin
+          Transport.send qnet ~src:node ~dst:origin
             (Reply { qid; x = Array.copy xs.(node); ts = Array.copy tss.(node) })
         | Reply { qid; x; ts } ->
           let st = Hashtbl.find pending qid in
@@ -121,7 +123,7 @@ let create engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder : Store.t =
           q_inv = now;
           q_k = k;
         };
-      Network.send_all qnet ~src:proc (Query { qid; origin = proc })
+      Transport.send_all qnet ~src:proc (Query { qid; origin = proc })
     end
     else
       Abcast.broadcast abcast ~src:proc { origin = proc; mprog = m; inv = now; k }
@@ -130,5 +132,5 @@ let create engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder : Store.t =
     Store.name = "mlin";
     invoke;
     messages_sent =
-      (fun () -> Abcast.messages_sent abcast + Network.messages_sent qnet);
+      (fun () -> Abcast.messages_sent abcast + Transport.messages_sent qnet);
   }

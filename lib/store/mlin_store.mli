@@ -5,7 +5,11 @@
     once all [n] replies arrived.  No clock synchronization or delay
     bound is assumed. *)
 
+(** [fault] attaches a fault injector: all of the protocol's traffic
+    then runs over the reliable ack/retransmit transport and survives
+    message loss, partitions and crash/recovery windows. *)
 val create :
+  ?fault:Mmc_sim.Fault.t ->
   Mmc_sim.Engine.t ->
   n:int ->
   n_objects:int ->

@@ -19,7 +19,8 @@ type payload = {
   k : Value.t -> unit;
 }
 
-let create engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder : Store.t =
+let create ?fault engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder :
+    Store.t =
   let xs = Array.init n (fun _ -> Array.make n_objects Value.initial) in
   let tss = Array.init n (fun _ -> Array.make n_objects 0) in
   (* Per-node delivery counters: identical across nodes (total order),
@@ -50,7 +51,8 @@ let create engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder : Store.t =
     end
   in
   let abcast =
-    (Select.factory abcast_impl) engine ~n ~latency ~rng:(Rng.split rng) ~deliver
+    (Select.factory abcast_impl) ?fault engine ~n ~latency ~rng:(Rng.split rng)
+      ~deliver
   in
   let invoke ~proc (m : Prog.mprog) ~k =
     let now = Engine.now engine in

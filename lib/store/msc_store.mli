@@ -3,7 +3,11 @@
     delivery order; query m-operations execute immediately against the
     local copy — zero communication. *)
 
+(** [fault] attaches a fault injector: all of the protocol's traffic
+    then runs over the reliable ack/retransmit transport and survives
+    message loss, partitions and crash/recovery windows. *)
 val create :
+  ?fault:Mmc_sim.Fault.t ->
   Mmc_sim.Engine.t ->
   n:int ->
   n_objects:int ->

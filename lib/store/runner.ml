@@ -21,6 +21,9 @@ type config = {
   abcast_impl : Abcast.impl;
   kind : Store.kind;
   aw_delta : int;  (** delay bound assumed by the Aw store *)
+  fault : Fault.plan;
+      (** faults injected below the store's transport; {!Fault.none}
+          (the default) leaves the channels reliable *)
 }
 
 let default_config =
@@ -34,6 +37,7 @@ let default_config =
     abcast_impl = Abcast.Sequencer_impl;
     kind = Store.Msc;
     aw_delta = 15;
+    fault = Fault.none;
   }
 
 type result = {
@@ -48,29 +52,32 @@ type result = {
   completed : int;
   query_latency : Stats.summary;
   update_latency : Stats.summary;
+  fault : Fault.t option;
+      (** the run's fault injector — drop/retransmission/recovery
+          counters — when a fault plan was configured *)
 }
 
-let make_store cfg engine ~rng ~recorder =
+let make_store ?fault cfg engine ~rng ~recorder =
   match cfg.kind with
   | Store.Msc ->
-    Msc_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+    Msc_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
       ~latency:cfg.latency ~rng ~abcast_impl:cfg.abcast_impl ~recorder
   | Store.Mlin ->
-    Mlin_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+    Mlin_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
       ~latency:cfg.latency ~rng ~abcast_impl:cfg.abcast_impl ~recorder
   | Store.Central ->
-    Central_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+    Central_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
       ~latency:cfg.latency ~rng ~recorder
   | Store.Local ->
     Local_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects ~recorder
   | Store.Causal ->
-    Causal_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+    Causal_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
       ~latency:cfg.latency ~rng ~recorder
   | Store.Lock ->
-    Lock_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+    Lock_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
       ~latency:cfg.latency ~rng ~recorder
   | Store.Aw ->
-    Aw_store.create engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
+    Aw_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
       ~latency:cfg.latency ~rng ~delta:cfg.aw_delta ~recorder
 
 (** [run ~seed cfg ~workload] — [workload rng ~proc ~step] produces the
@@ -80,11 +87,20 @@ let run ~seed cfg ~workload =
   let engine = Engine.create () in
   let rng = Rng.create seed in
   let recorder = Recorder.create ~n_objects:cfg.n_objects in
-  let store = make_store cfg engine ~rng:(Rng.split rng) ~recorder in
+  let store_rng = Rng.split rng in
   let query_stats = Stats.create () in
   let update_stats = Stats.create () in
   let completed = ref 0 in
   let client_rngs = Array.init cfg.n_procs (fun _ -> Rng.split rng) in
+  (* The injector's stream is split only when a plan is present, after
+     the streams above: fault-free runs draw identically to a build
+     without fault injection — seeds keep meaning the same runs. *)
+  Fault.validate ~n:cfg.n_procs cfg.fault;
+  let fault =
+    if Fault.is_none cfg.fault then None
+    else Some (Fault.create cfg.fault ~rng:(Rng.split rng))
+  in
+  let store = make_store ?fault cfg engine ~rng:store_rng ~recorder in
   let rec step proc i () =
     if i < cfg.ops_per_proc then begin
       let m = workload client_rngs.(proc) ~proc ~step:i in
@@ -116,4 +132,5 @@ let run ~seed cfg ~workload =
     completed = !completed;
     query_latency = Stats.summarize query_stats;
     update_latency = Stats.summarize update_stats;
+    fault;
   }

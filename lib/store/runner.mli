@@ -14,6 +14,10 @@ type config = {
   abcast_impl : Mmc_broadcast.Abcast.impl;
   kind : Store.kind;
   aw_delta : int;  (** delay bound assumed by the Aw store *)
+  fault : Mmc_sim.Fault.plan;
+      (** faults injected below the store's transport;
+          {!Mmc_sim.Fault.none} (the default) leaves the channels
+          reliable *)
 }
 
 val default_config : config
@@ -30,10 +34,18 @@ type result = {
   completed : int;
   query_latency : Mmc_sim.Stats.summary;
   update_latency : Mmc_sim.Stats.summary;
+  fault : Mmc_sim.Fault.t option;
+      (** the run's fault injector — drop/retransmission/recovery
+          counters — when a fault plan was configured *)
 }
 
 val make_store :
-  config -> Mmc_sim.Engine.t -> rng:Mmc_sim.Rng.t -> recorder:Recorder.t -> Store.t
+  ?fault:Mmc_sim.Fault.t ->
+  config ->
+  Mmc_sim.Engine.t ->
+  rng:Mmc_sim.Rng.t ->
+  recorder:Recorder.t ->
+  Store.t
 
 (** [run ~seed cfg ~workload] — [workload rng ~proc ~step] produces the
     [step]-th m-operation of client [proc]. *)

@@ -100,6 +100,32 @@ let test_duplication_tolerance () =
         [ 0; 1; 2; 3; 4 ])
     [ Abcast.Sequencer_impl; Abcast.Lamport_impl ]
 
+let test_duplication_certain () =
+  (* duplicate=1.0: the network duplicates every transport message.
+     Exactly-once total-order delivery must still hold — the harshest
+     duplicate-suppression edge case for the sequencer's per-origin
+     cursors and the Lamport variant's FIFO layer. *)
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun seed ->
+          check_total_order ~duplicate:1.0 ~impl ~seed ~n:4
+            ~latency:(Latency.Uniform (1, 30)) ())
+        [ 0; 1; 2 ])
+    [ Abcast.Sequencer_impl; Abcast.Lamport_impl ];
+  (* and per-sender order survives certain duplication too *)
+  List.iter
+    (fun impl ->
+      let sends = List.init 8 (fun i -> (0, i, i)) in
+      let delivered, _ =
+        run_broadcast ~duplicate:1.0 ~impl ~seed:7 ~n:3
+          ~latency:(Latency.Uniform (1, 40)) ~sends ()
+      in
+      Alcotest.(check (list int)) "sender order under duplicate=1.0"
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+        (List.map snd delivered.(2)))
+    [ Abcast.Sequencer_impl; Abcast.Lamport_impl ]
+
 let test_message_complexity () =
   (* Sequencer: n+1 transport messages per broadcast; Lamport:
      n data + n^2 acks. *)
@@ -148,6 +174,8 @@ let () =
           Alcotest.test_case "per-sender order" `Quick test_fifo_per_sender;
           Alcotest.test_case "duplication tolerance" `Quick
             test_duplication_tolerance;
+          Alcotest.test_case "duplicate=1.0 edge case" `Quick
+            test_duplication_certain;
           Alcotest.test_case "message complexity" `Quick test_message_complexity;
         ] );
       ("props", [ QCheck_alcotest.to_alcotest prop_agreement_random_seeds ]);
