@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check smoke experiments clean
+.PHONY: all build test check smoke experiments bench-json clean
 
 all: build
 
@@ -26,6 +26,12 @@ smoke: build
 # Quick versions of every registered experiment table.
 experiments: build
 	$(DUNE) exec bin/mmc_cli.exe -- experiments all --quick
+
+# Perf-trajectory snapshot: the large-history checker kernels only,
+# written as machine-readable JSON (name -> ns/run).  The file also
+# carries the pre-packed-relation baseline numbers for comparison.
+bench-json: build
+	$(DUNE) exec bench/main.exe -- --only core --json BENCH_core.json
 
 clean:
 	$(DUNE) clean

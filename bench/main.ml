@@ -7,10 +7,19 @@
      checker/T1-*  exhaustive vs Theorem-7 admissibility checking
      checker/T2-*  single-object polynomial vs multi-object exhaustive
      checker/T7    constrained-checker corpus pass
+     core/*        large-history Theorem-7 / legality / closure kernels
+                   (n in {50,100,200,400}), the perf-trajectory set
      protocol/P1..P3, C1, J1   store simulations (whole runs)
      broadcast/P4  atomic broadcast simulations
      objects/P5    DCAS contention loop
-     figures/F1-F2 paper-figure checking *)
+     figures/F1-F2 paper-figure checking
+
+   Usage: main.exe [--only GROUP] [--json FILE]
+     --only GROUP   run a single group (e.g. `core`), skip the
+                    experiment tables
+     --json FILE    also write the estimates as JSON (name -> ns/run),
+                    the machine-readable perf trajectory tracked across
+                    PRs (BENCH_core.json at the repo root) *)
 
 open Bechamel
 open Toolkit
@@ -88,8 +97,36 @@ let bench_t2 =
             ~name:(Fmt.str "multi-object-%d" n)
             (Staged.stage (fun () ->
                  ignore (Admissible.check ~max_states:3_000_000 h History.Mlin))))
-        t1_inputs
-    |> List.map Fun.id)
+        t1_inputs)
+
+(* Large-history kernels behind Theorem 7: the word-packed-relation
+   perf-trajectory set.  Only here, not in runtest — a full n = 400
+   check is milliseconds, not test material. *)
+let core_inputs =
+  List.map
+    (fun n ->
+      let h = consistent n (n * 7) in
+      let base = ww_base h in
+      (n, h, base, Relation.transitive_closure base))
+    [ 50; 100; 200; 400 ]
+
+let bench_core =
+  Test.make_grouped ~name:"core"
+    (List.concat_map
+       (fun (n, h, base, closed) ->
+         [
+           Test.make
+             ~name:(Fmt.str "theorem7-ww-%d" n)
+             (Staged.stage (fun () ->
+                  ignore (Check_constrained.check_relation h base Constraints.WW)));
+           Test.make
+             ~name:(Fmt.str "legality-%d" n)
+             (Staged.stage (fun () -> ignore (Legality.is_legal h closed)));
+           Test.make
+             ~name:(Fmt.str "closure-%d" n)
+             (Staged.stage (fun () -> ignore (Relation.transitive_closure base)));
+         ])
+       core_inputs)
 
 let bench_t7 =
   Test.make ~name:"T7-corpus"
@@ -160,17 +197,53 @@ let bench_figures =
              ignore (Check_constrained.check_relation h base Constraints.WW)));
     ]
 
+let groups =
+  [
+    ("T1", bench_t1);
+    ("T2", bench_t2);
+    ("T7", bench_t7);
+    ("core", bench_core);
+    ("protocol", bench_protocol);
+    ("P4", bench_broadcast);
+    ("P5", bench_objects);
+    ("figures", bench_figures);
+  ]
+
+(* --- command line --- *)
+
+let only, json_file =
+  let only = ref None and json = ref None in
+  let usage code =
+    Fmt.epr "usage: %s [--only GROUP] [--json FILE]@.  groups: %s@."
+      Sys.argv.(0)
+      (String.concat " " (List.map fst groups));
+    exit code
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--only" :: g :: rest ->
+      if not (List.mem_assoc g groups) then begin
+        Fmt.epr "unknown group %S@." g;
+        usage 2
+      end;
+      only := Some g;
+      parse rest
+    | "--json" :: f :: rest ->
+      json := Some f;
+      parse rest
+    | ("--help" | "-h") :: _ -> usage 0
+    | arg :: _ ->
+      Fmt.epr "unknown argument %S@." arg;
+      usage 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (!only, !json)
+
 let all_tests =
   Test.make_grouped ~name:"mmc"
-    [
-      bench_t1;
-      bench_t2;
-      bench_t7;
-      bench_protocol;
-      bench_broadcast;
-      bench_objects;
-      bench_figures;
-    ]
+    (match only with
+    | None -> List.map snd groups
+    | Some g -> [ List.assoc g groups ])
 
 let benchmark () =
   let ols =
@@ -184,25 +257,68 @@ let benchmark () =
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
   Analyze.merge ols instances results
 
+(* Pre-PR reference points for the `core` group, measured with the
+   byte-matrix Relation and the two-closure checker this PR replaced
+   (same machine, same inputs, wall-clock mean over repeated runs).
+   Kept in the JSON so the trajectory file carries before and after. *)
+let baselines =
+  [
+    ("baseline/byte-matrix/theorem7-ww-50", 344_680.);
+    ("baseline/byte-matrix/theorem7-ww-100", 1_951_396.);
+    ("baseline/byte-matrix/theorem7-ww-200", 13_793_136.);
+    ("baseline/byte-matrix/theorem7-ww-400", 148_979_667.);
+    ("baseline/byte-matrix/legality-100", 65_924.);
+    ("baseline/byte-matrix/closure-100", 445_080.);
+    ("baseline/byte-matrix/closure-400", 46_486_143.);
+  ]
+
+let write_json file rows =
+  let oc = open_out file in
+  let entries =
+    baselines @ List.filter_map (fun (n, e) -> Option.map (fun e -> (n, e)) e) rows
+  in
+  Printf.fprintf oc "{\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  %S: %.1f%s\n" name est
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Fmt.pr "wrote %s (%d entries, ns/run)@." file (List.length entries)
+
 let () =
   Fmt.pr "=== Bechamel micro-benchmarks (one group per experiment) ===@.";
   let results = benchmark () in
-  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
-  | None -> Fmt.pr "no results@."
-  | Some tbl ->
-    let rows =
-      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
-    in
+  let rows =
+    match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+    | None -> []
+    | Some tbl ->
+      Hashtbl.fold
+        (fun name ols acc ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> Some est
+            | _ -> None
+          in
+          (name, est) :: acc)
+        tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+  in
+  if rows = [] then Fmt.pr "no results@."
+  else
     List.iter
-      (fun (name, ols) ->
-        match Analyze.OLS.estimates ols with
-        | Some [ est ] -> Fmt.pr "%-40s %12.1f ns/run@." name est
-        | _ -> Fmt.pr "%-40s (no estimate)@." name)
-      rows);
-  Fmt.pr "@.=== Experiment tables (simulated-time metrics) ===@.";
-  List.iter
-    (fun (e : Mmc_experiments.Registry.entry) ->
-      Mmc_experiments.Table.print (e.quick ());
-      print_newline ())
-    Mmc_experiments.Registry.all
+      (fun (name, est) ->
+        match est with
+        | Some est -> Fmt.pr "%-40s %12.1f ns/run@." name est
+        | None -> Fmt.pr "%-40s (no estimate)@." name)
+      rows;
+  Option.iter (fun file -> write_json file rows) json_file;
+  if only = None then begin
+    Fmt.pr "@.=== Experiment tables (simulated-time metrics) ===@.";
+    List.iter
+      (fun (e : Mmc_experiments.Registry.entry) ->
+        Mmc_experiments.Table.print (e.quick ());
+        print_newline ())
+      Mmc_experiments.Registry.all
+  end

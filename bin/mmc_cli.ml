@@ -411,15 +411,7 @@ let faults kind procs objects ops abcast latency seed plan save =
     | Mmc_store.Store.Msc | Mmc_store.Store.Local -> History.Msc
     | _ -> History.Mlin
   in
-  let base = History.base_relation h flavour in
-  let rec link = function
-    | a :: (b :: _ as rest) ->
-      Relation.add base a b;
-      link rest
-    | [ _ ] | [] -> ()
-  in
-  link res.Mmc_store.Runner.sync_order;
-  (match Check_constrained.check_relation h base Constraints.WW with
+  (match Mmc_store.Runner.check_trace res ~flavour with
   | Check_constrained.Admissible _ ->
     Fmt.pr "check           %a (Theorem 7, WW): PASS@." History.pp_flavour
       flavour;

@@ -52,7 +52,10 @@ let search ?(max_states = default_max_states) ?stats ?(frontier = By_id) h base
       let preds = Array.make n [] in
       Relation.iter_edges base (fun i j -> preds.(j) <- i :: preds.(j));
       let n_objects = History.n_objects h in
-      let placed = Array.make n false in
+      (* The placed set is a packed bitset: set/cleared in place along
+         the search, serialized word-wise into the memo key (n/63
+         words instead of n bytes). *)
+      let placed = Relation.Bitset.create n in
       let last_writer = Array.make n_objects Types.init_mop in
       let order = Array.make n (-1) in
       (* Per-mop precomputation: external-read rf writers and final
@@ -70,10 +73,8 @@ let search ?(max_states = default_max_states) ?stats ?(frontier = By_id) h base
         (History.mops h);
       let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
       let state_key () =
-        let buf = Buffer.create (n + (n_objects * 3)) in
-        for i = 0 to n - 1 do
-          Buffer.add_char buf (if placed.(i) then '\001' else '\000')
-        done;
+        let buf = Buffer.create (((n / 63) + 1) * 8 + (n_objects * 3)) in
+        Relation.Bitset.add_to_buffer placed buf;
         Array.iter
           (fun w ->
             Buffer.add_char buf (Char.chr (w land 0xff));
@@ -83,8 +84,8 @@ let search ?(max_states = default_max_states) ?stats ?(frontier = By_id) h base
         Buffer.contents buf
       in
       let placeable id =
-        (not placed.(id))
-        && List.for_all (fun p -> placed.(p)) preds.(id)
+        (not (Relation.Bitset.mem placed id))
+        && List.for_all (fun p -> Relation.Bitset.mem placed p) preds.(id)
         && List.for_all (fun (x, w) -> last_writer.(x) = w) read_deps.(id)
       in
       (* Exploration order of candidates at each depth. *)
@@ -115,7 +116,7 @@ let search ?(max_states = default_max_states) ?stats ?(frontier = By_id) h base
             while (not !success) && !id < n do
               let c = try_order.(!id) in
               if placeable c then begin
-                placed.(c) <- true;
+                Relation.Bitset.set placed c;
                 order.(depth) <- c;
                 let saved =
                   List.map (fun x -> (x, last_writer.(x))) write_objs.(c)
@@ -123,7 +124,7 @@ let search ?(max_states = default_max_states) ?stats ?(frontier = By_id) h base
                 List.iter (fun x -> last_writer.(x) <- c) write_objs.(c);
                 if dfs (depth + 1) then success := true
                 else begin
-                  placed.(c) <- false;
+                  Relation.Bitset.clear placed c;
                   List.iter (fun (x, w) -> last_writer.(x) <- w) saved
                 end
               end;

@@ -13,6 +13,12 @@ type result =
 
 val pp_result : Format.formatter -> result -> unit
 
+(** [check_closed h closed kind] — like {!check_relation} over an
+    already transitively closed relation; a cyclic [~H] is recognized
+    by reflexive entries of the closure.  Entry point for callers that
+    maintain the closure themselves (e.g. {!Incremental}). *)
+val check_closed : History.t -> Relation.t -> Constraints.kind -> result
+
 (** [check_relation h base kind] — decide admissibility with respect to
     the (not necessarily closed) relation [base], verifying constraint
     [kind] first.  Use when the synchronization order (e.g. the atomic
@@ -22,3 +28,25 @@ val check_relation : History.t -> Relation.t -> Constraints.kind -> result
 (** [check h flavour kind] — over the base relation of the given
     consistency condition. *)
 val check : History.t -> History.flavour -> Constraints.kind -> result
+
+(** Incrementally closed relation for verifying a growing trace:
+    stream edges in as m-operations complete; the transitive closure
+    is maintained per edge ({!Relation.add_edge_closed}) so the final
+    {!Incremental.check} never re-closes from scratch. *)
+module Incremental : sig
+  type t
+
+  (** [create n] — empty (closed) relation over [0 .. n-1]. *)
+  val create : int -> t
+
+  val add_edge : t -> int -> int -> unit
+  val add_edges : t -> (int * int) list -> unit
+
+  (** The maintained transitive closure (shared, not a copy). *)
+  val relation : t -> Relation.t
+
+  val is_acyclic : t -> bool
+
+  (** {!check_closed} on the maintained closure. *)
+  val check : t -> History.t -> Constraints.kind -> result
+end

@@ -4,7 +4,12 @@
     m-operations be ordered by the history's relation; under WW or OO,
     admissibility reduces to legality (Theorem 7), and a legal
     sequential equivalent can be obtained by extending
-    [~H+ = (~H ∪ ~rw)+] to any total order. *)
+    [~H+ = (~H ∪ ~rw)+] to any total order.
+
+    The predicates enumerate exactly the pairs the constraint talks
+    about — via per-object writer / accessor index arrays rather than
+    all-pairs scans with list-intersection tests — and exit at the
+    first unordered pair. *)
 
 type kind = WW | OO | WO
 
@@ -13,50 +18,47 @@ let pp_kind ppf = function
   | OO -> Fmt.string ppf "OO"
   | WO -> Fmt.string ppf "WO"
 
-let ordered closed a b = Relation.mem closed a b || Relation.mem closed b a
+(* Per-object index: [writers.(x)] the m-operations writing [x],
+   [accessors.(x)] those reading or writing [x].  O(total ops). *)
+let by_object h =
+  let writers = Array.make (History.n_objects h) [] in
+  let accessors = Array.make (History.n_objects h) [] in
+  Array.iter
+    (fun (m : Mop.t) ->
+      let id = m.Mop.id in
+      List.iter (fun x -> writers.(x) <- id :: writers.(x)) (Mop.wobjects m);
+      List.iter (fun x -> accessors.(x) <- id :: accessors.(x)) (Mop.objects m))
+    (History.mops h);
+  (Array.map Array.of_list writers, Array.map Array.of_list accessors)
 
 (** D 4.9: any two update m-operations are ordered. *)
 let satisfies_ww h closed =
-  let updates =
-    Array.to_list (History.mops h)
-    |> List.filter Mop.is_update
-    |> List.map (fun (m : Mop.t) -> m.Mop.id)
-  in
-  List.for_all
-    (fun a ->
-      List.for_all (fun b -> a = b || ordered closed a b) updates)
-    updates
+  let updates = ref [] in
+  Array.iter
+    (fun (m : Mop.t) -> if Mop.is_update m then updates := m.Mop.id :: !updates)
+    (History.mops h);
+  Relation.total_on closed (Array.of_list !updates)
 
-(** D 4.8: any two conflicting m-operations are ordered. *)
+(** D 4.8: any two conflicting m-operations are ordered.  [a] and [b]
+    conflict iff some object written by one is touched by the other
+    (D 4.1), so the conflicting pairs are exactly the per-object
+    (writer, accessor) pairs. *)
 let satisfies_oo h closed =
-  let ms = Array.to_list (History.mops h) in
-  List.for_all
-    (fun (a : Mop.t) ->
-      List.for_all
-        (fun (b : Mop.t) ->
-          a.Mop.id = b.Mop.id
-          || (not (Mop.conflict a b))
-          || ordered closed a.Mop.id b.Mop.id)
-        ms)
-    ms
+  let writers, accessors = by_object h in
+  let ok = ref true in
+  Array.iteri
+    (fun x ws ->
+      if !ok && not (Relation.total_between closed ws accessors.(x)) then
+        ok := false)
+    writers;
+  !ok
 
 (** D 4.10: any two update m-operations writing a common object are
-    ordered (the intersection of OO and WW). *)
+    ordered (the intersection of OO and WW) — per-object writer pairs,
+    no quadratic object-set intersection test. *)
 let satisfies_wo h closed =
-  let ms = Array.to_list (History.mops h) in
-  List.for_all
-    (fun (a : Mop.t) ->
-      List.for_all
-        (fun (b : Mop.t) ->
-          a.Mop.id = b.Mop.id
-          || (let inter =
-                List.exists
-                  (fun x -> List.mem x (Mop.wobjects b))
-                  (Mop.wobjects a)
-              in
-              (not inter) || ordered closed a.Mop.id b.Mop.id))
-        ms)
-    ms
+  let writers, _ = by_object h in
+  Array.for_all (Relation.total_on closed) writers
 
 let satisfies h closed = function
   | WW -> satisfies_ww h closed
@@ -66,17 +68,36 @@ let satisfies h closed = function
 (** D 4.11: [a ~rw c] iff there is [b] such that [(a, b, c)] interfere
     and [b ~H c].  In any legal sequential equivalent, [c] must then
     occur after [a]. *)
-let rw_edges h closed =
-  Legality.interfering_triples h
+let rw_edges ?triples h closed =
+  let triples =
+    match triples with Some ts -> ts | None -> Legality.interfering_triples h
+  in
+  triples
   |> List.filter_map (fun (t : Legality.triple) ->
          if Relation.mem closed t.Legality.beta t.Legality.gamma then
            Some (t.Legality.alpha, t.Legality.gamma)
          else None)
-  |> List.sort_uniq compare
+  |> List.sort_uniq (fun (a1, c1) (a2, c2) ->
+         if (a1 : int) <> a2 then compare a1 a2 else compare (c1 : int) c2)
 
 (** D 4.12: the extended relation [~H+ = (~H ∪ ~rw)+].  Input and
-    output are transitively closed. *)
-let extended h closed =
-  let r = Relation.copy closed in
-  Relation.add_edges r (rw_edges h closed);
-  Relation.transitive_closure r
+    output are transitively closed.
+
+    Only [~rw] edges not already implied by [closed] matter; when they
+    are few (the common case — on an admissible constrained history
+    most interfering writers already follow the reader) the closure is
+    maintained incrementally per edge instead of re-run from
+    scratch. *)
+let extended ?triples h closed =
+  let triples =
+    match triples with Some ts -> ts | None -> Legality.interfering_triples h
+  in
+  let fresh = ref [] in
+  List.iter
+    (fun (t : Legality.triple) ->
+      if
+        Relation.mem closed t.Legality.beta t.Legality.gamma
+        && not (Relation.mem closed t.Legality.alpha t.Legality.gamma)
+      then fresh := (t.Legality.alpha, t.Legality.gamma) :: !fresh)
+    triples;
+  Relation.closure_with closed !fresh

@@ -17,8 +17,15 @@ val satisfies : History.t -> Relation.t -> kind -> bool
 
 (** D 4.11: [a ~rw c] iff some [b] makes [(a, b, c)] interfere with
     [b ~H c] — in any legal sequential equivalent [c] must follow
-    [a].  [closed] must be transitively closed. *)
-val rw_edges : History.t -> Relation.t -> (Types.mop_id * Types.mop_id) list
+    [a].  [closed] must be transitively closed.  [?triples], when
+    given, must be [Legality.interfering_triples h] (lets one
+    computation serve the whole Theorem-7 pipeline). *)
+val rw_edges :
+  ?triples:Legality.triple list ->
+  History.t ->
+  Relation.t ->
+  (Types.mop_id * Types.mop_id) list
 
 (** D 4.12: [~H+ = (~H ∪ ~rw)+] (input and output closed). *)
-val extended : History.t -> Relation.t -> Relation.t
+val extended :
+  ?triples:Legality.triple list -> History.t -> Relation.t -> Relation.t

@@ -220,19 +220,27 @@ let pp_flavour ppf = function
   | Mnorm -> Fmt.string ppf "m-normality"
   | Mlin -> Fmt.string ppf "m-linearizability"
 
+(** Edges of the base relation [~H] of the given flavour, as a stream:
+    initializer-first, process order, reads-from, then the flavour's
+    extra order.  This is what {!base_relation} materializes; callers
+    maintaining a closure incrementally (e.g. over a growing trace)
+    consume the stream edge by edge instead. *)
+let base_edges t flavour =
+  let init =
+    List.init (n_mops t - 1) (fun j -> (Types.init_mop, j + 1))
+  in
+  let extra =
+    match flavour with
+    | Msc -> []
+    | Mnorm -> obj_edges t
+    | Mlin -> rt_edges t
+  in
+  init @ proc_order_edges t @ rf_mop_edges t @ extra
+
 (** Base relation [~H] of the given flavour (not transitively closed). *)
 let base_relation t flavour =
   let r = Relation.create (n_mops t) in
-  Relation.add_edges r (proc_order_edges t);
-  Relation.add_edges r (rf_mop_edges t);
-  (match flavour with
-  | Msc -> ()
-  | Mnorm -> Relation.add_edges r (obj_edges t)
-  | Mlin -> Relation.add_edges r (rt_edges t));
-  (* The initializer precedes everything. *)
-  for j = 1 to n_mops t - 1 do
-    Relation.add r Types.init_mop j
-  done;
+  Relation.add_edges r (base_edges t flavour);
   r
 
 (** Infer the reads-from relation from values: possible only when each

@@ -69,6 +69,12 @@ type flavour =
 
 val pp_flavour : Format.formatter -> flavour -> unit
 
+(** Edges of the base relation [~H] of the given flavour, as a stream
+    (initializer-first, process order, reads-from, flavour extras) —
+    what {!base_relation} materializes.  For callers maintaining a
+    transitive closure incrementally over a growing trace. *)
+val base_edges : t -> flavour -> (Types.mop_id * Types.mop_id) list
+
 (** Base relation [~H] of the given flavour (not transitively
     closed). *)
 val base_relation : t -> flavour -> Relation.t

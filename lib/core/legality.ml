@@ -19,43 +19,54 @@ let pp_triple ppf t =
 
 (** All interference triples of a history.  For each reads-from edge
     [b --x--> a] and each third m-operation [c] writing [x], the triple
-    [(a, b, c)] interferes on [x] (D 4.2). *)
+    [(a, b, c)] interferes on [x] (D 4.2).
+
+    Building the triples is the quadratic part of every legality scan,
+    so checkers that need them more than once (constraint check,
+    violation search, [~rw] edges) compute them once and pass them
+    around — see the [?triples] arguments here and in
+    {!Constraints}. *)
 let interfering_triples h =
   let writers_of = Array.make (History.n_objects h) [] in
   Array.iter
     (fun (m : Mop.t) ->
       List.iter
-        (fun (x, _) -> writers_of.(x) <- m.Mop.id :: writers_of.(x))
-        (Mop.final_writes m))
+        (fun x -> writers_of.(x) <- m.Mop.id :: writers_of.(x))
+        (Mop.wobjects m))
     (History.mops h);
-  List.concat_map
+  let acc = ref [] in
+  List.iter
     (fun (e : History.rf_edge) ->
-      List.filter_map
+      List.iter
         (fun c ->
           if c <> e.History.reader && c <> e.History.writer then
-            Some
+            acc :=
               {
                 alpha = e.History.reader;
                 beta = e.History.writer;
                 gamma = c;
                 obj = e.History.obj;
               }
-          else None)
+              :: !acc)
         writers_of.(e.History.obj))
-    (History.rf h)
+    (History.rf h);
+  List.rev !acc
+
+let violates closed t =
+  Relation.mem closed t.beta t.gamma && Relation.mem closed t.gamma t.alpha
 
 (** [is_legal h closed] — legality of [h] with respect to the
     transitively closed relation [closed] (D 4.6): for every
     interfering triple, not ([b ~H c] and [c ~H a]). *)
-let is_legal h closed =
-  List.for_all
-    (fun t ->
-      not (Relation.mem closed t.beta t.gamma && Relation.mem closed t.gamma t.alpha))
-    (interfering_triples h)
+let is_legal ?triples h closed =
+  let triples =
+    match triples with Some ts -> ts | None -> interfering_triples h
+  in
+  List.for_all (fun t -> not (violates closed t)) triples
 
 (** First violated triple, for diagnostics. *)
-let first_violation h closed =
-  List.find_opt
-    (fun t ->
-      Relation.mem closed t.beta t.gamma && Relation.mem closed t.gamma t.alpha)
-    (interfering_triples h)
+let first_violation ?triples h closed =
+  let triples =
+    match triples with Some ts -> ts | None -> interfering_triples h
+  in
+  List.find_opt (violates closed) triples

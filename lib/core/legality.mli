@@ -10,12 +10,16 @@ type triple = {
 val pp_triple : Format.formatter -> triple -> unit
 
 (** All interference triples: for each reads-from edge [b --x--> a]
-    and each third m-operation [c] writing [x] (D 4.2). *)
+    and each third m-operation [c] writing [x] (D 4.2).  Checkers
+    needing the triples more than once build them once and pass them
+    via the [?triples] arguments below. *)
 val interfering_triples : History.t -> triple list
 
 (** [is_legal h closed] — D 4.6 over the transitively closed relation
-    [closed]: no interfering [c] ordered between [b] and [a]. *)
-val is_legal : History.t -> Relation.t -> bool
+    [closed]: no interfering [c] ordered between [b] and [a].
+    [?triples], when given, must be [interfering_triples h]. *)
+val is_legal : ?triples:triple list -> History.t -> Relation.t -> bool
 
 (** First violated triple, for diagnostics. *)
-val first_violation : History.t -> Relation.t -> triple option
+val first_violation :
+  ?triples:triple list -> History.t -> Relation.t -> triple option

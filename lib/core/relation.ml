@@ -4,28 +4,56 @@
     relations (process order, reads-from, real-time order, the [~rw]
     extension...).  The checkers need closure, acyclicity tests and
     topological sorts over these relations; identifiers are dense small
-    integers, so a bit matrix is the natural representation. *)
+    integers, so a bit matrix is the natural representation.
 
-type t = { n : int; bits : Bytes.t }
+    The matrix is word-packed: each row is [ws = ceil (n / 63)] native
+    ints carrying 63 adjacency bits apiece, so [union], [subset] and the
+    Warshall inner loop are word-parallel (~n/63 operations per row
+    instead of n), and row iteration ([successors], [iter_edges],
+    [topo_sort]) skips empty words without allocating. *)
+
+(* Bits per word: the full width of a native int.  Bit 62 lands in the
+   sign bit, which is harmless — [land]/[lor]/[lsr] operate on the raw
+   two's-complement representation. *)
+let bpw = 63
+
+type t = {
+  n : int;
+  ws : int;  (** words per row *)
+  bits : int array;  (** row-major, [n * ws] words *)
+}
 
 let create n =
   if n < 0 then invalid_arg "Relation.create: negative size";
-  { n; bits = Bytes.make (n * n) '\000' }
+  let ws = (n + bpw - 1) / bpw in
+  { n; ws; bits = Array.make (n * ws) 0 }
 
 let size t = t.n
 
-let copy t = { n = t.n; bits = Bytes.copy t.bits }
+let copy t = { t with bits = Array.copy t.bits }
 
-let idx t i j =
+let check_idx t i j =
   if i < 0 || i >= t.n || j < 0 || j >= t.n then
-    invalid_arg (Fmt.str "Relation: index (%d,%d) out of [0,%d)" i j t.n);
-  (i * t.n) + j
+    invalid_arg (Fmt.str "Relation: index (%d,%d) out of [0,%d)" i j t.n)
 
-let mem t i j = Bytes.unsafe_get t.bits (idx t i j) <> '\000'
+(* No bounds check: for hot loops whose indices are loop-controlled. *)
+let unsafe_mem t i j =
+  (Array.unsafe_get t.bits ((i * t.ws) + (j / bpw)) lsr (j mod bpw)) land 1 = 1
 
-let add t i j = Bytes.unsafe_set t.bits (idx t i j) '\001'
+let mem t i j =
+  check_idx t i j;
+  unsafe_mem t i j
 
-let remove t i j = Bytes.unsafe_set t.bits (idx t i j) '\000'
+let add t i j =
+  check_idx t i j;
+  let k = (i * t.ws) + (j / bpw) in
+  Array.unsafe_set t.bits k (Array.unsafe_get t.bits k lor (1 lsl (j mod bpw)))
+
+let remove t i j =
+  check_idx t i j;
+  let k = (i * t.ws) + (j / bpw) in
+  Array.unsafe_set t.bits k
+    (Array.unsafe_get t.bits k land lnot (1 lsl (j mod bpw)))
 
 let add_edges t edges = List.iter (fun (i, j) -> add t i j) edges
 
@@ -37,28 +65,60 @@ let of_edges n edges =
 let union a b =
   if a.n <> b.n then invalid_arg "Relation.union: size mismatch";
   let t = copy a in
-  for k = 0 to Bytes.length b.bits - 1 do
-    if Bytes.unsafe_get b.bits k <> '\000' then
-      Bytes.unsafe_set t.bits k '\001'
+  for k = 0 to Array.length b.bits - 1 do
+    Array.unsafe_set t.bits k
+      (Array.unsafe_get t.bits k lor Array.unsafe_get b.bits k)
   done;
   t
 
 let subset a b =
   if a.n <> b.n then invalid_arg "Relation.subset: size mismatch";
+  let len = Array.length a.bits in
   let ok = ref true in
-  for k = 0 to Bytes.length a.bits - 1 do
-    if Bytes.unsafe_get a.bits k <> '\000' && Bytes.unsafe_get b.bits k = '\000'
-    then ok := false
+  let k = ref 0 in
+  while !ok && !k < len do
+    if Array.unsafe_get a.bits !k land lnot (Array.unsafe_get b.bits !k) <> 0
+    then ok := false;
+    incr k
   done;
   !ok
 
-let equal a b = subset a b && subset b a
+let equal a b =
+  if a.n <> b.n then invalid_arg "Relation.subset: size mismatch";
+  a.bits = b.bits
+
+(* Call [f] on every set bit of row [i]; allocation-free, skips empty
+   words, exits each word at its highest set bit. *)
+let iter_row t i f =
+  let row = i * t.ws in
+  for w = 0 to t.ws - 1 do
+    let word = ref (Array.unsafe_get t.bits (row + w)) in
+    if !word <> 0 then begin
+      let j = ref (w * bpw) in
+      while !word <> 0 do
+        if !word land 1 = 1 then f !j;
+        incr j;
+        word := !word lsr 1
+      done
+    end
+  done
+
+let iter_successors t i f =
+  if i < 0 || i >= t.n then
+    invalid_arg (Fmt.str "Relation: row %d out of [0,%d)" i t.n);
+  iter_row t i f
+
+let iter_predecessors t j f =
+  if j < 0 || j >= t.n then
+    invalid_arg (Fmt.str "Relation: column %d out of [0,%d)" j t.n);
+  let w = j / bpw and b = j mod bpw in
+  for i = 0 to t.n - 1 do
+    if (Array.unsafe_get t.bits ((i * t.ws) + w) lsr b) land 1 = 1 then f i
+  done
 
 let iter_edges t f =
   for i = 0 to t.n - 1 do
-    for j = 0 to t.n - 1 do
-      if mem t i j then f i j
-    done
+    iter_row t i (fun j -> f i j)
   done
 
 let edges t =
@@ -68,27 +128,45 @@ let edges t =
 
 let cardinal t =
   let c = ref 0 in
-  for k = 0 to Bytes.length t.bits - 1 do
-    if Bytes.unsafe_get t.bits k <> '\000' then incr c
+  for k = 0 to Array.length t.bits - 1 do
+    let w = ref (Array.unsafe_get t.bits k) in
+    while !w <> 0 do
+      w := !w land (!w - 1);
+      incr c
+    done
   done;
   !c
 
-let successors t i = List.filter (fun j -> mem t i j) (List.init t.n Fun.id)
+let successors t i =
+  let acc = ref [] in
+  iter_successors t i (fun j -> acc := j :: !acc);
+  List.rev !acc
 
-let predecessors t j = List.filter (fun i -> mem t i j) (List.init t.n Fun.id)
+let predecessors t j =
+  let acc = ref [] in
+  iter_predecessors t j (fun i -> acc := i :: !acc);
+  List.rev !acc
 
-(* In-place Warshall transitive closure; O(n^3) with the inner loop a
-   row-wise byte OR. *)
+(* In-place Warshall transitive closure; the inner loop is a word-wise
+   row OR, so the whole closure costs O(n^2 . n/63) word operations. *)
 let transitive_closure_inplace t =
-  let n = t.n in
+  let n = t.n and ws = t.ws in
+  let bits = t.bits in
   for k = 0 to n - 1 do
+    let row_k = k * ws in
+    let kw = k / bpw and kb = k mod bpw in
     for i = 0 to n - 1 do
-      if mem t i k then
-        let row_i = i * n and row_k = k * n in
-        for j = 0 to n - 1 do
-          if Bytes.unsafe_get t.bits (row_k + j) <> '\000' then
-            Bytes.unsafe_set t.bits (row_i + j) '\001'
+      if
+        i <> k
+        && (Array.unsafe_get bits ((i * ws) + kw) lsr kb) land 1 = 1
+      then begin
+        let row_i = i * ws in
+        for w = 0 to ws - 1 do
+          Array.unsafe_set bits (row_i + w)
+            (Array.unsafe_get bits (row_i + w)
+            lor Array.unsafe_get bits (row_k + w))
         done
+      end
     done
   done
 
@@ -97,22 +175,157 @@ let transitive_closure t =
   transitive_closure_inplace c;
   c
 
-(** A relation is a valid strict (irreflexive transitive) order iff its
-    transitive closure is irreflexive, i.e. the relation is acyclic. *)
-let is_acyclic t =
-  let c = transitive_closure t in
-  let ok = ref true in
-  for i = 0 to t.n - 1 do
-    if mem c i i then ok := false
-  done;
-  !ok
+(** [add_edge_closed t i j] — [t] must be transitively closed; adds the
+    edge [(i, j)] and restores closure in O(n . n/63) word operations
+    (closure of closed [R] plus one edge only adds pairs
+    [(p, s)] with [p ∈ {i} ∪ preds i] and [s ∈ {j} ∪ succs j]).
+    Lets checkers verify a growing trace without re-closing from
+    scratch.  A cycle created by the new edge shows up as reflexive
+    entries, exactly as with [transitive_closure]. *)
+let add_edge_closed t i j =
+  check_idx t i j;
+  if not (unsafe_mem t i j) then begin
+    let ws = t.ws in
+    let bits = t.bits in
+    let row_i = i * ws and row_j = j * ws in
+    (* row_i |= {j} ∪ row_j *)
+    for w = 0 to ws - 1 do
+      Array.unsafe_set bits (row_i + w)
+        (Array.unsafe_get bits (row_i + w) lor Array.unsafe_get bits (row_j + w))
+    done;
+    add t i j;
+    (* Every predecessor of [i] absorbs the updated row_i. *)
+    let iw = i / bpw and ib = i mod bpw in
+    for p = 0 to t.n - 1 do
+      if
+        p <> i
+        && (Array.unsafe_get bits ((p * ws) + iw) lsr ib) land 1 = 1
+      then begin
+        let row_p = p * ws in
+        for w = 0 to ws - 1 do
+          Array.unsafe_set bits (row_p + w)
+            (Array.unsafe_get bits (row_p + w)
+            lor Array.unsafe_get bits (row_i + w))
+        done
+      end
+    done
+  end
 
 let is_irreflexive t =
   let ok = ref true in
   for i = 0 to t.n - 1 do
-    if mem t i i then ok := false
+    if unsafe_mem t i i then ok := false
   done;
   !ok
+
+(** [closure_with t edges] — fresh transitive closure of [t ∪ edges],
+    where [t] is already transitively closed.  Edges already implied
+    cost O(1); up to n genuinely new edges are absorbed incrementally
+    ({!add_edge_closed}, O(n^2/63) each); beyond that one batch
+    Warshall pass is cheaper. *)
+let closure_with t edges =
+  let r = copy t in
+  if List.length edges <= t.n then
+    List.iter (fun (i, j) -> add_edge_closed r i j) edges
+  else begin
+    add_edges r edges;
+    transitive_closure_inplace r
+  end;
+  r
+
+(* (row offset, word, bit) of each id, bounds-checked once, for the
+   pair-scan primitives below. *)
+let locate t ids =
+  let k = Array.length ids in
+  let off = Array.make k 0 and w = Array.make k 0 and b = Array.make k 0 in
+  for i = 0 to k - 1 do
+    let id = ids.(i) in
+    if id < 0 || id >= t.n then
+      invalid_arg (Fmt.str "Relation: id %d out of [0,%d)" id t.n);
+    off.(i) <- id * t.ws;
+    w.(i) <- id / bpw;
+    b.(i) <- id mod bpw
+  done;
+  (off, w, b)
+
+(** [total_on t ids] — are every two distinct members of [ids] ordered
+    one way or the other?  The WW/WO-constraint kernel: scans pairs
+    with precomputed word/bit positions and exits at the first
+    unordered pair. *)
+let total_on t ids =
+  let k = Array.length ids in
+  let off, w, b = locate t ids in
+  let bits = t.bits in
+  try
+    for a = 0 to k - 1 do
+      for c = a + 1 to k - 1 do
+        if
+          ids.(a) <> ids.(c)
+          && (Array.unsafe_get bits (off.(a) + w.(c)) lsr b.(c)) land 1 = 0
+          && (Array.unsafe_get bits (off.(c) + w.(a)) lsr b.(a)) land 1 = 0
+        then raise Exit
+      done
+    done;
+    true
+  with Exit -> false
+
+(** [total_between t xs ys] — is every pair of one member of [xs] and
+    one distinct member of [ys] ordered?  (The OO-constraint kernel:
+    [xs] the writers of an object, [ys] its accessors.) *)
+let total_between t xs ys =
+  let kx = Array.length xs and ky = Array.length ys in
+  let offx, wx, bx = locate t xs in
+  let offy, wy, by = locate t ys in
+  let bits = t.bits in
+  try
+    for a = 0 to kx - 1 do
+      for c = 0 to ky - 1 do
+        if
+          xs.(a) <> ys.(c)
+          && (Array.unsafe_get bits (offx.(a) + wy.(c)) lsr by.(c)) land 1 = 0
+          && (Array.unsafe_get bits (offy.(c) + wx.(a)) lsr bx.(a)) land 1 = 0
+        then raise Exit
+      done
+    done;
+    true
+  with Exit -> false
+
+let row_popcount t i =
+  let row = i * t.ws in
+  let c = ref 0 in
+  for w = 0 to t.ws - 1 do
+    let x = ref (Array.unsafe_get t.bits (row + w)) in
+    while !x <> 0 do
+      x := !x land (!x - 1);
+      incr c
+    done
+  done;
+  !c
+
+(** [topo_sort_closed t] — linear extension of a {e transitively
+    closed} relation, read off row cardinalities: in a closed DAG,
+    [a -> b] implies [succs b ⊊ succs a], so sorting by descending
+    successor count (ties by smallest id, deterministic) is a
+    topological order in O(n^2/63 + n log n) — no Kahn frontier.
+    [None] iff a reflexive entry betrays a cycle.  The closure
+    precondition is not checked. *)
+let topo_sort_closed t =
+  if not (is_irreflexive t) then None
+  else begin
+    let n = t.n in
+    let count = Array.init n (row_popcount t) in
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        if count.(a) <> count.(b) then compare count.(b) count.(a)
+        else compare a b)
+      order;
+    Some order
+  end
+
+(** A relation is a valid strict (irreflexive transitive) order iff its
+    transitive closure is irreflexive, i.e. the relation is acyclic. *)
+let is_acyclic t = is_irreflexive (transitive_closure t)
 
 (** Kahn topological sort.  Returns [None] when the relation is
     cyclic.  Ties are broken by smallest identifier so the result is
@@ -136,12 +349,9 @@ let topo_sort t =
       out := i :: !out;
       incr count;
       let freed = ref [] in
-      for j = 0 to n - 1 do
-        if mem t i j then begin
+      iter_row t i (fun j ->
           indeg.(j) <- indeg.(j) - 1;
-          if indeg.(j) = 0 then freed := j :: !freed
-        end
-      done;
+          if indeg.(j) = 0 then freed := j :: !freed);
       frontier := List.merge compare (List.rev !freed) !frontier;
       loop ()
   in
@@ -178,3 +388,46 @@ let pp ppf t =
   Fmt.pf ppf "@[<h>{%a}@]"
     (Fmt.list ~sep:Fmt.comma (fun ppf (i, j) -> Fmt.pf ppf "%d->%d" i j))
     (edges t)
+
+(** Word-packed bitsets over [0 .. n-1]: the row representation of the
+    matrix exposed on its own, for callers that track sets of
+    m-operations (e.g. the placed set in {!Admissible}'s memo keys). *)
+module Bitset = struct
+  type t = { n : int; words : int array }
+
+  let create n =
+    if n < 0 then invalid_arg "Relation.Bitset.create: negative size";
+    { n; words = Array.make ((n + bpw - 1) / bpw) 0 }
+
+  let length t = t.n
+
+  let check t i =
+    if i < 0 || i >= t.n then
+      invalid_arg (Fmt.str "Relation.Bitset: index %d out of [0,%d)" i t.n)
+
+  let mem t i =
+    check t i;
+    (Array.unsafe_get t.words (i / bpw) lsr (i mod bpw)) land 1 = 1
+
+  let set t i =
+    check t i;
+    let k = i / bpw in
+    Array.unsafe_set t.words k
+      (Array.unsafe_get t.words k lor (1 lsl (i mod bpw)))
+
+  let clear t i =
+    check t i;
+    let k = i / bpw in
+    Array.unsafe_set t.words k
+      (Array.unsafe_get t.words k land lnot (1 lsl (i mod bpw)))
+
+  (* Append the raw words (8 bytes each, little-endian) to [buf]:
+     a compact hashable key, n/63 words instead of n bytes. *)
+  let add_to_buffer t buf =
+    Array.iter
+      (fun w ->
+        for b = 0 to 7 do
+          Buffer.add_char buf (Char.unsafe_chr ((w lsr (b * 8)) land 0xff))
+        done)
+      t.words
+end

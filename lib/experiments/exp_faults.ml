@@ -32,18 +32,10 @@ let run_faulty ?(procs = 4) ?(ops = 12) ~seed ~kind ~plan () =
 
 (** Theorem-7 admissibility of a protocol trace: base relation of the
     store's condition plus the recorded atomic-broadcast order, checked
-    under the WW constraint (the broadcast totally orders updates). *)
+    under the WW constraint (the broadcast totally orders updates);
+    the closure is maintained incrementally ({!Runner.check_trace}). *)
 let admissible (res : Runner.result) flavour =
-  let h = res.Runner.history in
-  let base = History.base_relation h flavour in
-  let rec link = function
-    | a :: (b :: _ as rest) ->
-      Relation.add base a b;
-      link rest
-    | [ _ ] | [] -> ()
-  in
-  link res.Runner.sync_order;
-  match Check_constrained.check_relation h base Constraints.WW with
+  match Runner.check_trace res ~flavour with
   | Check_constrained.Admissible _ -> true
   | _ -> false
 

@@ -80,6 +80,29 @@ let make_store ?fault cfg engine ~rng ~recorder =
     Aw_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
       ~latency:cfg.latency ~rng ~delta:cfg.aw_delta ~recorder
 
+(** [check_trace result ~flavour] — Theorem-7 admissibility of the
+    recorded trace: the flavour's base relation plus the recorded
+    atomic-broadcast order as extra edges, checked under [kind]
+    (default WW — the broadcast totally orders updates).
+
+    The transitive closure is maintained incrementally as the trace's
+    edges stream in ({!Mmc_core.Check_constrained.Incremental}), the
+    way a live verifier would follow a growing trace: edges already
+    implied by the closure cost O(1), and the final check runs on the
+    maintained closure without ever re-closing from scratch. *)
+let check_trace ?(kind = Constraints.WW) (res : result) ~flavour =
+  let h = res.history in
+  let inc = Check_constrained.Incremental.create (History.n_mops h) in
+  Check_constrained.Incremental.add_edges inc (History.base_edges h flavour);
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+      Check_constrained.Incremental.add_edge inc a b;
+      link rest
+    | [ _ ] | [] -> ()
+  in
+  link res.sync_order;
+  Check_constrained.Incremental.check inc h kind
+
 (** [run ~seed cfg ~workload] — [workload rng ~proc ~step] produces the
     [step]-th m-operation of client [proc]. *)
 let run ~seed cfg ~workload =

@@ -47,6 +47,18 @@ val make_store :
   recorder:Recorder.t ->
   Store.t
 
+(** [check_trace result ~flavour] — Theorem-7 admissibility of the
+    recorded trace: the flavour's base relation plus the recorded
+    atomic-broadcast order, checked under [kind] (default WW).  The
+    transitive closure is maintained incrementally edge by edge
+    ({!Mmc_core.Check_constrained.Incremental}), never re-closed from
+    scratch. *)
+val check_trace :
+  ?kind:Constraints.kind ->
+  result ->
+  flavour:History.flavour ->
+  Check_constrained.result
+
 (** [run ~seed cfg ~workload] — [workload rng ~proc ~step] produces the
     [step]-th m-operation of client [proc]. *)
 val run :
