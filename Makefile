@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check smoke experiments bench-json clean
+.PHONY: all build test check ci smoke shard-smoke experiments bench-json clean
 
 all: build
 
@@ -16,6 +16,13 @@ test:
 # Tier-1 gate: everything builds and every test passes.
 check: build test
 
+# Mirror of .github/workflows/ci.yml: build, full test suite, and the
+# bench smoke over the core and shard groups.
+ci: build test
+	$(DUNE) build bench/main.exe
+	$(DUNE) exec bench/main.exe -- --only core
+	$(DUNE) exec bench/main.exe -- --only shard
+
 # Stand-alone fault smoke: lossy plan with a partition and a crash
 # window; exits non-zero unless the trace passes the Theorem-7 check.
 smoke: build
@@ -23,15 +30,24 @@ smoke: build
 	  --plan 'drop=0.3,spike=0.05:40,part=100:350:0,crash=2:50:300' \
 	  --ops 8 --seed 1
 
+# Sharded-store smoke: four shards, cross-shard traffic; exits
+# non-zero unless the stitched history passes the Theorem-7 check and
+# the decomposed and batch verdicts agree.
+shard-smoke: build
+	$(DUNE) exec bin/mmc_cli.exe -- shard --shards 4 --ops 10 \
+	  --cross 0.2 --seed 3
+
 # Quick versions of every registered experiment table.
 experiments: build
 	$(DUNE) exec bin/mmc_cli.exe -- experiments all --quick
 
-# Perf-trajectory snapshot: the large-history checker kernels only,
-# written as machine-readable JSON (name -> ns/run).  The file also
-# carries the pre-packed-relation baseline numbers for comparison.
+# Perf-trajectory snapshot: the large-history checker kernels and the
+# sharded-store group, written as machine-readable JSON (name ->
+# ns/run, plus shard metrics: messages/op, latency percentiles and
+# verified-ops-per-sec per shard count).  The file also carries the
+# pre-packed-relation baseline numbers for comparison.
 bench-json: build
-	$(DUNE) exec bench/main.exe -- --only core --json BENCH_core.json
+	$(DUNE) exec bench/main.exe -- --only core --only shard --json BENCH_core.json
 
 clean:
 	$(DUNE) clean

@@ -14,9 +14,15 @@
      objects/P5    DCAS contention loop
      figures/F1-F2 paper-figure checking
 
-   Usage: main.exe [--only GROUP] [--json FILE]
-     --only GROUP   run a single group (e.g. `core`), skip the
-                    experiment tables
+     shard/*       sharded-store runs and per-shard verification,
+                   S in {1,2,4,8}; with --json also records
+                   messages/op, latency percentiles and
+                   verified-ops-per-sec per shard count
+
+   Usage: main.exe [--only GROUP]... [--json FILE]
+     --only GROUP   run the named group(s) only (repeatable, e.g.
+                    `--only core --only shard`), skip the experiment
+                    tables
      --json FILE    also write the estimates as JSON (name -> ns/run),
                     the machine-readable perf trajectory tracked across
                     PRs (BENCH_core.json at the repo root) *)
@@ -197,6 +203,80 @@ let bench_figures =
              ignore (Check_constrained.check_relation h base Constraints.WW)));
     ]
 
+(* --- sharded store: runs and per-shard verification --- *)
+
+let shard_counts = [ 1; 2; 4; 8 ]
+
+let shard_spec =
+  { Mmc_workload.Spec.default with n_objects = 32; read_ratio = 0.5 }
+
+let shard_cfg ~ops =
+  {
+    Mmc_store.Runner.default_config with
+    n_procs = 6;
+    n_objects = 32;
+    ops_per_proc = ops;
+  }
+
+let run_sharded ~n_shards ~ops () =
+  let placement = Mmc_shard.Placement.hash ~n_shards ~n_objects:32 in
+  Mmc_shard.Shard_runner.run ~seed:11 ~placement (shard_cfg ~ops)
+    ~workload:(Mmc_workload.Generator.sharded placement shard_spec)
+
+(* A larger single-shard-workload trace per shard count, built once:
+   the verification input.  Same total size at every S, so the
+   per-shard closure cost (~(n/S)^3 each) is the only variable. *)
+let shard_inputs =
+  List.map (fun s -> (s, run_sharded ~n_shards:s ~ops:100 ())) shard_counts
+
+let bench_shard =
+  Test.make_grouped ~name:"shard"
+    (List.map
+       (fun s ->
+         Test.make
+           ~name:(Fmt.str "run-S%d" s)
+           (Staged.stage (fun () -> ignore (run_sharded ~n_shards:s ~ops:20 ()))))
+       shard_counts
+    @ List.map
+        (fun (s, res) ->
+          Test.make
+            ~name:(Fmt.str "verify-S%d" s)
+            (Staged.stage (fun () ->
+                 ignore
+                   (Mmc_shard.Check_sharded.check_shards
+                      res.Mmc_shard.Shard_runner.recorders ~flavour:History.Msc))))
+        shard_inputs)
+
+(* One-shot simulated-time and throughput metrics per shard count,
+   recorded next to the ns/run estimates when --json is given: the
+   machine-readable form of the tentpole claim (verification throughput
+   on a single-shard workload grows with S while messages/op and
+   latency stay honest about the partitioning price). *)
+let shard_metrics () =
+  List.concat_map
+    (fun (s, res) ->
+      let completed = res.Mmc_shard.Shard_runner.completed in
+      let verify_runs = 20 in
+      let t0 = Sys.time () in
+      for _ = 1 to verify_runs do
+        ignore
+          (Mmc_shard.Check_sharded.check_shards
+             res.Mmc_shard.Shard_runner.recorders ~flavour:History.Msc)
+      done;
+      let dt = (Sys.time () -. t0) /. float_of_int verify_runs in
+      let u = res.Mmc_shard.Shard_runner.update_latency in
+      [
+        ( Fmt.str "metrics/shard/S%d/msgs-per-op" s,
+          float_of_int res.Mmc_shard.Shard_runner.messages
+          /. float_of_int (max 1 completed) );
+        (Fmt.str "metrics/shard/S%d/update-p50" s, float_of_int u.Mmc_sim.Stats.p50);
+        (Fmt.str "metrics/shard/S%d/update-p95" s, float_of_int u.Mmc_sim.Stats.p95);
+        (Fmt.str "metrics/shard/S%d/update-p99" s, float_of_int u.Mmc_sim.Stats.p99);
+        ( Fmt.str "metrics/shard/S%d/verified-ops-per-sec" s,
+          float_of_int completed /. dt );
+      ])
+    shard_inputs
+
 let groups =
   [
     ("T1", bench_t1);
@@ -207,14 +287,15 @@ let groups =
     ("P4", bench_broadcast);
     ("P5", bench_objects);
     ("figures", bench_figures);
+    ("shard", bench_shard);
   ]
 
 (* --- command line --- *)
 
 let only, json_file =
-  let only = ref None and json = ref None in
+  let only = ref [] and json = ref None in
   let usage code =
-    Fmt.epr "usage: %s [--only GROUP] [--json FILE]@.  groups: %s@."
+    Fmt.epr "usage: %s [--only GROUP]... [--json FILE]@.  groups: %s@."
       Sys.argv.(0)
       (String.concat " " (List.map fst groups));
     exit code
@@ -226,7 +307,7 @@ let only, json_file =
         Fmt.epr "unknown group %S@." g;
         usage 2
       end;
-      only := Some g;
+      only := !only @ [ g ];
       parse rest
     | "--json" :: f :: rest ->
       json := Some f;
@@ -242,8 +323,8 @@ let only, json_file =
 let all_tests =
   Test.make_grouped ~name:"mmc"
     (match only with
-    | None -> List.map snd groups
-    | Some g -> [ List.assoc g groups ])
+    | [] -> List.map snd groups
+    | gs -> List.map (fun g -> List.assoc g groups) gs)
 
 let benchmark () =
   let ols =
@@ -274,8 +355,14 @@ let baselines =
 
 let write_json file rows =
   let oc = open_out file in
+  (* the shard metrics ride along whenever the shard group ran *)
+  let metrics =
+    if only = [] || List.mem "shard" only then shard_metrics () else []
+  in
   let entries =
-    baselines @ List.filter_map (fun (n, e) -> Option.map (fun e -> (n, e)) e) rows
+    baselines
+    @ List.filter_map (fun (n, e) -> Option.map (fun e -> (n, e)) e) rows
+    @ metrics
   in
   Printf.fprintf oc "{\n";
   List.iteri
@@ -314,7 +401,7 @@ let () =
         | None -> Fmt.pr "%-40s (no estimate)@." name)
       rows;
   Option.iter (fun file -> write_json file rows) json_file;
-  if only = None then begin
+  if only = [] then begin
     Fmt.pr "@.=== Experiment tables (simulated-time metrics) ===@.";
     List.iter
       (fun (e : Mmc_experiments.Registry.entry) ->

@@ -66,7 +66,17 @@ let seed =
 
 (* --- simulate --- *)
 
+let require_positive ~cmd pairs =
+  List.iter
+    (fun (name, v) ->
+      if v < 1 then (
+        Fmt.epr "mmc: %s: %s must be >= 1@." cmd name;
+        exit 124))
+    pairs
+
 let simulate kind procs objects ops read_ratio abcast latency seed check save =
+  require_positive ~cmd:"simulate"
+    [ ("--procs", procs); ("--objects", objects); ("--ops", ops) ];
   let spec =
     { Mmc_workload.Spec.default with n_objects = objects; read_ratio }
   in
@@ -486,6 +496,193 @@ let faults_cmd =
       const faults $ kind $ procs $ objects $ ops $ abcast $ latency $ seed
       $ plan $ save)
 
+(* --- shard --- *)
+
+let placement_conv =
+  let parse = function
+    | "hash" -> Ok `Hash
+    | "rr" | "round-robin" -> Ok `Round_robin
+    | s -> Error (`Msg (Fmt.str "unknown placement %S (hash|rr)" s))
+  in
+  let pp ppf = function
+    | `Hash -> Fmt.string ppf "hash"
+    | `Round_robin -> Fmt.string ppf "rr"
+  in
+  Arg.conv (parse, pp)
+
+let shard n_shards kind procs objects ops cross read_ratio skew abcast latency
+    seed plan placement save =
+  require_positive ~cmd:"shard"
+    [
+      ("--shards", n_shards);
+      ("--procs", procs);
+      ("--objects", objects);
+      ("--ops", ops);
+    ];
+  (try Mmc_sim.Fault.validate ~n:procs plan
+   with Invalid_argument msg ->
+     Fmt.epr "mmc: shard: %s@." msg;
+     exit 124);
+  let open Mmc_shard in
+  let placement =
+    try
+      match placement with
+      | `Hash -> Placement.hash ~n_shards ~n_objects:objects
+      | `Round_robin -> Placement.round_robin ~n_shards ~n_objects:objects
+    with Invalid_argument msg ->
+      Fmt.epr "mmc: shard: %s@." msg;
+      exit 124
+  in
+  let spec =
+    { Mmc_workload.Spec.default with n_objects = objects; read_ratio; skew }
+  in
+  let cfg =
+    {
+      Mmc_store.Runner.default_config with
+      n_procs = procs;
+      n_objects = objects;
+      ops_per_proc = ops;
+      kind;
+      abcast_impl = abcast;
+      latency;
+      fault = plan;
+    }
+  in
+  let res =
+    Shard_runner.run ~seed ~placement cfg
+      ~workload:
+        (Mmc_workload.Generator.sharded ~cross_shard_ratio:cross placement spec)
+  in
+  Fmt.pr "store           %a x %d shards (%a placement)@."
+    Mmc_store.Store.pp_kind kind n_shards Placement.pp placement;
+  Fmt.pr "processes       %d@." procs;
+  Fmt.pr "completed ops   %d@." res.Shard_runner.completed;
+  Fmt.pr "virtual time    %d@." res.Shard_runner.duration;
+  Fmt.pr "messages        %d (%a by shard)@." res.Shard_runner.messages
+    Fmt.(array ~sep:(any " ") int)
+    res.Shard_runner.messages_by_shard;
+  Fmt.pr "engine events   %d@." res.Shard_runner.events;
+  Fmt.pr "router          %a@." Router.pp_stats res.Shard_runner.router;
+  Fmt.pr "query latency   %a@." Mmc_sim.Stats.pp_summary
+    res.Shard_runner.query_latency;
+  Fmt.pr "update latency  %a@." Mmc_sim.Stats.pp_summary
+    res.Shard_runner.update_latency;
+  (match res.Shard_runner.fault with
+  | None -> ()
+  | Some f ->
+    let c = Mmc_sim.Fault.counts f in
+    Fmt.pr "faults          dropped %d, retransmits %d (given up %d)@."
+      (Mmc_sim.Fault.dropped f) c.Mmc_sim.Fault.retransmissions
+      c.Mmc_sim.Fault.abandoned);
+  (match save with
+  | Some path ->
+    Codec.to_file res.Shard_runner.stitched.Shard_recorder.history path;
+    Fmt.pr "stitched saved  %s@." path
+  | None -> ());
+  let flavour =
+    match kind with
+    | Mmc_store.Store.Msc | Mmc_store.Store.Local -> History.Msc
+    | _ -> History.Mlin
+  in
+  let v = Shard_runner.check res ~flavour in
+  Fmt.pr "%a@." Check_sharded.pp v;
+  if not v.Check_sharded.agree then 2
+  else if Check_sharded.admissible v then 0
+  else 1
+
+let shard_cmd =
+  let n_shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"S" ~doc:"Number of shards.")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt store_kind_conv Mmc_store.Store.Msc
+      & info [ "store" ] ~docv:"STORE"
+          ~doc:"Per-shard store protocol: msc, mlin, central, lock, aw, ...")
+  in
+  let procs =
+    Arg.(value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Number of processes.")
+  in
+  let objects =
+    Arg.(
+      value & opt int 16
+      & info [ "objects" ] ~docv:"N" ~doc:"Number of shared objects.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 20
+      & info [ "ops" ] ~docv:"N" ~doc:"m-operations per process.")
+  in
+  let cross =
+    Arg.(
+      value & opt float 0.1
+      & info [ "cross" ] ~docv:"R"
+          ~doc:"Fraction of m-operations spanning two shards.")
+  in
+  let read_ratio =
+    Arg.(
+      value & opt float 0.5
+      & info [ "read-ratio" ] ~docv:"R" ~doc:"Query fraction.")
+  in
+  let skew =
+    Arg.(
+      value & opt float 0.0
+      & info [ "skew" ] ~docv:"S" ~doc:"Zipf exponent for object popularity.")
+  in
+  let abcast =
+    Arg.(
+      value
+      & opt abcast_conv Mmc_broadcast.Abcast.Sequencer_impl
+      & info [ "abcast" ] ~docv:"IMPL"
+          ~doc:"Per-shard atomic broadcast: sequencer or lamport.")
+  in
+  let latency =
+    Arg.(
+      value
+      & opt latency_conv (Mmc_sim.Latency.Uniform (5, 15))
+      & info [ "latency" ] ~docv:"MODEL" ~doc:"Latency model.")
+  in
+  let plan =
+    Arg.(
+      value
+      & opt fault_plan_conv Mmc_sim.Fault.none
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan under every shard's transport (same syntax as mmc \
+             faults); default none.")
+  in
+  let placement =
+    Arg.(
+      value & opt placement_conv `Hash
+      & info [ "placement" ] ~docv:"POLICY" ~doc:"Object placement: hash or rr.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Save the stitched global history in the text format.")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run a sharded store (one ordering mechanism per shard), verify each \
+          shard with the Theorem-7 checker and cross-check the stitched \
+          global history"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Exit status: 0 when the stitched history is admissible, 1 when \
+              it is not (e.g. a cross-shard composition anomaly — per-shard \
+              sequential consistency does not compose), 2 when the \
+              decomposed and batch checkers disagree (a bug).";
+         ])
+    Term.(
+      const shard $ n_shards $ kind $ procs $ objects $ ops $ cross
+      $ read_ratio $ skew $ abcast $ latency $ seed $ plan $ placement $ save)
+
 (* --- experiments --- *)
 
 let experiments ids quick =
@@ -632,6 +829,7 @@ let main_cmd =
     [
       simulate_cmd;
       faults_cmd;
+      shard_cmd;
       check_cmd;
       generate_cmd;
       experiments_cmd;

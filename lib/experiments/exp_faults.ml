@@ -51,7 +51,9 @@ type cell = {
   dropped : int;
   dups : int;
   abandoned : int;
-  u_p95 : int;  (** worst update latency p95 over the seeds *)
+  u_p50 : int;  (** worst update latency percentiles over the seeds *)
+  u_p95 : int;
+  u_p99 : int;
   dd_p95 : int;  (** worst first-delivery delay p95 *)
   recovery : int;  (** worst post-heal catch-up time *)
 }
@@ -66,7 +68,9 @@ let measure ?procs ?ops ~seeds ~kind ~plan () =
         dropped = 0;
         dups = 0;
         abandoned = 0;
+        u_p50 = 0;
         u_p95 = 0;
+        u_p99 = 0;
         dd_p95 = 0;
         recovery = 0;
       }
@@ -78,7 +82,12 @@ let measure ?procs ?ops ~seeds ~kind ~plan () =
       if admissible res (flavour_of kind) then { a with ok = a.ok + 1 } else a
     in
     let a =
-      { a with u_p95 = max a.u_p95 res.Runner.update_latency.Stats.p95 }
+      {
+        a with
+        u_p50 = max a.u_p50 res.Runner.update_latency.Stats.p50;
+        u_p95 = max a.u_p95 res.Runner.update_latency.Stats.p95;
+        u_p99 = max a.u_p99 res.Runner.update_latency.Stats.p99;
+      }
     in
     acc :=
       (match res.Runner.fault with
@@ -128,7 +137,9 @@ let f1 ?(drops = [ 0.0; 0.1; 0.2; 0.3 ]) ?(seeds = 3) ?(procs = 4) ?(ops = 12)
               Table.i c.dropped;
               Table.i c.dups;
               Table.i c.abandoned;
+              Table.i c.u_p50;
               Table.i c.u_p95;
+              Table.i c.u_p99;
               Table.i c.dd_p95;
               Table.i c.recovery;
             ])
@@ -147,7 +158,9 @@ let f1 ?(drops = [ 0.0; 0.1; 0.2; 0.3 ]) ?(seeds = 3) ?(procs = 4) ?(ops = 12)
         "dropped";
         "dups";
         "given up";
+        "u p50";
         "u p95";
+        "u p99";
         "dlv p95";
         "recovery";
       ];
@@ -191,7 +204,9 @@ let f2 ?(lengths = [ 0; 100; 250; 500 ]) ?(seeds = 3) ?(procs = 4) ?(ops = 12)
               adm c;
               Table.i c.retrans;
               Table.i c.dropped;
+              Table.i c.u_p50;
               Table.i c.u_p95;
+              Table.i c.u_p99;
               Table.i c.dd_p95;
               Table.i c.recovery;
             ])
@@ -208,7 +223,9 @@ let f2 ?(lengths = [ 0; 100; 250; 500 ]) ?(seeds = 3) ?(procs = 4) ?(ops = 12)
         "admissible";
         "retrans";
         "dropped";
+        "u p50";
         "u p95";
+        "u p99";
         "dlv p95";
         "recovery";
       ];

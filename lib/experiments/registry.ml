@@ -112,6 +112,14 @@ let all : entry list =
       quick = (fun () -> Exp_faults.f2 ~lengths:[ 0; 250 ] ~seeds:2 ~ops:8 ());
     };
     {
+      id = "S1";
+      description = "sharding: shard count x cross-shard ratio";
+      run = (fun () -> Exp_shard.s1 ());
+      quick =
+        (fun () ->
+          Exp_shard.s1 ~shards:[ 1; 4 ] ~ratios:[ 0.0; 0.2 ] ~seeds:2 ~ops:8 ());
+    };
+    {
       id = "Z1";
       description = "Zipf contention skew: 2PL vs broadcast";
       run = (fun () -> Exp_protocol.z1 ());

@@ -1,0 +1,54 @@
+(** Object-space partitioning: a total map from global object ids to
+    shards, with the global/local id translations the sharded store
+    needs.
+
+    Each shard runs one ordinary store instance over its own dense
+    local object space [0 .. size-1]; the placement is the only piece
+    of the system that knows both namespaces.  Objects live on exactly
+    one shard, so every write-write conflict is an intra-shard affair —
+    the observation that makes per-shard verification sound
+    (see {!Check_sharded}). *)
+
+open Mmc_core
+
+type t
+
+(** [hash ~n_shards ~n_objects] — multiplicative-hash placement
+    (Fibonacci hashing of the object id); deterministic, needs no
+    per-object table.  Shards may be unevenly loaded for tiny object
+    counts. *)
+val hash : n_shards:int -> n_objects:int -> t
+
+(** [round_robin ~n_shards ~n_objects] — object [x] lives on shard
+    [x mod n_shards]: the perfectly balanced variant. *)
+val round_robin : n_shards:int -> n_objects:int -> t
+
+(** [explicit ~n_shards assign] — [assign.(x)] is the shard of object
+    [x]; raises [Invalid_argument] if an entry is outside
+    [0 .. n_shards-1]. *)
+val explicit : n_shards:int -> int array -> t
+
+val n_shards : t -> int
+val n_objects : t -> int
+
+(** Shard of a global object id. *)
+val shard_of_obj : t -> Types.obj_id -> int
+
+(** Global id -> the shard's local object id. *)
+val to_local : t -> Types.obj_id -> int
+
+(** [to_global t shard local] — inverse of {!to_local}. *)
+val to_global : t -> int -> int -> Types.obj_id
+
+(** Number of objects placed on a shard (possibly 0). *)
+val size : t -> int -> int
+
+(** Global object ids of a shard, ascending. *)
+val objects_of : t -> int -> Types.obj_id list
+
+(** Distinct shards touched by a set of global object ids, ascending —
+    the router's classification: one shard = single-shard, more =
+    cross-shard. *)
+val shards_of : t -> Types.obj_id list -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+(** Request routing over a sharded store (see the interface). *)
+
+open Mmc_core
+open Mmc_store
+
+type stats = {
+  single_shard : int;
+  cross_shard : int;
+  segments : int;
+  max_spread : int;
+  out_of_rank : int;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "single=%d cross=%d segments=%d max_spread=%d out_of_rank=%d"
+    s.single_shard s.cross_shard s.segments s.max_spread s.out_of_rank
+
+type t = {
+  placement : Placement.t;
+  engine : Mmc_sim.Engine.t;
+  shards : Store.t array;
+  mutable single_shard : int;
+  mutable cross_shard : int;
+  mutable segments : int;
+  mutable max_spread : int;
+  mutable out_of_rank : int;
+}
+
+let create placement engine ~shards =
+  if Array.length shards <> Placement.n_shards placement then
+    invalid_arg "Router.create: one store per shard required";
+  {
+    placement;
+    engine;
+    shards;
+    single_shard = 0;
+    cross_shard = 0;
+    segments = 0;
+    max_spread = 0;
+    out_of_rank = 0;
+  }
+
+let stats t =
+  {
+    single_shard = t.single_shard;
+    cross_shard = t.cross_shard;
+    segments = t.segments;
+    max_spread = t.max_spread;
+    out_of_rank = t.out_of_rank;
+  }
+
+(** Translate the maximal prefix of [prog] that stays on shard [s] to
+    local object ids; when an operation on another shard is reached the
+    untranslated remainder is stashed and the subprogram ends.  The
+    stash write happens while the shard store {e applies} the
+    subprogram (continuations run under the store's effect handlers),
+    so each segment owns a fresh stash cell — replicated stores apply
+    an update at every replica, and only the cell of the in-flight
+    segment may be consulted. *)
+let rec translate placement s stash prog =
+  match prog with
+  | Prog.Done _ as p -> p
+  | Prog.Read (x, k) ->
+    if Placement.shard_of_obj placement x = s then
+      Prog.Read
+        (Placement.to_local placement x, fun v -> translate placement s stash (k v))
+    else begin
+      stash := Some prog;
+      Prog.Done Value.Unit
+    end
+  | Prog.Write (x, v, rest) ->
+    if Placement.shard_of_obj placement x = s then
+      Prog.Write
+        (Placement.to_local placement x, v, translate placement s stash rest)
+    else begin
+      stash := Some prog;
+      Prog.Done Value.Unit
+    end
+
+(** Conservative write/touch sets of a segment on shard [s]: the
+    declared global sets restricted to the shard, translated.  Sorted
+    order survives translation (local ids are ascending in global
+    order). *)
+let restrict placement s objs =
+  List.filter_map
+    (fun x ->
+      if Placement.shard_of_obj placement x = s then
+        Some (Placement.to_local placement x)
+      else None)
+    objs
+
+let first_obj = function
+  | Prog.Done _ -> None
+  | Prog.Read (x, _) | Prog.Write (x, _, _) -> Some x
+
+let invoke t ~proc (m : Prog.mprog) ~k =
+  let spread = Placement.shards_of t.placement m.Prog.may_touch in
+  let n_spread = List.length spread in
+  if n_spread <= 1 then t.single_shard <- t.single_shard + 1
+  else t.cross_shard <- t.cross_shard + 1;
+  t.max_spread <- max t.max_spread n_spread;
+  let invoke_segment s prog k' =
+    t.segments <- t.segments + 1;
+    let stash = ref None in
+    let sub_prog = translate t.placement s stash prog in
+    let sub =
+      Prog.mprog
+        ~label:(if m.Prog.label = "" then "" else m.Prog.label ^ "@" ^ string_of_int s)
+        ~may_touch:(restrict t.placement s m.Prog.may_touch)
+        ~may_write:(restrict t.placement s m.Prog.may_write)
+        sub_prog
+    in
+    Store.invoke t.shards.(s) ~proc sub ~k:(fun v -> k' (v, !stash))
+  in
+  let rec run_segments prev_rank prog =
+    match first_obj prog with
+    | None ->
+      (* Program exhausted: the previous segment already returned the
+         final value; this only happens for an empty top-level program,
+         handled below. *)
+      assert false
+    | Some x ->
+      let s = Placement.shard_of_obj t.placement x in
+      if s < prev_rank then t.out_of_rank <- t.out_of_rank + 1;
+      invoke_segment s prog (fun (v, stash) ->
+          match stash with
+          | None -> k v
+          | Some rest ->
+            (* Strictly separate the sub-invocation windows: the
+               stitched history's process subhistories must stay
+               sequential even for zero-latency local segments. *)
+            Mmc_sim.Engine.schedule t.engine ~delay:1 (fun () ->
+                run_segments s rest))
+  in
+  match first_obj m.Prog.prog with
+  | None ->
+    (* No operations at all: forward to the lowest touched shard (or
+       shard 0) so the m-operation is still recorded, as it would be
+       unsharded. *)
+    let s = match spread with s :: _ -> s | [] -> 0 in
+    invoke_segment s m.Prog.prog (fun (v, _) -> k v)
+  | Some _ -> run_segments (-1) m.Prog.prog

@@ -1,0 +1,56 @@
+(** Request routing over a sharded store.
+
+    Classifies each m-operation by the shards its conservative touch
+    set spans.  Single-shard m-operations are translated to the shard's
+    local object space and forwarded unchanged; cross-shard
+    m-operations are executed as a sequence of per-shard subprograms:
+    each sub-invocation acquires the target shard's ordering ticket
+    (its slot in that shard's atomic-broadcast / lock order) and runs
+    the maximal prefix of the remaining program that stays on that
+    shard.
+
+    Cross-shard ordering argument (paper, D 4.11 / Theorem 7): every
+    write-write and read-write conflict involves a single object and is
+    therefore settled inside one shard by that shard's total update
+    order.  Sub-operations of one m-operation execute sequentially
+    (each waits for the previous response), so the stitched history's
+    process order records their order, and any linear extension of
+    (process order ∪ reads-from ∪ the per-shard orders) installs a
+    global WW-constraint that never contradicts an object's version
+    order — which is what makes the per-shard Theorem-7 checks plus one
+    polynomial check of the stitched history a complete verification
+    ({!Check_sharded}).  Per-shard admissibility alone is necessary but
+    not sufficient: Msc-style conditions do not compose, and the
+    stitched check is exactly what detects the residual cross-shard
+    anomalies.  Workloads that keep cross-shard
+    programs sorted by shard rank (the {!Mmc_workload.Generator}
+    sharded workload does) additionally give the deadlock-free
+    ascending acquisition discipline; programs that revisit a
+    lower-ranked shard are still executed correctly but are counted in
+    [stats.out_of_rank]. *)
+
+open Mmc_core
+open Mmc_store
+
+type stats = {
+  single_shard : int;  (** m-operations confined to one shard *)
+  cross_shard : int;  (** m-operations spanning >= 2 shards *)
+  segments : int;  (** sub-invocations issued for cross-shard m-operations *)
+  max_spread : int;  (** largest number of distinct shards one m-operation touched *)
+  out_of_rank : int;
+      (** segments that targeted a shard ranked below an earlier segment
+          of the same m-operation (ascending-rank discipline broken by
+          the program's operation order) *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type t
+
+val create : Placement.t -> Mmc_sim.Engine.t -> shards:Store.t array -> t
+
+(** Route one m-operation; [k] fires with the final result once the
+    last sub-invocation responds. *)
+val invoke : t -> proc:int -> Prog.mprog -> k:(Value.t -> unit) -> unit
+
+val stats : t -> stats

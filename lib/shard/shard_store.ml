@@ -1,0 +1,47 @@
+(** A sharded multi-object store (see the interface). *)
+
+open Mmc_store
+
+type t = {
+  placement : Placement.t;
+  shards : Store.t array;
+  recorders : Recorder.t array;
+  router : Router.t;
+  store : Store.t;
+}
+
+let create ?fault (cfg : Runner.config) engine ~placement ~rng =
+  if cfg.Runner.n_objects <> Placement.n_objects placement then
+    invalid_arg "Shard_store.create: cfg.n_objects <> placement n_objects";
+  let n_shards = Placement.n_shards placement in
+  let recorders =
+    Array.init n_shards (fun s ->
+        Recorder.create ~n_objects:(Placement.size placement s))
+  in
+  let shards =
+    Array.init n_shards (fun s ->
+        let cfg_s = { cfg with Runner.n_objects = Placement.size placement s } in
+        Runner.make_store ?fault cfg_s engine
+          ~rng:(Mmc_sim.Rng.split rng)
+          ~recorder:recorders.(s))
+  in
+  let router = Router.create placement engine ~shards in
+  let store =
+    {
+      Store.name =
+        Fmt.str "shard[%d/%s]" n_shards (Store.name shards.(0));
+      invoke = (fun ~proc m ~k -> Router.invoke router ~proc m ~k);
+      messages_sent =
+        (fun () ->
+          Array.fold_left (fun acc s -> acc + Store.messages_sent s) 0 shards);
+    }
+  in
+  { placement; shards; recorders; router; store }
+
+let store t = t.store
+let placement t = t.placement
+let router t = t.router
+let recorders t = t.recorders
+
+let messages_by_shard t =
+  Array.map (fun s -> Store.messages_sent s) t.shards

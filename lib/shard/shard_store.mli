@@ -1,0 +1,42 @@
+(** A sharded multi-object store: one ordinary store instance
+    (msc / mlin / central / lock / aw / ...) per shard, all on the
+    shared simulation engine, fronted by a {!Router}.
+
+    This is where throughput stops funneling through a single total
+    order: each shard runs its own ordering mechanism (its own
+    sequencer / Lamport clocks / lock managers) over its own slice of
+    the object space, and only the cheap per-shard Theorem-7 checks
+    plus a stitched cross-shard merge are needed to verify a run
+    ({!Check_sharded}). *)
+
+open Mmc_store
+
+type t
+
+(** [create ?fault cfg engine ~placement ~rng] — one
+    {!Mmc_store.Runner.make_store} instance per shard, each with its
+    own recorder over the shard's local object space.  [cfg.n_objects]
+    must equal [Placement.n_objects placement]; [cfg.kind] selects the
+    per-shard protocol.  A [fault] injector is shared by every shard's
+    transport: partitions and crashes hit the same physical nodes on
+    every shard, as they would in a real deployment. *)
+val create :
+  ?fault:Mmc_sim.Fault.t ->
+  Runner.config ->
+  Mmc_sim.Engine.t ->
+  placement:Placement.t ->
+  rng:Mmc_sim.Rng.t ->
+  t
+
+(** The client-facing facade: [invoke] routes through the {!Router},
+    [messages_sent] sums over the shards. *)
+val store : t -> Store.t
+
+val placement : t -> Placement.t
+val router : t -> Router.t
+
+(** Per-shard recorders (local object ids), index = shard. *)
+val recorders : t -> Recorder.t array
+
+(** Per-shard transport message counts. *)
+val messages_by_shard : t -> int array

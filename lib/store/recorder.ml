@@ -45,6 +45,11 @@ let add t r =
 
 let count t = t.count
 
+let records t = List.rev t.records
+
+let of_records ~n_objects records =
+  { n_objects; records = List.rev records; count = List.length records }
+
 exception Inconsistent_versions of string
 
 (** Build the history, the per-m-operation timestamp table for the

@@ -26,6 +26,15 @@ val create : n_objects:int -> t
 val add : t -> record -> unit
 val count : t -> int
 
+(** Records in the order they were added. *)
+val records : t -> record list
+
+(** A recorder pre-loaded with [records] (in order), as if each had
+    been {!add}ed — lets a stitching layer (e.g. the sharded store's
+    {!Mmc_shard.Shard_recorder}) rebuild histories from remapped
+    records through the same numbering and reads-from resolution. *)
+val of_records : n_objects:int -> record list -> t
+
 exception Inconsistent_versions of string
 
 (** Build the history (m-operations numbered in invocation order;

@@ -60,6 +60,101 @@ let mixed (spec : Spec.t) rng ~proc ~step =
       (prog_of_plan plan Value.Unit)
   end
 
+(** Placement-aware mixed workload for the sharded store (see the
+    interface). *)
+let sharded ?(cross_shard_ratio = 0.) placement (spec : Spec.t) rng ~proc ~step
+    =
+  ignore proc;
+  ignore step;
+  let open Mmc_shard in
+  let len =
+    Rng.int_range rng ~lo:spec.Spec.mop_len_lo ~hi:spec.Spec.mop_len_hi
+  in
+  let query = Rng.bernoulli rng ~p:spec.Spec.read_ratio in
+  (* A Zipf-popular object names the shard, so hot shards are exactly
+     the shards of hot objects; pools are never empty this way. *)
+  let pick_shard () =
+    Placement.shard_of_obj placement
+      (Rng.zipf rng ~n:spec.Spec.n_objects ~s:spec.Spec.skew)
+  in
+  let pick_in_shard s =
+    let pool = Array.of_list (Placement.objects_of placement s) in
+    pool.(Rng.zipf rng ~n:(Array.length pool) ~s:spec.Spec.skew)
+  in
+  let cross =
+    len >= 2
+    && Placement.n_shards placement > 1
+    && Rng.bernoulli rng ~p:cross_shard_ratio
+  in
+  (* Segments in ascending shard rank: the router executes them in
+     plan order, so plan order must be the deterministic shard-rank
+     order that keeps cross-shard ticket acquisition consistent. *)
+  let shards =
+    if not cross then [ (pick_shard (), len) ]
+    else begin
+      let a = pick_shard () in
+      let rec other tries =
+        if tries = 0 then a
+        else
+          let b = pick_shard () in
+          if b <> a then b else other (tries - 1)
+      in
+      let b = other 8 in
+      if b = a then [ (a, len) ]
+      else begin
+        let len_a = 1 + Rng.int rng ~bound:(len - 1) in
+        List.sort compare [ (a, len_a); (b, len - len_a) ]
+      end
+    end
+  in
+  if query then begin
+    let xs =
+      List.concat_map
+        (fun (s, k) ->
+          List.init k (fun _ -> pick_in_shard s) |> List.sort_uniq compare)
+        shards
+    in
+    let touched = List.sort_uniq compare xs in
+    let prog = Prog.read_all xs (fun vs -> Prog.return (Value.List vs)) in
+    let may_write = if spec.Spec.inflate_write_set then touched else [] in
+    Prog.mprog ~label:"q" ~may_touch:touched ~may_write prog
+  end
+  else begin
+    (* Guarantee at least one write per segment: every sub-invocation
+       of a cross-shard update is then itself an update on its shard
+       (ordered by that shard's broadcast), which is what keeps
+       update-only workloads OO-constrained through sharding. *)
+    let plan =
+      List.concat_map
+        (fun (s, k) ->
+          let seg =
+            List.init k (fun _ ->
+                let x = pick_in_shard s in
+                if Rng.bernoulli rng ~p:spec.Spec.write_prob then
+                  `W (x, Value.Int (Rng.int rng ~bound:spec.Spec.value_range))
+                else `R x)
+          in
+          if List.exists (function `W _ -> true | `R _ -> false) seg then seg
+          else
+            `W
+              ( pick_in_shard s,
+                Value.Int (Rng.int rng ~bound:spec.Spec.value_range) )
+            :: seg)
+        shards
+    in
+    let touched =
+      List.map (function `R x -> x | `W (x, _) -> x) plan
+      |> List.sort_uniq compare
+    in
+    let written =
+      List.filter_map (function `W (x, _) -> Some x | `R _ -> None) plan
+      |> List.sort_uniq compare
+    in
+    let may_write = if spec.Spec.inflate_write_set then touched else written in
+    Prog.mprog ~label:"u" ~may_touch:touched ~may_write
+      (prog_of_plan plan Value.Unit)
+  end
+
 (** DCAS-heavy workload: processes contend with double
     compare-and-swaps over pairs of registers, mixed with snapshots. *)
 let dcas_contention (spec : Spec.t) rng ~proc ~step =

@@ -6,6 +6,28 @@ open Mmc_store
 (** Mixed read/write workload per the spec. *)
 val mixed : Spec.t -> Rng.t -> proc:int -> step:int -> Prog.mprog
 
+(** Placement-aware mixed workload for the sharded store.
+
+    With probability [1 - cross_shard_ratio] an m-operation stays on a
+    single shard: a Zipf-popular home object picks the shard, the
+    remaining operations draw (Zipf by popularity rank again) from that
+    shard's object pool.  With probability [cross_shard_ratio] (default
+    0, requires at least two operations and two populated shards) the
+    plan spans exactly two distinct shards, its operations grouped by
+    shard in ascending shard rank — the deterministic segment order the
+    {!Mmc_shard.Router} relies on.  Updates contain at least one write
+    per segment, so every sub-invocation of a cross-shard update is an
+    update on its shard; [spec.skew] both selects hot shards and hot
+    objects within a shard. *)
+val sharded :
+  ?cross_shard_ratio:float ->
+  Mmc_shard.Placement.t ->
+  Spec.t ->
+  Rng.t ->
+  proc:int ->
+  step:int ->
+  Prog.mprog
+
 (** DCAS-heavy contention workload over register pairs. *)
 val dcas_contention : Spec.t -> Rng.t -> proc:int -> step:int -> Prog.mprog
 
