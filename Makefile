@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci smoke shard-smoke experiments bench-json clean
+.PHONY: all build test check ci smoke shard-smoke par-smoke experiments bench-json clean
 
 all: build
 
@@ -18,7 +18,7 @@ check: build test
 
 # Mirror of .github/workflows/ci.yml: build, full test suite, and the
 # bench smoke over the core and shard groups.
-ci: build test
+ci: build test par-smoke
 	$(DUNE) build bench/main.exe
 	$(DUNE) exec bench/main.exe -- --only core
 	$(DUNE) exec bench/main.exe -- --only shard
@@ -37,17 +37,30 @@ shard-smoke: build
 	$(DUNE) exec bin/mmc_cli.exe -- shard --shards 4 --ops 10 \
 	  --cross 0.2 --seed 3
 
+# Multicore smoke: the sharded run again with the verification phase
+# fanned out over a 2-domain pool — parallel verification may change
+# latency, never a verdict, so the exit code contract is identical.
+par-smoke: build
+	$(DUNE) exec bin/mmc_cli.exe -- shard --shards 4 --ops 10 \
+	  --cross 0.2 --domains 2 --seed 3
+	$(DUNE) exec bin/mmc_cli.exe -- faults --store msc \
+	  --plan 'drop=0.2,part=100:300:0' --ops 8 --domains 2 --seed 2
+
 # Quick versions of every registered experiment table.
 experiments: build
 	$(DUNE) exec bin/mmc_cli.exe -- experiments all --quick
 
-# Perf-trajectory snapshot: the large-history checker kernels and the
-# sharded-store group, written as machine-readable JSON (name ->
-# ns/run, plus shard metrics: messages/op, latency percentiles and
-# verified-ops-per-sec per shard count).  The file also carries the
-# pre-packed-relation baseline numbers for comparison.
+# Perf-trajectory snapshot: the large-history checker kernels, the
+# sharded-store group and the parallel-verification group (closure +
+# per-shard checks at 1/2/4 worker domains), written as
+# machine-readable JSON (name -> ns/run, plus shard metrics and
+# wall-clock parallel speedups).  The file also carries the
+# pre-packed-relation baseline numbers for comparison.  Parallel
+# speedups depend on physical cores; re-run on the host you care
+# about.
 bench-json: build
-	$(DUNE) exec bench/main.exe -- --only core --only shard --json BENCH_core.json
+	$(DUNE) exec bench/main.exe -- --only core --only shard --only parallel \
+	  --domains 1 --domains 2 --domains 4 --json BENCH_core.json
 
 clean:
 	$(DUNE) clean

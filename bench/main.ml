@@ -19,17 +19,92 @@
                    messages/op, latency percentiles and
                    verified-ops-per-sec per shard count
 
-   Usage: main.exe [--only GROUP]... [--json FILE]
+     parallel/*    multicore verification: row-blocked parallel
+                   closure / Theorem-7 at n in {400,600} and the
+                   per-shard fan-out at S = 8, one -dD variant per
+                   --domains value; with --json also records
+                   wall-clock speedup-vs-domains metrics
+
+   Usage: main.exe [--only GROUP]... [--json FILE] [--seed S] [--domains D]...
      --only GROUP   run the named group(s) only (repeatable, e.g.
                     `--only core --only shard`), skip the experiment
                     tables
      --json FILE    also write the estimates as JSON (name -> ns/run),
                     the machine-readable perf trajectory tracked across
-                    PRs (BENCH_core.json at the repo root) *)
+                    PRs (BENCH_core.json at the repo root)
+     --seed S       base PRNG seed for every generated input (default 1,
+                    which reproduces the recorded BENCH_core.json runs)
+     --domains D    domain count for the `parallel` group (repeatable;
+                    default 1 2 4), each D becomes a -dD test variant *)
 
 open Bechamel
 open Toolkit
 open Mmc_core
+
+(* --- command line (parsed before the inputs: the generator seeds and
+   the parallel group's domain counts depend on it) --- *)
+
+let group_names =
+  [ "T1"; "T2"; "T7"; "core"; "protocol"; "P4"; "P5"; "figures"; "shard";
+    "parallel" ]
+
+let only, json_file, cli_seed, cli_domains =
+  let only = ref [] and json = ref None in
+  let seed = ref 1 and domains = ref [] in
+  let usage code =
+    Fmt.epr
+      "usage: %s [--only GROUP]... [--json FILE] [--seed S] [--domains D]...@.  \
+       groups: %s@."
+      Sys.argv.(0)
+      (String.concat " " group_names);
+    exit code
+  in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some i -> i
+    | None ->
+      Fmt.epr "%s expects an integer, got %S@." name v;
+      usage 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--only" :: g :: rest ->
+      if not (List.mem g group_names) then begin
+        Fmt.epr "unknown group %S@." g;
+        usage 2
+      end;
+      only := !only @ [ g ];
+      parse rest
+    | "--json" :: f :: rest ->
+      json := Some f;
+      parse rest
+    | "--seed" :: s :: rest ->
+      seed := int_arg "--seed" s;
+      parse rest
+    | "--domains" :: d :: rest ->
+      let d = int_arg "--domains" d in
+      if d < 0 then begin
+        Fmt.epr "--domains must be >= 0@.";
+        usage 2
+      end;
+      domains := !domains @ [ d ];
+      parse rest
+    | ("--help" | "-h") :: _ -> usage 0
+    | arg :: _ ->
+      Fmt.epr "unknown argument %S@." arg;
+      usage 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  ( !only,
+    !json,
+    !seed,
+    match !domains with [] -> [ 1; 2; 4 ] | ds -> ds )
+
+(* Every input generator below derives its seed from the CLI's
+   [--seed] through this offset; the default 1 reproduces the
+   historical hardcoded seeds, so recorded trajectories stay
+   comparable run over run. *)
+let soff = cli_seed - 1
 
 (* --- fixed inputs, built once --- *)
 
@@ -61,16 +136,18 @@ let ww_base h =
   link updates;
   base
 
-let t1_inputs = List.map (fun n -> (n, hard_multi n (n * 7))) [ 6; 10; 14 ]
+let t1_inputs =
+  List.map (fun n -> (n, hard_multi n ((n * 7) + soff))) [ 6; 10; 14 ]
 
 let t1_constrained =
   List.map
     (fun n ->
-      let h = consistent n (n * 7) in
+      let h = consistent n ((n * 7) + soff) in
       (n, h, ww_base h))
     [ 6; 10; 14 ]
 
-let t2_single = List.map (fun n -> (n, registers n (n * 3))) [ 8; 16; 24 ]
+let t2_single =
+  List.map (fun n -> (n, registers n ((n * 3) + soff))) [ 8; 16; 24 ]
 
 let bench_t1 =
   Test.make_grouped ~name:"T1"
@@ -111,7 +188,7 @@ let bench_t2 =
 let core_inputs =
   List.map
     (fun n ->
-      let h = consistent n (n * 7) in
+      let h = consistent n ((n * 7) + soff) in
       let base = ww_base h in
       (n, h, base, Relation.transitive_closure base))
     [ 50; 100; 200; 400 ]
@@ -151,7 +228,7 @@ let run_store kind =
   in
   fun () ->
     ignore
-      (Mmc_store.Runner.run ~seed:11 cfg
+      (Mmc_store.Runner.run ~seed:(11 + soff) cfg
          ~workload:(Mmc_workload.Generator.mixed spec))
 
 let bench_protocol =
@@ -175,7 +252,7 @@ let bench_broadcast =
                 ignore
                   (Mmc_experiments.Exp_broadcast.measure ~impl ~n:4 ~k:10
                      ~latency:(Mmc_sim.Latency.Uniform (5, 15))
-                     ~seed:3))))
+                     ~seed:(3 + soff)))))
        [
          ("sequencer", Mmc_broadcast.Abcast.Sequencer_impl);
          ("lamport", Mmc_broadcast.Abcast.Lamport_impl);
@@ -186,7 +263,7 @@ let bench_objects =
     (Staged.stage (fun () ->
          ignore
            (Mmc_experiments.Exp_objects.run_dcas ~kind:Mmc_store.Store.Mlin
-              ~n_procs:4 ~attempts:6 ~seed:5)))
+              ~n_procs:4 ~attempts:6 ~seed:(5 + soff))))
 
 let bench_figures =
   Test.make_grouped ~name:"figures"
@@ -220,7 +297,7 @@ let shard_cfg ~ops =
 
 let run_sharded ~n_shards ~ops () =
   let placement = Mmc_shard.Placement.hash ~n_shards ~n_objects:32 in
-  Mmc_shard.Shard_runner.run ~seed:11 ~placement (shard_cfg ~ops)
+  Mmc_shard.Shard_runner.run ~seed:(11 + soff) ~placement (shard_cfg ~ops)
     ~workload:(Mmc_workload.Generator.sharded placement shard_spec)
 
 (* A larger single-shard-workload trace per shard count, built once:
@@ -277,6 +354,121 @@ let shard_metrics () =
       ])
     shard_inputs
 
+(* --- multicore verification: the `parallel` group --- *)
+
+(* One pool per requested --domains value, spawned once and reused by
+   every -dD test variant (the whole point of the pool: submissions
+   never spawn).  Joined explicitly before exit. *)
+let par_pools =
+  let ds = List.sort_uniq compare cli_domains in
+  let pools = List.map (fun d -> (d, Mmc_parallel.Pool.create ~num_domains:d)) ds in
+  at_exit (fun () -> List.iter (fun (_, p) -> Mmc_parallel.Pool.shutdown p) pools);
+  pools
+
+(* The parallel group's closure / Theorem-7 input, one size up from
+   the core group: at n = 600 the closure is ~3.4x the n = 400 one,
+   enough work for the per-pivot barrier to amortize. *)
+let par600 =
+  let h = consistent 600 ((600 * 7) + soff) in
+  let base = ww_base h in
+  (h, base)
+
+let shard8 = List.assoc 8 shard_inputs
+
+(* Speedup-vs-domains variants of the three kernels the tentpole
+   targets: the row-blocked Warshall closure (with the Theorem-7
+   check on top of it) and the per-shard fan-out of the sharded
+   verifier (S = 8 sub-histories of the n = 600 trace, the batch
+   oracle skipped so only the decomposed pipeline is measured).
+   -d1 uses a 1-worker pool and must stay within noise of the
+   sequential `core`/`shard` numbers. *)
+let bench_parallel =
+  let h600, base600 = par600 in
+  let h400, b400 =
+    let _, h, b, _ = List.find (fun (n, _, _, _) -> n = 400) core_inputs in
+    (h, b)
+  in
+  Test.make_grouped ~name:"parallel"
+    (List.concat_map
+       (fun (d, pool) ->
+         [
+           Test.make
+             ~name:(Fmt.str "closure-400-d%d" d)
+             (Staged.stage (fun () ->
+                  ignore (Relation.transitive_closure ~pool b400)));
+           Test.make
+             ~name:(Fmt.str "closure-600-d%d" d)
+             (Staged.stage (fun () ->
+                  ignore (Relation.transitive_closure ~pool base600)));
+           Test.make
+             ~name:(Fmt.str "theorem7-ww-400-d%d" d)
+             (Staged.stage (fun () ->
+                  ignore
+                    (Check_constrained.check_relation ~pool h400 b400
+                       Constraints.WW)));
+           Test.make
+             ~name:(Fmt.str "theorem7-ww-600-d%d" d)
+             (Staged.stage (fun () ->
+                  ignore
+                    (Check_constrained.check_relation ~pool h600 base600
+                       Constraints.WW)));
+           Test.make
+             ~name:(Fmt.str "verify-S8-d%d" d)
+             (Staged.stage (fun () ->
+                  ignore
+                    (Mmc_shard.Check_sharded.check_shards ~pool
+                       shard8.Mmc_shard.Shard_runner.recorders
+                       ~flavour:History.Msc)));
+           Test.make
+             ~name:(Fmt.str "check-S8-d%d" d)
+             (Staged.stage (fun () ->
+                  ignore
+                    (Mmc_shard.Shard_runner.check ~pool ~oracle:false shard8
+                       ~flavour:History.Msc)));
+         ])
+       par_pools)
+
+(* Wall-clock speedup-vs-domains metrics (ratio of the sequential
+   mean over the D-domain mean on the same input), recorded when the
+   parallel group runs with --json.  Wall clock, not [Sys.time]: CPU
+   time sums over domains and would hide any parallel win. *)
+let parallel_metrics () =
+  let wall_ms repeats f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to repeats do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1_000. /. float_of_int repeats
+  in
+  let _, base600 = par600 in
+  let kernels =
+    [
+      ( "closure-600",
+        20,
+        fun pool ->
+          ignore (Relation.transitive_closure ?pool base600) );
+      ( "verify-S8",
+        20,
+        fun pool ->
+          ignore
+            (Mmc_shard.Check_sharded.check_shards ?pool
+               shard8.Mmc_shard.Shard_runner.recorders ~flavour:History.Msc) );
+    ]
+  in
+  List.concat_map
+    (fun (name, repeats, kernel) ->
+      let seq_ms = wall_ms repeats (fun () -> kernel None) in
+      (Fmt.str "metrics/parallel/%s/ms-seq" name, seq_ms)
+      :: List.concat_map
+           (fun (d, pool) ->
+             let ms = wall_ms repeats (fun () -> kernel (Some pool)) in
+             [
+               (Fmt.str "metrics/parallel/%s/ms-d%d" name d, ms);
+               (Fmt.str "metrics/parallel/%s/speedup-d%d" name d, seq_ms /. ms);
+             ])
+           par_pools)
+    kernels
+
 let groups =
   [
     ("T1", bench_t1);
@@ -288,37 +480,8 @@ let groups =
     ("P5", bench_objects);
     ("figures", bench_figures);
     ("shard", bench_shard);
+    ("parallel", bench_parallel);
   ]
-
-(* --- command line --- *)
-
-let only, json_file =
-  let only = ref [] and json = ref None in
-  let usage code =
-    Fmt.epr "usage: %s [--only GROUP]... [--json FILE]@.  groups: %s@."
-      Sys.argv.(0)
-      (String.concat " " (List.map fst groups));
-    exit code
-  in
-  let rec parse = function
-    | [] -> ()
-    | "--only" :: g :: rest ->
-      if not (List.mem_assoc g groups) then begin
-        Fmt.epr "unknown group %S@." g;
-        usage 2
-      end;
-      only := !only @ [ g ];
-      parse rest
-    | "--json" :: f :: rest ->
-      json := Some f;
-      parse rest
-    | ("--help" | "-h") :: _ -> usage 0
-    | arg :: _ ->
-      Fmt.epr "unknown argument %S@." arg;
-      usage 2
-  in
-  parse (List.tl (Array.to_list Sys.argv));
-  (!only, !json)
 
 let all_tests =
   Test.make_grouped ~name:"mmc"
@@ -355,9 +518,10 @@ let baselines =
 
 let write_json file rows =
   let oc = open_out file in
-  (* the shard metrics ride along whenever the shard group ran *)
+  (* the shard / parallel metrics ride along whenever their group ran *)
   let metrics =
-    if only = [] || List.mem "shard" only then shard_metrics () else []
+    (if only = [] || List.mem "shard" only then shard_metrics () else [])
+    @ if only = [] || List.mem "parallel" only then parallel_metrics () else []
   in
   let entries =
     baselines

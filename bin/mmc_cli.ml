@@ -64,6 +64,31 @@ let latency_conv =
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let domains =
+  let nonneg =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok d when d >= 0 -> Ok d
+      | Ok d -> Error (`Msg (Fmt.str "--domains must be >= 0, got %d" d))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Fmt.int)
+  in
+  Arg.(
+    value & opt nonneg 0
+    & info [ "j"; "domains" ] ~docv:"D"
+        ~doc:
+          "Worker domains for the verification phase: per-shard checks fan \
+           out over $(docv) domains and large closures are row-blocked \
+           across them.  0 (the default) keeps verification sequential.")
+
+(* Build a pool for [--domains D], run the verification continuation,
+   and always join the worker domains before exiting. *)
+let with_domains domains f =
+  if domains = 0 then f None
+  else
+    Mmc_parallel.Pool.with_pool ~num_domains:domains (fun pool -> f (Some pool))
+
 (* --- simulate --- *)
 
 let require_positive ~cmd pairs =
@@ -364,7 +389,7 @@ let fault_plan_conv =
   in
   Arg.conv (parse, Mmc_sim.Fault.pp_plan)
 
-let faults kind procs objects ops abcast latency seed plan save =
+let faults kind procs objects ops abcast latency seed plan save domains =
   (* the converter validates the plan in isolation; node ids can only
      be range-checked against --procs here *)
   (try Mmc_sim.Fault.validate ~n:procs plan
@@ -421,7 +446,10 @@ let faults kind procs objects ops abcast latency seed plan save =
     | Mmc_store.Store.Msc | Mmc_store.Store.Local -> History.Msc
     | _ -> History.Mlin
   in
-  (match Mmc_store.Runner.check_trace res ~flavour with
+  (match
+     with_domains domains (fun pool ->
+         Mmc_store.Runner.check_trace ?pool res ~flavour)
+   with
   | Check_constrained.Admissible _ ->
     Fmt.pr "check           %a (Theorem 7, WW): PASS@." History.pp_flavour
       flavour;
@@ -494,7 +522,7 @@ let faults_cmd =
           (Theorem-7 admissibility as a fault-tolerance oracle)")
     Term.(
       const faults $ kind $ procs $ objects $ ops $ abcast $ latency $ seed
-      $ plan $ save)
+      $ plan $ save $ domains)
 
 (* --- shard --- *)
 
@@ -511,7 +539,7 @@ let placement_conv =
   Arg.conv (parse, pp)
 
 let shard n_shards kind procs objects ops cross read_ratio skew abcast latency
-    seed plan placement save =
+    seed plan placement save domains =
   require_positive ~cmd:"shard"
     [
       ("--shards", n_shards);
@@ -584,7 +612,9 @@ let shard n_shards kind procs objects ops cross read_ratio skew abcast latency
     | Mmc_store.Store.Msc | Mmc_store.Store.Local -> History.Msc
     | _ -> History.Mlin
   in
-  let v = Shard_runner.check res ~flavour in
+  let v =
+    with_domains domains (fun pool -> Shard_runner.check ?pool res ~flavour)
+  in
   Fmt.pr "%a@." Check_sharded.pp v;
   if not v.Check_sharded.agree then 2
   else if Check_sharded.admissible v then 0
@@ -681,7 +711,8 @@ let shard_cmd =
          ])
     Term.(
       const shard $ n_shards $ kind $ procs $ objects $ ops $ cross
-      $ read_ratio $ skew $ abcast $ latency $ seed $ plan $ placement $ save)
+      $ read_ratio $ skew $ abcast $ latency $ seed $ plan $ placement $ save
+      $ domains)
 
 (* --- experiments --- *)
 

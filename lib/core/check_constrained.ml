@@ -76,13 +76,13 @@ let check_closed h closed kind =
     not trusted.  Used directly when the synchronization order (e.g.
     the atomic-broadcast order) is supplied as extra edges beyond a
     standard flavour. *)
-let check_relation h base kind =
-  check_closed h (Relation.transitive_closure base) kind
+let check_relation ?pool h base kind =
+  check_closed h (Relation.transitive_closure ?pool base) kind
 
 (** [check h flavour kind] — {!check_relation} over the base relation
     of the given consistency condition. *)
-let check h flavour kind =
-  check_relation h (History.base_relation h flavour) kind
+let check ?pool h flavour kind =
+  check_relation ?pool h (History.base_relation h flavour) kind
 
 (** Incrementally closed relation for checking a growing trace: edges
     stream in (process order, reads-from, synchronization order...) as

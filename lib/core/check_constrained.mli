@@ -22,12 +22,24 @@ val check_closed : History.t -> Relation.t -> Constraints.kind -> result
 (** [check_relation h base kind] — decide admissibility with respect to
     the (not necessarily closed) relation [base], verifying constraint
     [kind] first.  Use when the synchronization order (e.g. the atomic
-    broadcast order) is supplied as extra edges. *)
-val check_relation : History.t -> Relation.t -> Constraints.kind -> result
+    broadcast order) is supplied as extra edges.  [~pool] parallelizes
+    the up-front Warshall closure ({!Relation.transitive_closure});
+    the verdict is identical with or without it. *)
+val check_relation :
+  ?pool:Mmc_parallel.Pool.t ->
+  History.t ->
+  Relation.t ->
+  Constraints.kind ->
+  result
 
 (** [check h flavour kind] — over the base relation of the given
     consistency condition. *)
-val check : History.t -> History.flavour -> Constraints.kind -> result
+val check :
+  ?pool:Mmc_parallel.Pool.t ->
+  History.t ->
+  History.flavour ->
+  Constraints.kind ->
+  result
 
 (** Incrementally closed relation for verifying a growing trace:
     stream edges in as m-operations complete; the transitive closure

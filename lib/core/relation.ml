@@ -147,32 +147,46 @@ let predecessors t j =
   iter_predecessors t j (fun i -> acc := i :: !acc);
   List.rev !acc
 
-(* In-place Warshall transitive closure; the inner loop is a word-wise
-   row OR, so the whole closure costs O(n^2 . n/63) word operations. *)
-let transitive_closure_inplace t =
-  let n = t.n and ws = t.ws in
-  let bits = t.bits in
-  for k = 0 to n - 1 do
-    let row_k = k * ws in
-    let kw = k / bpw and kb = k mod bpw in
-    for i = 0 to n - 1 do
-      if
-        i <> k
-        && (Array.unsafe_get bits ((i * ws) + kw) lsr kb) land 1 = 1
-      then begin
-        let row_i = i * ws in
-        for w = 0 to ws - 1 do
-          Array.unsafe_set bits (row_i + w)
-            (Array.unsafe_get bits (row_i + w)
-            lor Array.unsafe_get bits (row_k + w))
-        done
-      end
-    done
-  done
+(* Below this size the sequential closure wins even with domains to
+   spare: one pivot's band work is ~n/D rows of n/63 words, far less
+   than a barrier rendezvous, and there are n barriers.  Benchmarked
+   around n = 128 on the bench machine (see DESIGN.md par.11). *)
+let par_cutover = 128
 
-let transitive_closure t =
+(* In-place Warshall transitive closure; the inner loop is a word-wise
+   row OR, so the whole closure costs O(n^2 . n/63) word operations.
+   With [~pool] (and at least [cutover] nodes) the rows are blocked
+   over the pool's domains, one contiguous band each per pivot
+   iteration ({!Mmc_parallel.Par_closure}); the result is bit-for-bit
+   the sequential closure. *)
+let transitive_closure_inplace ?pool ?(cutover = par_cutover) t =
+  match pool with
+  | Some pool when Mmc_parallel.Pool.size pool > 1 && t.n >= cutover ->
+    Mmc_parallel.Par_closure.closure_inplace pool ~n:t.n ~ws:t.ws ~bpw t.bits
+  | _ ->
+    let n = t.n and ws = t.ws in
+    let bits = t.bits in
+    for k = 0 to n - 1 do
+      let row_k = k * ws in
+      let kw = k / bpw and kb = k mod bpw in
+      for i = 0 to n - 1 do
+        if
+          i <> k
+          && (Array.unsafe_get bits ((i * ws) + kw) lsr kb) land 1 = 1
+        then begin
+          let row_i = i * ws in
+          for w = 0 to ws - 1 do
+            Array.unsafe_set bits (row_i + w)
+              (Array.unsafe_get bits (row_i + w)
+              lor Array.unsafe_get bits (row_k + w))
+          done
+        end
+      done
+    done
+
+let transitive_closure ?pool ?cutover t =
   let c = copy t in
-  transitive_closure_inplace c;
+  transitive_closure_inplace ?pool ?cutover c;
   c
 
 (** [add_edge_closed t i j] — [t] must be transitively closed; adds the

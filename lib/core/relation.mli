@@ -33,14 +33,25 @@ val iter_successors : t -> int -> (int -> unit) -> unit
 
 val iter_predecessors : t -> int -> (int -> unit) -> unit
 
-(** Warshall transitive closure (fresh copy; [_inplace] mutates). *)
-val transitive_closure : t -> t
+(** Node count below which {!transitive_closure} ignores [?pool] and
+    stays sequential (the barrier-per-pivot overhead of the parallel
+    scheme only amortizes on larger matrices). *)
+val par_cutover : int
+
+(** Warshall transitive closure (fresh copy; [_inplace] mutates).
+    With [~pool] of two or more domains and at least [cutover]
+    (default {!par_cutover}) nodes, the pivot iterations are
+    row-blocked over the pool ({!Mmc_parallel.Par_closure}); the
+    result is bit-for-bit the sequential closure either way.  The
+    pool must be otherwise idle (see {!Mmc_parallel.Pool}). *)
+val transitive_closure : ?pool:Mmc_parallel.Pool.t -> ?cutover:int -> t -> t
 
 (** [closure_with t edges] — fresh closure of [t ∪ edges], [t] already
     closed; incremental per edge when the new edges are few. *)
 val closure_with : t -> (int * int) list -> t
 
-val transitive_closure_inplace : t -> unit
+val transitive_closure_inplace :
+  ?pool:Mmc_parallel.Pool.t -> ?cutover:int -> t -> unit
 
 (** [add_edge_closed t i j] — [t] must already be transitively closed;
     adds the edge and restores closure incrementally in O(n . n/63)

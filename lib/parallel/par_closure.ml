@@ -1,0 +1,78 @@
+(** Row-blocked parallel Warshall closure (see the interface). *)
+
+(* Cyclic barrier: the [parties] band workers rendezvous between
+   consecutive pivot iterations.  Phase-counting (rather than a
+   sense-reversing flag) keeps the wait condition trivially correct:
+   a worker waits until the phase it arrived in is over.  The mutex
+   hand-off doubles as the memory barrier that publishes every row
+   written in pivot [k] before any worker reads it as row [k+1]. *)
+type barrier = {
+  m : Mutex.t;
+  cv : Condition.t;
+  parties : int;
+  mutable arrived : int;
+  mutable phase : int;
+}
+
+let barrier_create parties =
+  { m = Mutex.create (); cv = Condition.create (); parties; arrived = 0; phase = 0 }
+
+let barrier_wait b =
+  Mutex.lock b.m;
+  let phase = b.phase in
+  b.arrived <- b.arrived + 1;
+  if b.arrived = b.parties then begin
+    b.arrived <- 0;
+    b.phase <- b.phase + 1;
+    Condition.broadcast b.cv
+  end
+  else
+    while b.phase = phase do
+      Condition.wait b.cv b.m
+    done;
+  Mutex.unlock b.m
+
+(* OR row [k] into every row of [lo, hi) whose bit [k] is set: one
+   pivot iteration restricted to a row band.  Mirrors the sequential
+   loop of [Mmc_core.Relation.transitive_closure_inplace]. *)
+let band_step bits ~ws ~bpw ~k ~lo ~hi =
+  let row_k = k * ws in
+  let kw = k / bpw and kb = k mod bpw in
+  for i = lo to hi - 1 do
+    if i <> k && (Array.unsafe_get bits ((i * ws) + kw) lsr kb) land 1 = 1
+    then begin
+      let row_i = i * ws in
+      for w = 0 to ws - 1 do
+        Array.unsafe_set bits (row_i + w)
+          (Array.unsafe_get bits (row_i + w)
+          lor Array.unsafe_get bits (row_k + w))
+      done
+    end
+  done
+
+let closure_inplace pool ~n ~ws ~bpw bits =
+  if Array.length bits < n * ws then
+    invalid_arg "Par_closure.closure_inplace: bits shorter than n * ws";
+  let parties = min (Pool.size pool) n in
+  if parties <= 1 then
+    for k = 0 to n - 1 do
+      band_step bits ~ws ~bpw ~k ~lo:0 ~hi:n
+    done
+  else begin
+    let barrier = barrier_create parties in
+    (* Contiguous bands, sizes differing by at most one row. *)
+    let band d =
+      let base = n / parties and extra = n mod parties in
+      let lo = (d * base) + min d extra in
+      let hi = lo + base + if d < extra then 1 else 0 in
+      (lo, hi)
+    in
+    List.init parties (fun d ->
+        Pool.submit pool (fun () ->
+            let lo, hi = band d in
+            for k = 0 to n - 1 do
+              band_step bits ~ws ~bpw ~k ~lo ~hi;
+              barrier_wait barrier
+            done))
+    |> List.iter Pool.await
+  end

@@ -1,0 +1,23 @@
+(** Row-blocked parallel Warshall transitive closure over a
+    word-packed bit matrix.
+
+    The matrix is the raw representation of [Mmc_core.Relation.t]
+    handed over as its word array — this library sits below [mmc.core]
+    in the dependency order, so it works on the packed words directly:
+    [n] rows of [ws] words, [bpw] adjacency bits per word, row-major.
+
+    Parallel scheme: each worker owns a contiguous band of rows.  For
+    every pivot [k], a worker ORs row [k] into the rows of its band
+    whose bit [k] is set; a barrier separates consecutive pivots.
+    Within one pivot iteration row [k] is only read (the [i = k] case
+    is the identity and skipped) and every other row is written by
+    exactly one worker, so the result is bit-for-bit the sequential
+    Warshall closure, independent of scheduling. *)
+
+(** [closure_inplace pool ~n ~ws ~bpw bits] — close the matrix in
+    place.  Runs on the calling domain when [Pool.size pool <= 1];
+    otherwise submits exactly [min (Pool.size pool) n] band workers
+    that rendezvous at a barrier per pivot, so the pool must be
+    otherwise idle (see {!Pool}'s nested-submission caveat). *)
+val closure_inplace :
+  Pool.t -> n:int -> ws:int -> bpw:int -> int array -> unit

@@ -1,0 +1,116 @@
+(** Fixed-size domain pool (see the interface).
+
+    One mutex/condition pair guards the job queue; workers block on
+    the condition, pop a job, run it outside the lock, and publish the
+    result into the job's future (its own mutex/condition, so awaiting
+    one future never contends with the queue). *)
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  fm : Mutex.t;
+  fcv : Condition.t;
+  mutable state : 'a state;
+}
+
+type t = {
+  num_domains : int;
+  m : Mutex.t;
+  cv : Condition.t;  (** signalled on job arrival and on shutdown *)
+  jobs : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable spawned : int;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.num_domains
+let spawned t = t.spawned
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.jobs && not t.stop do
+    Condition.wait t.cv t.m
+  done;
+  match Queue.take_opt t.jobs with
+  | None ->
+    (* stopped and drained *)
+    Mutex.unlock t.m
+  | Some job ->
+    Mutex.unlock t.m;
+    job ();
+    worker_loop t
+
+let create ~num_domains =
+  if num_domains < 0 then invalid_arg "Pool.create: negative num_domains";
+  let t =
+    {
+      num_domains;
+      m = Mutex.create ();
+      cv = Condition.create ();
+      jobs = Queue.create ();
+      stop = false;
+      spawned = 0;
+      workers = [];
+    }
+  in
+  for _ = 1 to num_domains do
+    t.spawned <- t.spawned + 1;
+    t.workers <- Domain.spawn (fun () -> worker_loop t) :: t.workers
+  done;
+  t
+
+let fulfil fut result =
+  Mutex.lock fut.fm;
+  fut.state <- result;
+  Condition.broadcast fut.fcv;
+  Mutex.unlock fut.fm
+
+let run_into fut f =
+  match f () with
+  | v -> fulfil fut (Done v)
+  | exception e -> fulfil fut (Failed e)
+
+let submit t f =
+  let fut = { fm = Mutex.create (); fcv = Condition.create (); state = Pending } in
+  if t.num_domains = 0 then run_into fut f
+  else begin
+    Mutex.lock t.m;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.add (fun () -> run_into fut f) t.jobs;
+    Condition.signal t.cv;
+    Mutex.unlock t.m
+  end;
+  fut
+
+let await fut =
+  let pending fut = match fut.state with Pending -> true | _ -> false in
+  Mutex.lock fut.fm;
+  while pending fut do
+    Condition.wait fut.fcv fut.fm
+  done;
+  let state = fut.state in
+  Mutex.unlock fut.fm;
+  match state with
+  | Done v -> v
+  | Failed e -> raise e
+  | Pending -> assert false
+
+let map_array t f xs = Array.map await (Array.map (fun x -> submit t (fun () -> f x)) xs)
+
+let run t fs = List.map await (List.map (fun f -> submit t f) fs)
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ~num_domains f =
+  let t = create ~num_domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

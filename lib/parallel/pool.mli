@@ -1,0 +1,57 @@
+(** A reusable fixed-size pool of OCaml 5 domains.
+
+    Spawn the worker domains once ({!create}), submit closures
+    ({!submit}), await their results ({!await}), and keep reusing the
+    pool — submissions never spawn further domains, so the cost of
+    [Domain.spawn] is paid [num_domains] times over the pool's whole
+    lifetime ({!spawned} exposes the count for exactly that assertion).
+
+    [~num_domains:0] degrades to sequential execution: {!submit} runs
+    the closure immediately on the calling domain.  Call sites can
+    therefore thread an optional pool through unconditionally; the
+    default stays deterministic single-domain execution.
+
+    Submissions must come from outside the pool: a job that calls
+    {!submit} on its own pool can deadlock once every worker is
+    waiting on a queue another job must drain. *)
+
+type t
+
+(** [create ~num_domains] — spawn [num_domains] worker domains
+    ([0] = sequential mode, no domain spawned).  Raises
+    [Invalid_argument] when negative. *)
+val create : num_domains:int -> t
+
+(** Number of worker domains ([0] in sequential mode). *)
+val size : t -> int
+
+(** Total worker domains spawned over the pool's lifetime; equals
+    [size] forever — the leak-freedom invariant the test suite
+    asserts across hundreds of submissions. *)
+val spawned : t -> int
+
+type 'a future
+
+(** [submit t f] — enqueue [f]; in sequential mode run it now.  An
+    exception escaping [f] is captured and re-raised by {!await}. *)
+val submit : t -> (unit -> 'a) -> 'a future
+
+(** Block until the job finishes; returns its result or re-raises its
+    exception. *)
+val await : 'a future -> 'a
+
+(** [map_array t f xs] — apply [f] to every element through the pool
+    and await all results (order preserved). *)
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [run t fs] — submit every thunk, await every result, in order. *)
+val run : t -> (unit -> 'a) list -> 'a list
+
+(** Stop accepting jobs, finish the queued ones, join the workers.
+    Idempotent.  Submitting after [shutdown] raises
+    [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ~num_domains f] — {!create}, run [f], always
+    {!shutdown}. *)
+val with_pool : num_domains:int -> (t -> 'a) -> 'a

@@ -43,10 +43,13 @@ type t = {
   per_shard : shard_verdict array;
   stitched : Check_constrained.result;
       (** verdict of the decomposed pipeline on the stitched history *)
-  batch : Check_constrained.result;
+  batch : Check_constrained.result option;
       (** the unsharded batch {!Mmc_core.Check_constrained} verdict on
-          the same stitched history and relation *)
-  agree : bool;  (** [stitched] and [batch] reach the same verdict *)
+          the same stitched history and relation; [None] when the
+          oracle pass was skipped ([~oracle:false]) *)
+  agree : bool;
+      (** [stitched] and [batch] reach the same verdict (vacuously
+          true when the oracle pass was skipped) *)
   composes : bool;
       (** (every shard admissible) <=> (stitched history admissible) *)
 }
@@ -74,19 +77,29 @@ val check_stitched :
 
 (** [check_shards recorders ~flavour ~kind] — just the per-shard
     Theorem-7 verdicts (each shard's own history, base relation plus
-    that shard's broadcast order), index = shard. *)
+    that shard's broadcast order), index = shard.  With [~pool] the
+    shards are checked in parallel, one pool submission each — the
+    checks share no mutable state, and the verdict array is identical
+    to the sequential one (joined positionally). *)
 val check_shards :
+  ?pool:Mmc_parallel.Pool.t ->
   ?kind:Constraints.kind ->
   Mmc_store.Recorder.t array ->
   flavour:History.flavour ->
   shard_verdict array
 
-(** [check ?kind placement recorders ~flavour] — per-shard Theorem-7
-    checks, the stitched incremental check, the batch cross-check and
-    the [agree] / [composes] bits.  [kind] defaults to WW (each
-    shard's broadcast totally orders its updates, and the merged order
-    extends them globally). *)
+(** [check ?pool ?oracle ?kind placement recorders ~flavour] —
+    per-shard Theorem-7 checks, the stitched incremental check, the
+    batch cross-check and the [agree] / [composes] bits.  [kind]
+    defaults to WW (each shard's broadcast totally orders its updates,
+    and the merged order extends them globally).  [~pool] fans the
+    per-shard checks out over the pool's domains and parallelizes the
+    oracle's closure.  [~oracle:false] skips the O(n^3) batch
+    cross-check (then [batch = None] and [agree] is vacuously true) —
+    for bench loops that only want the decomposed pipeline. *)
 val check :
+  ?pool:Mmc_parallel.Pool.t ->
+  ?oracle:bool ->
   ?kind:Constraints.kind ->
   Placement.t ->
   Mmc_store.Recorder.t array ->

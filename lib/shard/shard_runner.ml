@@ -85,5 +85,5 @@ let run ~seed ?placement (cfg : Runner.config) ~workload =
     fault;
   }
 
-let check ?(kind = Constraints.WW) res ~flavour =
-  Check_sharded.check ~kind res.placement res.recorders ~flavour
+let check ?pool ?oracle ?(kind = Constraints.WW) res ~flavour =
+  Check_sharded.check ?pool ?oracle ~kind res.placement res.recorders ~flavour

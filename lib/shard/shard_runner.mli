@@ -41,8 +41,11 @@ val run :
 
 (** [check result ~flavour] — per-shard Theorem-7 checks plus the
     stitched global check ({!Check_sharded.check}); [kind] defaults
-    to WW. *)
+    to WW.  [~pool] fans the per-shard checks out in parallel;
+    [~oracle:false] skips the batch cross-check. *)
 val check :
+  ?pool:Mmc_parallel.Pool.t ->
+  ?oracle:bool ->
   ?kind:Constraints.kind ->
   result ->
   flavour:History.flavour ->

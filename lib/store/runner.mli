@@ -52,8 +52,12 @@ val make_store :
     atomic-broadcast order, checked under [kind] (default WW).  The
     transitive closure is maintained incrementally edge by edge
     ({!Mmc_core.Check_constrained.Incremental}), never re-closed from
-    scratch. *)
+    scratch.  With [~pool] the same edges go through the batch
+    pipeline instead, so the one-shot closure can be row-blocked over
+    the pool's domains; the verdict is the same either way (pinned by
+    [test_incremental]). *)
 val check_trace :
+  ?pool:Mmc_parallel.Pool.t ->
   ?kind:Constraints.kind ->
   result ->
   flavour:History.flavour ->

@@ -1,0 +1,297 @@
+(* Tests for the multicore verification layer (Mmc_parallel):
+
+   - Pool semantics: sequential degradation at num_domains:0, exception
+     propagation through await, ordered map_array/run, idempotent
+     shutdown, submit-after-shutdown rejection, and the leak assertion —
+     a pool reused across hundreds of submissions spawns exactly
+     [num_domains] domains, ever.
+   - Par_closure: the row-blocked parallel Warshall closure must be
+     bit-for-bit the sequential closure.  QCheck drives random graphs
+     with n in 1..300 and the cutover forced to 1 so the parallel path
+     runs even at tiny n (the production default only engages it at
+     n >= Relation.par_cutover).
+   - Parallel sharded verification: Check_sharded/Shard_runner with a
+     pool must reach verdicts identical to the sequential run across
+     seeds x shard counts x fault plans, and the oracle-skip flag must
+     not change the stitched verdict. *)
+
+open Mmc_core
+open Mmc_shard
+open Mmc_store
+
+(* --- pool semantics --- *)
+
+let test_pool_sequential_mode () =
+  let pool = Mmc_parallel.Pool.create ~num_domains:0 in
+  Alcotest.(check int) "size 0" 0 (Mmc_parallel.Pool.size pool);
+  Alcotest.(check int) "no domains" 0 (Mmc_parallel.Pool.spawned pool);
+  let fut = Mmc_parallel.Pool.submit pool (fun () -> 6 * 7) in
+  Alcotest.(check int) "runs inline" 42 (Mmc_parallel.Pool.await fut);
+  Mmc_parallel.Pool.shutdown pool
+
+let test_pool_rejects_negative () =
+  Alcotest.check_raises "negative domains" (Invalid_argument "") (fun () ->
+      try ignore (Mmc_parallel.Pool.create ~num_domains:(-1))
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_pool_exception_propagation () =
+  Mmc_parallel.Pool.with_pool ~num_domains:2 (fun pool ->
+      let fut = Mmc_parallel.Pool.submit pool (fun () -> failwith "boom") in
+      Alcotest.check_raises "await re-raises" (Failure "boom") (fun () ->
+          ignore (Mmc_parallel.Pool.await fut));
+      (* a failed job must not poison the pool *)
+      let ok = Mmc_parallel.Pool.submit pool (fun () -> "alive") in
+      Alcotest.(check string) "pool survives" "alive"
+        (Mmc_parallel.Pool.await ok))
+
+let test_pool_ordering () =
+  List.iter
+    (fun num_domains ->
+      Mmc_parallel.Pool.with_pool ~num_domains (fun pool ->
+          let input = Array.init 50 Fun.id in
+          let doubled =
+            Mmc_parallel.Pool.map_array pool (fun x -> 2 * x) input
+          in
+          Alcotest.(check (array int))
+            (Fmt.str "map_array order (D=%d)" num_domains)
+            (Array.map (fun x -> 2 * x) input)
+            doubled;
+          let listed =
+            Mmc_parallel.Pool.run pool
+              (List.init 10 (fun i () -> i * i))
+          in
+          Alcotest.(check (list int))
+            (Fmt.str "run order (D=%d)" num_domains)
+            (List.init 10 (fun i -> i * i))
+            listed))
+    [ 0; 1; 3 ]
+
+let test_pool_shutdown () =
+  let pool = Mmc_parallel.Pool.create ~num_domains:2 in
+  ignore (Mmc_parallel.Pool.await (Mmc_parallel.Pool.submit pool (fun () -> 1)));
+  Mmc_parallel.Pool.shutdown pool;
+  Mmc_parallel.Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "submit after shutdown" (Invalid_argument "") (fun () ->
+      try ignore (Mmc_parallel.Pool.submit pool (fun () -> 2))
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* The leak assertion of the issue: one pool, hundreds of submissions
+   (singly, batched, and through the closure), and the domain count
+   never moves past the initial num_domains. *)
+let test_pool_reuse_no_leak () =
+  let num_domains = 2 in
+  Mmc_parallel.Pool.with_pool ~num_domains (fun pool ->
+      for round = 1 to 120 do
+        let fut = Mmc_parallel.Pool.submit pool (fun () -> round * round) in
+        Alcotest.(check int) "single" (round * round)
+          (Mmc_parallel.Pool.await fut)
+      done;
+      for _ = 1 to 10 do
+        ignore (Mmc_parallel.Pool.map_array pool succ (Array.init 16 Fun.id))
+      done;
+      let r = Relation.of_edges 160 [ (0, 1); (1, 2); (2, 3) ] in
+      for _ = 1 to 5 do
+        ignore (Relation.transitive_closure ~pool ~cutover:1 r)
+      done;
+      Alcotest.(check int) "domains spawned = num_domains" num_domains
+        (Mmc_parallel.Pool.spawned pool))
+
+(* --- parallel closure == sequential closure --- *)
+
+let gen_graph =
+  QCheck.Gen.(
+    let* n = int_range 1 300 in
+    let* edges =
+      list_size (int_bound (2 * n))
+        (pair (int_bound (n - 1)) (int_bound (n - 1)))
+    in
+    return (n, edges))
+
+let arb_graph =
+  QCheck.make gen_graph ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat "; "
+           (List.map (fun (i, j) -> Printf.sprintf "(%d,%d)" i j) edges)))
+
+(* Shared pools for the property runs: pool reuse across hundreds of
+   closures is itself part of what is under test. *)
+let prop_par_closure pool ~name ~count =
+  QCheck.Test.make ~name ~count arb_graph (fun (n, edges) ->
+      let r = Relation.of_edges n edges in
+      let seq = Relation.transitive_closure r in
+      let par = Relation.transitive_closure ~pool ~cutover:1 r in
+      Relation.equal seq par)
+
+(* Default cutover: small relations must take the sequential fast path
+   even when a pool is supplied (same result either way, but this pins
+   the documented behaviour boundary). *)
+let test_cutover_boundary () =
+  Mmc_parallel.Pool.with_pool ~num_domains:2 (fun pool ->
+      List.iter
+        (fun n ->
+          let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+          let r = Relation.of_edges n edges in
+          Alcotest.(check bool)
+            (Fmt.str "chain closure n=%d" n)
+            true
+            (Relation.equal
+               (Relation.transitive_closure r)
+               (Relation.transitive_closure ~pool r)))
+        [ Relation.par_cutover - 1; Relation.par_cutover;
+          Relation.par_cutover + 1 ])
+
+(* --- parallel sharded verification == sequential --- *)
+
+let spec =
+  { Mmc_workload.Spec.default with n_objects = 16; read_ratio = 0.5; skew = 0.5 }
+
+let run_sharded ?(fault = Mmc_sim.Fault.none) ~seed ~n_shards () =
+  let placement =
+    Placement.hash ~n_shards ~n_objects:spec.Mmc_workload.Spec.n_objects
+  in
+  let cfg =
+    {
+      Runner.default_config with
+      n_procs = 4;
+      n_objects = spec.Mmc_workload.Spec.n_objects;
+      ops_per_proc = 10;
+      fault;
+    }
+  in
+  Shard_runner.run ~seed ~placement cfg
+    ~workload:
+      (Mmc_workload.Generator.sharded ~cross_shard_ratio:0.2 placement spec)
+
+let result_testable =
+  Alcotest.testable Check_constrained.pp_result (fun a b ->
+      match (a, b) with
+      (* witnesses may order equivalent operations differently; the
+         verdict, not the witness, is what parallelism must preserve *)
+      | Check_constrained.Admissible _, Check_constrained.Admissible _ -> true
+      | a, b -> a = b)
+
+let check_equal name (seq : Check_sharded.t) (par : Check_sharded.t) =
+  Alcotest.(check int)
+    (name ^ ": shard count")
+    (Array.length seq.Check_sharded.per_shard)
+    (Array.length par.Check_sharded.per_shard);
+  Array.iter2
+    (fun (s : Check_sharded.shard_verdict) (p : Check_sharded.shard_verdict) ->
+      Alcotest.(check int) (name ^ ": shard id") s.shard p.shard;
+      Alcotest.(check int) (name ^ ": shard mops") s.mops p.mops;
+      Alcotest.check result_testable (name ^ ": shard verdict") s.result
+        p.result)
+    seq.Check_sharded.per_shard par.Check_sharded.per_shard;
+  Alcotest.check result_testable (name ^ ": stitched") seq.Check_sharded.stitched
+    par.Check_sharded.stitched;
+  Alcotest.(check bool) (name ^ ": agree") seq.Check_sharded.agree
+    par.Check_sharded.agree;
+  Alcotest.(check bool) (name ^ ": composes") seq.Check_sharded.composes
+    par.Check_sharded.composes
+
+let fault_plans =
+  [
+    ("reliable", Mmc_sim.Fault.none);
+    ( "lossy+partition",
+      {
+        Mmc_sim.Fault.none with
+        Mmc_sim.Fault.drop = 0.2;
+        partitions =
+          [ { Mmc_sim.Fault.from_ = 100; until = 300; island = [ 0 ] } ];
+      } );
+  ]
+
+let test_parallel_check_matches_sequential () =
+  Mmc_parallel.Pool.with_pool ~num_domains:3 (fun pool ->
+      List.iter
+        (fun (plan_name, fault) ->
+          List.iter
+            (fun n_shards ->
+              List.iter
+                (fun seed ->
+                  let res = run_sharded ~fault ~seed ~n_shards () in
+                  let name =
+                    Fmt.str "%s S=%d seed=%d" plan_name n_shards seed
+                  in
+                  let seq = Shard_runner.check res ~flavour:History.Msc in
+                  let par =
+                    Shard_runner.check ~pool res ~flavour:History.Msc
+                  in
+                  check_equal name seq par;
+                  (* oracle-skip: same stitched verdict, batch absent,
+                     agree vacuous *)
+                  let lean =
+                    Shard_runner.check ~pool ~oracle:false res
+                      ~flavour:History.Msc
+                  in
+                  Alcotest.check result_testable (name ^ ": lean stitched")
+                    seq.Check_sharded.stitched lean.Check_sharded.stitched;
+                  Alcotest.(check bool)
+                    (name ^ ": lean skips oracle")
+                    true
+                    (lean.Check_sharded.batch = None
+                    && lean.Check_sharded.agree))
+                [ 1; 2 ])
+            [ 1; 2; 4 ])
+        fault_plans)
+
+(* Store-level trace checking through the same ?pool plumbing. *)
+let test_runner_check_trace_pool () =
+  let cfg =
+    {
+      Runner.default_config with
+      n_procs = 4;
+      n_objects = spec.Mmc_workload.Spec.n_objects;
+      ops_per_proc = 12;
+    }
+  in
+  Mmc_parallel.Pool.with_pool ~num_domains:2 (fun pool ->
+      List.iter
+        (fun seed ->
+          let res =
+            Runner.run ~seed cfg ~workload:(Mmc_workload.Generator.mixed spec)
+          in
+          let seq = Runner.check_trace res ~flavour:History.Msc in
+          let par = Runner.check_trace ~pool res ~flavour:History.Msc in
+          Alcotest.check result_testable
+            (Fmt.str "check_trace seed=%d" seed)
+            seq par)
+        [ 1; 2; 3 ])
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "sequential mode" `Quick test_pool_sequential_mode;
+          Alcotest.test_case "rejects negative" `Quick test_pool_rejects_negative;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "map_array/run ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "shutdown semantics" `Quick test_pool_shutdown;
+          Alcotest.test_case "reuse leaks no domains" `Quick
+            test_pool_reuse_no_leak;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "cutover boundary" `Quick test_cutover_boundary;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              (let pool = Mmc_parallel.Pool.create ~num_domains:2 in
+               at_exit (fun () -> Mmc_parallel.Pool.shutdown pool);
+               prop_par_closure pool
+                 ~name:"parallel closure = sequential (D=2, n<=300)" ~count:60);
+              (let pool = Mmc_parallel.Pool.create ~num_domains:4 in
+               at_exit (fun () -> Mmc_parallel.Pool.shutdown pool);
+               prop_par_closure pool
+                 ~name:"parallel closure = sequential (D=4, n<=300)" ~count:40);
+            ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "parallel check = sequential" `Quick
+            test_parallel_check_matches_sequential;
+          Alcotest.test_case "check_trace with pool" `Quick
+            test_runner_check_trace_pool;
+        ] );
+    ]
