@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci smoke shard-smoke par-smoke experiments bench-json clean
+.PHONY: all build test check ci smoke shard-smoke par-smoke recover-smoke experiments bench-json clean
 
 all: build
 
@@ -16,9 +16,9 @@ test:
 # Tier-1 gate: everything builds and every test passes.
 check: build test
 
-# Mirror of .github/workflows/ci.yml: build, full test suite, and the
-# bench smoke over the core and shard groups.
-ci: build test par-smoke
+# Mirror of .github/workflows/ci.yml: build, full test suite, the
+# recovery smoke and the bench smoke over the core and shard groups.
+ci: build test par-smoke recover-smoke
 	$(DUNE) build bench/main.exe
 	$(DUNE) exec bench/main.exe -- --only core
 	$(DUNE) exec bench/main.exe -- --only shard
@@ -46,6 +46,15 @@ par-smoke: build
 	$(DUNE) exec bin/mmc_cli.exe -- faults --store msc \
 	  --plan 'drop=0.2,part=100:300:0' --ops 8 --domains 2 --seed 2
 
+# Crash-recovery smoke: wipe-crash the initial sequencer and a
+# follower (the default `mmc recover` plan), under both broadcasts;
+# exits non-zero unless every replica converges to identical state and
+# the history stitched across crash epochs passes the Theorem-7 check.
+recover-smoke: build
+	$(DUNE) exec bin/mmc_cli.exe -- recover --seed 1
+	$(DUNE) exec bin/mmc_cli.exe -- recover --abcast lamport \
+	  --checkpoint-every 4 --seed 2
+
 # Quick versions of every registered experiment table.
 experiments: build
 	$(DUNE) exec bin/mmc_cli.exe -- experiments all --quick
@@ -54,12 +63,14 @@ experiments: build
 # sharded-store group and the parallel-verification group (closure +
 # per-shard checks at 1/2/4 worker domains), written as
 # machine-readable JSON (name -> ns/run, plus shard metrics and
-# wall-clock parallel speedups).  The file also carries the
+# wall-clock parallel speedups), plus the recovery group's wall-ms
+# run/verify costs and replay volumes.  The file also carries the
 # pre-packed-relation baseline numbers for comparison.  Parallel
 # speedups depend on physical cores; re-run on the host you care
 # about.
 bench-json: build
-	$(DUNE) exec bench/main.exe -- --only core --only shard --only parallel \
+	$(DUNE) exec bench/main.exe -- --only core --only shard \
+	  --only recovery --only parallel \
 	  --domains 1 --domains 2 --domains 4 --json BENCH_core.json
 
 clean:

@@ -46,7 +46,7 @@ open Mmc_core
 
 let group_names =
   [ "T1"; "T2"; "T7"; "core"; "protocol"; "P4"; "P5"; "figures"; "shard";
-    "parallel" ]
+    "recovery"; "parallel" ]
 
 let only, json_file, cli_seed, cli_domains =
   let only = ref [] and json = ref None in
@@ -354,6 +354,94 @@ let shard_metrics () =
       ])
     shard_inputs
 
+(* --- crash recovery: the `recovery` group --- *)
+
+(* Full recoverable-store runs: crash-free (the WAL/checkpoint
+   overhead alone), a double wipe-crash schedule under each broadcast
+   (the restart + catch-up + failover price), and the same schedule
+   with tight checkpoints (replay shifted onto snapshots). *)
+
+let recovery_spec = { Mmc_workload.Spec.default with n_objects = 8 }
+
+let recovery_wipes =
+  [
+    { Mmc_sim.Fault.node = 0; at = 150; back = 600; wipe = true };
+    { Mmc_sim.Fault.node = 2; at = 900; back = 1300; wipe = true };
+  ]
+
+let run_recovery ~impl ~crashes ~checkpoint_every () =
+  let cfg =
+    {
+      Mmc_store.Runner.default_config with
+      n_procs = 4;
+      n_objects = 8;
+      ops_per_proc = 12;
+      kind = Mmc_store.Store.Rmsc;
+      abcast_impl = impl;
+      fault = { Mmc_sim.Fault.none with Mmc_sim.Fault.drop = 0.1; crashes };
+      recovery =
+        { Mmc_recovery.Rlog.default_policy with checkpoint_every };
+    }
+  in
+  Mmc_store.Runner.run ~seed:(17 + soff) cfg
+    ~workload:(Mmc_workload.Generator.mixed recovery_spec)
+
+let recovery_variants =
+  [
+    ("crashfree-seq", Mmc_broadcast.Abcast.Sequencer_impl, [], 16);
+    ("wipe2-seq", Mmc_broadcast.Abcast.Sequencer_impl, recovery_wipes, 16);
+    ("wipe2-lamport", Mmc_broadcast.Abcast.Lamport_impl, recovery_wipes, 16);
+    ("wipe2-seq-ckpt4", Mmc_broadcast.Abcast.Sequencer_impl, recovery_wipes, 4);
+  ]
+
+let bench_recovery =
+  Test.make_grouped ~name:"recovery"
+    (List.map
+       (fun (name, impl, crashes, checkpoint_every) ->
+         Test.make ~name:(Fmt.str "run-%s" name)
+           (Staged.stage (fun () ->
+                ignore (run_recovery ~impl ~crashes ~checkpoint_every ()))))
+       recovery_variants)
+
+(* Wall-ms per variant (run + Theorem-7 verification of the stitched
+   cross-crash trace), plus the replay/catch-up volume of one run —
+   the machine-readable recovery bill, recorded with --json. *)
+let recovery_metrics () =
+  let wall_ms repeats f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to repeats do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1_000. /. float_of_int repeats
+  in
+  List.concat_map
+    (fun (name, impl, crashes, checkpoint_every) ->
+      let run () = run_recovery ~impl ~crashes ~checkpoint_every () in
+      let ms_run = wall_ms 10 (fun () -> ignore (run ())) in
+      let res = run () in
+      let ms_verify =
+        wall_ms 10 (fun () ->
+            ignore
+              (Mmc_store.Runner.check_trace res ~flavour:History.Msc))
+      in
+      let replayed, pulls =
+        match res.Mmc_store.Runner.recovery with
+        | None -> (0, 0)
+        | Some h ->
+          ( Array.fold_left
+              (fun t s -> t + s.Mmc_recovery.Rlog.replayed)
+              0
+              (h.Mmc_store.Rstore.log_stats ()),
+            h.Mmc_store.Rstore.pulls () )
+      in
+      [
+        (Fmt.str "metrics/recovery/%s/ms-run" name, ms_run);
+        (Fmt.str "metrics/recovery/%s/ms-verify" name, ms_verify);
+        (Fmt.str "metrics/recovery/%s/replayed" name, float_of_int replayed);
+        (Fmt.str "metrics/recovery/%s/pulls" name, float_of_int pulls);
+      ])
+    recovery_variants
+
 (* --- multicore verification: the `parallel` group --- *)
 
 (* One pool per requested --domains value, spawned once and reused by
@@ -480,6 +568,7 @@ let groups =
     ("P5", bench_objects);
     ("figures", bench_figures);
     ("shard", bench_shard);
+    ("recovery", bench_recovery);
     ("parallel", bench_parallel);
   ]
 
@@ -521,6 +610,8 @@ let write_json file rows =
   (* the shard / parallel metrics ride along whenever their group ran *)
   let metrics =
     (if only = [] || List.mem "shard" only then shard_metrics () else [])
+    @ (if only = [] || List.mem "recovery" only then recovery_metrics ()
+       else [])
     @ if only = [] || List.mem "parallel" only then parallel_metrics () else []
   in
   let entries =

@@ -17,7 +17,7 @@ let store_kind_conv =
   let parse s =
     match Mmc_store.Store.kind_of_string s with
     | Some k -> Ok k
-    | None -> Error (`Msg (Fmt.str "unknown store %S (msc|mlin|central|local|causal|lock|aw)" s))
+    | None -> Error (`Msg (Fmt.str "unknown store %S (msc|rmsc|mlin|central|local|causal|lock|aw)" s))
   in
   Arg.conv (parse, Mmc_store.Store.pp_kind)
 
@@ -145,7 +145,8 @@ let simulate kind procs objects ops read_ratio abcast latency seed check save =
     | kind -> (
       let flavour =
         match kind with
-        | Mmc_store.Store.Msc | Mmc_store.Store.Local -> History.Msc
+        | Mmc_store.Store.Msc | Mmc_store.Store.Local | Mmc_store.Store.Rmsc ->
+          History.Msc
         | Mmc_store.Store.Mlin | Mmc_store.Store.Central
         | Mmc_store.Store.Causal | Mmc_store.Store.Lock | Mmc_store.Store.Aw ->
           History.Mlin
@@ -167,7 +168,7 @@ let simulate_cmd =
       value
       & opt store_kind_conv Mmc_store.Store.Msc
       & info [ "store" ] ~docv:"STORE"
-          ~doc:"Store protocol: msc, mlin, central, local, causal, lock or aw.")
+          ~doc:"Store protocol: msc, rmsc, mlin, central, local, causal, lock or aw.")
   in
   let procs =
     Arg.(value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Number of processes.")
@@ -366,7 +367,7 @@ let fault_plan_conv =
                     }
                     :: plan.Mmc_sim.Fault.partitions;
                 }
-              | "crash", [ node; at; back ] ->
+              | ("crash" | "wipe"), [ node; at; back ] ->
                 {
                   plan with
                   Mmc_sim.Fault.crashes =
@@ -374,6 +375,7 @@ let fault_plan_conv =
                       Mmc_sim.Fault.node = int_of_string node;
                       at = int_of_string at;
                       back = int_of_string back;
+                      wipe = key = "wipe";
                     }
                     :: plan.Mmc_sim.Fault.crashes;
                 }
@@ -389,7 +391,57 @@ let fault_plan_conv =
   in
   Arg.conv (parse, Mmc_sim.Fault.pp_plan)
 
-let faults kind procs objects ops abcast latency seed plan save domains =
+(* Retry-budget overrides for the reliable channel layer; [None] when
+   every knob is left at its default so the runner keeps using
+   [Reliable.default_config] internally. *)
+let reliable_overrides rto max_rto max_retries =
+  match (rto, max_rto, max_retries) with
+  | None, None, None -> None
+  | _ ->
+    let d = Mmc_sim.Reliable.default_config in
+    Some
+      {
+        d with
+        Mmc_sim.Reliable.rto = Option.value rto ~default:d.Mmc_sim.Reliable.rto;
+        max_rto = Option.value max_rto ~default:d.Mmc_sim.Reliable.max_rto;
+        max_retries =
+          Option.value max_retries ~default:d.Mmc_sim.Reliable.max_retries;
+      }
+
+let rto_arg cmd =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rto" ] ~docv:"T"
+        ~doc:
+          (Fmt.str
+             "Initial retransmission timeout of the reliable channel layer \
+              used by $(b,%s) (default %d virtual-time units)."
+             cmd Mmc_sim.Reliable.default_config.Mmc_sim.Reliable.rto))
+
+let max_rto_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-rto" ] ~docv:"T"
+        ~doc:
+          (Fmt.str "Retransmission backoff cap (default %d)."
+             Mmc_sim.Reliable.default_config.Mmc_sim.Reliable.max_rto))
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          (Fmt.str
+             "Retransmissions per message before the channel gives up; \
+              abandoned messages are reported in the fault counters \
+              (default %d)."
+             Mmc_sim.Reliable.default_config.Mmc_sim.Reliable.max_retries))
+
+let faults kind procs objects ops abcast latency seed plan rto max_rto
+    max_retries save domains =
   (* the converter validates the plan in isolation; node ids can only
      be range-checked against --procs here *)
   (try Mmc_sim.Fault.validate ~n:procs plan
@@ -407,6 +459,7 @@ let faults kind procs objects ops abcast latency seed plan save domains =
       abcast_impl = abcast;
       latency;
       fault = plan;
+      reliable = reliable_overrides rto max_rto max_retries;
     }
   in
   let res =
@@ -465,7 +518,7 @@ let faults_cmd =
       value
       & opt store_kind_conv Mmc_store.Store.Msc
       & info [ "store" ] ~docv:"STORE"
-          ~doc:"Store protocol: msc, mlin, central, local, causal, lock or aw.")
+          ~doc:"Store protocol: msc, rmsc, mlin, central, local, causal, lock or aw.")
   in
   let procs =
     Arg.(value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Number of processes.")
@@ -522,7 +575,197 @@ let faults_cmd =
           (Theorem-7 admissibility as a fault-tolerance oracle)")
     Term.(
       const faults $ kind $ procs $ objects $ ops $ abcast $ latency $ seed
-      $ plan $ save $ domains)
+      $ plan $ rto_arg "faults" $ max_rto_arg $ max_retries_arg $ save
+      $ domains)
+
+(* --- recover --- *)
+
+let recover procs objects ops abcast latency seed plan checkpoint_every rto
+    max_rto max_retries save domains =
+  require_positive ~cmd:"recover"
+    [
+      ("--procs", procs);
+      ("--objects", objects);
+      ("--ops", ops);
+      ("--checkpoint-every", checkpoint_every);
+    ];
+  (try Mmc_sim.Fault.validate ~n:procs plan
+   with Invalid_argument msg ->
+     Fmt.epr "mmc: recover: %s@." msg;
+     exit 124);
+  if not (List.exists (fun c -> c.Mmc_sim.Fault.wipe) plan.Mmc_sim.Fault.crashes)
+  then
+    Fmt.epr
+      "mmc: recover: note: plan has no wipe crashes; nothing exercises the \
+       WAL/checkpoint restart path@.";
+  let spec = { Mmc_workload.Spec.default with n_objects = objects } in
+  let cfg =
+    {
+      Mmc_store.Runner.default_config with
+      n_procs = procs;
+      n_objects = objects;
+      ops_per_proc = ops;
+      kind = Mmc_store.Store.Rmsc;
+      abcast_impl = abcast;
+      latency;
+      fault = plan;
+      reliable = reliable_overrides rto max_rto max_retries;
+      recovery =
+        { Mmc_recovery.Rlog.default_policy with checkpoint_every };
+    }
+  in
+  let res =
+    Mmc_store.Runner.run ~seed cfg ~workload:(Mmc_workload.Generator.mixed spec)
+  in
+  Fmt.pr "store           %a over %a@." Mmc_store.Store.pp_kind
+    Mmc_store.Store.Rmsc Mmc_broadcast.Abcast.pp_impl abcast;
+  Fmt.pr "fault plan      %a@." Mmc_sim.Fault.pp_plan plan;
+  Fmt.pr "completed ops   %d@." res.Mmc_store.Runner.completed;
+  Fmt.pr "virtual time    %d@." res.Mmc_store.Runner.duration;
+  Fmt.pr "messages        %d@." res.Mmc_store.Runner.messages;
+  (match res.Mmc_store.Runner.fault with
+  | None -> Fmt.pr "faults          none injected (empty plan)@."
+  | Some f ->
+    let c = Mmc_sim.Fault.counts f in
+    Fmt.pr "dropped         %d (loss %d, partition %d, crashed %d)@."
+      (Mmc_sim.Fault.dropped f) c.Mmc_sim.Fault.loss c.Mmc_sim.Fault.partitioned
+      c.Mmc_sim.Fault.crashed;
+    Fmt.pr "retransmits     %d (given up %d)@." c.Mmc_sim.Fault.retransmissions
+      c.Mmc_sim.Fault.abandoned;
+    Fmt.pr "restarts        %d@." c.Mmc_sim.Fault.restarts);
+  let converged =
+    match res.Mmc_store.Runner.recovery with
+    | None ->
+      Fmt.epr "mmc: recover: internal error: no recovery handle@.";
+      exit 124
+    | Some h ->
+      let logs = h.Mmc_store.Rstore.log_stats () in
+      let sum f = Array.fold_left (fun acc s -> acc + f s) 0 logs in
+      Fmt.pr "recoveries      %d@." (h.Mmc_store.Rstore.recoveries ());
+      Fmt.pr "wal             %d appends, %d checkpoints, %d replayed, %d \
+              truncated@."
+        (sum (fun s -> s.Mmc_recovery.Rlog.appends))
+        (sum (fun s -> s.Mmc_recovery.Rlog.checkpoints))
+        (sum (fun s -> s.Mmc_recovery.Rlog.replayed))
+        (sum (fun s -> s.Mmc_recovery.Rlog.truncated));
+      Fmt.pr "catch-up        %d pulls, %d pushes (%d entries, %d snapshots)@."
+        (h.Mmc_store.Rstore.pulls ())
+        (h.Mmc_store.Rstore.pushes ())
+        (h.Mmc_store.Rstore.entries_pushed ())
+        (h.Mmc_store.Rstore.snapshots_pushed ());
+      Fmt.pr "broadcast       %a@." Mmc_broadcast.Rbcast.pp_stats
+        (h.Mmc_store.Rstore.broadcast_stats ());
+      let ok = h.Mmc_store.Rstore.converged () in
+      Fmt.pr "replicas        %s@."
+        (if ok then "converged" else "DIVERGED");
+      ok
+  in
+  let h = res.Mmc_store.Runner.history in
+  (match save with
+  | Some path ->
+    Codec.to_file h path;
+    Fmt.pr "history saved   %s@." path
+  | None -> ());
+  let admissible =
+    match
+      with_domains domains (fun pool ->
+          Mmc_store.Runner.check_trace ?pool res ~flavour:History.Msc)
+    with
+    | Check_constrained.Admissible _ ->
+      Fmt.pr "check           msc (Theorem 7, WW): PASS@.";
+      true
+    | r ->
+      Fmt.pr "check           msc (Theorem 7, WW): FAIL (%a)@."
+        Check_constrained.pp_result r;
+      false
+  in
+  if not converged then 2 else if not admissible then 1 else 0
+
+let recover_cmd =
+  let procs =
+    Arg.(value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Number of processes.")
+  in
+  let objects =
+    Arg.(
+      value & opt int 8
+      & info [ "objects" ] ~docv:"N" ~doc:"Number of shared objects.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 12
+      & info [ "ops" ] ~docv:"N" ~doc:"m-operations per process.")
+  in
+  let abcast =
+    Arg.(
+      value
+      & opt abcast_conv Mmc_broadcast.Abcast.Sequencer_impl
+      & info [ "abcast" ] ~docv:"IMPL"
+          ~doc:"Atomic broadcast: sequencer or lamport.")
+  in
+  let latency =
+    Arg.(
+      value
+      & opt latency_conv (Mmc_sim.Latency.Uniform (5, 15))
+      & info [ "latency" ] ~docv:"MODEL" ~doc:"Latency model.")
+  in
+  let plan =
+    Arg.(
+      value
+      & opt fault_plan_conv
+          {
+            Mmc_sim.Fault.none with
+            Mmc_sim.Fault.drop = 0.1;
+            crashes =
+              [
+                { Mmc_sim.Fault.node = 0; at = 150; back = 600; wipe = true };
+                { Mmc_sim.Fault.node = 2; at = 900; back = 1300; wipe = true };
+              ];
+          }
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan (same syntax as $(b,mmc faults)); use \
+             wipe=NODE:AT:BACK for wipe-crashes that exercise the restart \
+             path.  The default wipes the initial sequencer at t=150 and \
+             node 2 at t=900.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt int Mmc_recovery.Rlog.default_policy.checkpoint_every
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Take a replica snapshot every $(docv) applied positions.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Save the history in the text format.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Run the recoverable store under wipe-crashes and verify \
+          convergence plus Theorem-7 admissibility of the stitched \
+          cross-crash history"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the rmsc store (WAL + checkpoints + anti-entropy \
+              catch-up, epoch-fenced sequencer failover under the \
+              sequencer broadcast) over a fault plan with wipe-crashes, \
+              then checks that every replica converged to identical state \
+              and that the history stitched across crash epochs is \
+              Theorem-7 admissible for m-sequential consistency.";
+           `P
+             "Exit status: 0 when replicas converge and the history is \
+              admissible, 1 when the admissibility check fails, 2 when \
+              replicas did not converge.";
+         ])
+    Term.(
+      const recover $ procs $ objects $ ops $ abcast $ latency $ seed $ plan
+      $ checkpoint_every $ rto_arg "recover" $ max_rto_arg $ max_retries_arg
+      $ save $ domains)
 
 (* --- shard --- *)
 
@@ -860,6 +1103,7 @@ let main_cmd =
     [
       simulate_cmd;
       faults_cmd;
+      recover_cmd;
       shard_cmd;
       check_cmd;
       generate_cmd;

@@ -29,7 +29,8 @@ let run kind =
         ~rng ~abcast_impl:Mmc_broadcast.Abcast.Sequencer_impl ~recorder
     | Store.Local ->
       Local_store.create engine ~n:n_clients ~n_objects:n_accounts ~recorder
-    | Store.Mlin | Store.Central | Store.Causal | Store.Lock | Store.Aw ->
+    | Store.Mlin | Store.Central | Store.Causal | Store.Lock | Store.Aw
+    | Store.Rmsc ->
       invalid_arg "not used here"
   in
   (* Seed all accounts atomically with one m-register assignment. *)

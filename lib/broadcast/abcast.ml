@@ -33,6 +33,7 @@ let name t = t.name
 type 'p factory =
   ?duplicate:float ->
   ?fault:Mmc_sim.Fault.t ->
+  ?reliable:Mmc_sim.Reliable.config ->
   Mmc_sim.Engine.t ->
   n:int ->
   latency:Mmc_sim.Latency.t ->

@@ -25,6 +25,7 @@ val name : 'p t -> string
 type 'p factory =
   ?duplicate:float ->
   ?fault:Mmc_sim.Fault.t ->
+  ?reliable:Mmc_sim.Reliable.config ->
   Mmc_sim.Engine.t ->
   n:int ->
   latency:Mmc_sim.Latency.t ->

@@ -1,0 +1,359 @@
+(** Sequencer atomic broadcast with epoch-numbered failover
+    (implementation notes; model in the interface).
+
+    Determinism: epoch boundaries are derived from the fault plan (a
+    perfect failure detector), so every node switches epoch at the
+    same virtual instant via a locally scheduled event.  Boundary
+    events are scheduled at creation time and therefore execute before
+    any message delivery at the same instant.
+
+    Durability: the ordering metadata — seen positions with their
+    (origin, oseq) stamp, learned epoch closes, fenced holes — is
+    stable storage and survives wipe-crashes (the sequenced log is the
+    upstream of the store's WAL).  Client pending-request tables and
+    sequencer request buffers are volatile but self-healing: origins
+    resubmit unacked requests and the takeover sync rebuilds the
+    per-origin stamped sets, so a lost buffer only delays stamping.
+
+    Takeover sync safety: at a boundary every node freezes the old
+    epoch before any later-timestamped message can arrive, so a
+    position delivered anywhere is in some live node's [seen] set by
+    the time its Sync_ack is computed.  Hence [base] (the exclusive
+    high-water over all acks) covers every delivered position, and a
+    position [< base] held by nobody live was delivered nowhere live —
+    it is fenced as a hole and skipped as a no-op everywhere.  The
+    residual risk — a replica that delivered a position and is down
+    across the epoch change that fences it — is the classical
+    optimistic-delivery anomaly; it is detected by the convergence
+    check and discussed in DESIGN.md §12. *)
+
+open Mmc_sim
+
+type 'p msg =
+  | Request of { origin : int; oseq : int; payload : 'p }
+  | Ordered of { epoch : int; pos : int; origin : int; oseq : int; payload : 'p }
+  | Sync_req of { epoch : int }
+  | Sync_ack of {
+      epoch : int;
+      node : int;
+      held : (int * int * int) list;  (** (pos, origin, oseq) *)
+      high : int;
+    }
+  | New_epoch of { epoch : int; base : int; holes : int list }
+
+type 'p node_state = {
+  (* --- durable ordering metadata --- *)
+  seen : (int, int * int) Hashtbl.t;  (** pos -> (origin, oseq); holes (-1,-1) *)
+  closes : (int, int * int list) Hashtbl.t;  (** epoch -> (base, holes) *)
+  fenced : (int, unit) Hashtbl.t;
+  mutable epoch : int;
+  mutable limbo : (int * int * int * int * 'p) list;
+      (** stale [(epoch, pos, origin, oseq, payload)] awaiting a close *)
+  (* --- client side (volatile) --- *)
+  mutable next_oseq : int;
+  pending : (int, 'p) Hashtbl.t;  (** oseq -> payload, not yet ordered *)
+  mutable resubmit_scheduled : bool;
+  mutable resubmit_attempts : int;
+  (* --- sequencer side (volatile) --- *)
+  requests : (int, 'p) Hashtbl.t array;  (** per-origin oseq -> payload *)
+  stamped : (int, unit) Hashtbl.t array;  (** per-origin stamped oseqs *)
+  cursors : int array;
+  mutable serving : bool;
+  mutable next_pos : int;
+  awaiting : (int, unit) Hashtbl.t;  (** peers still to Sync_ack *)
+  merged : (int, int * int) Hashtbl.t;  (** sync merge of held triples *)
+  mutable sync_high : int;
+}
+
+let resubmit_after = 30
+let resubmit_every = 80
+let max_resubmit = 50
+
+(* The epoch schedule: (boundary instant, sequencer) for every change
+   of the lowest-live-id rule over the fault plan's crash instants. *)
+let views_of_plan plan ~n =
+  let instants =
+    List.sort_uniq compare (0 :: Fault.crash_instants plan)
+  in
+  let sigma t =
+    let rec find i =
+      if i >= n then 0
+      else if Fault.up_in_plan plan ~now:t ~node:i then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  List.rev
+    (List.fold_left
+       (fun acc t ->
+         let s = sigma t in
+         match acc with
+         | (_, s') :: _ when s' = s -> acc
+         | _ -> (t, s) :: acc)
+       [] instants)
+
+let create ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
+    'p Rbcast.t =
+  let net =
+    Transport.create ?duplicate ?fault ?config:reliable engine ~n ~latency ~rng
+  in
+  let plan =
+    match fault with Some f -> Fault.plan f | None -> Fault.none
+  in
+  let views = Array.of_list (views_of_plan plan ~n) in
+  let sigma_of epoch = snd views.(epoch) in
+  let epochs = ref 0
+  and syncs = ref 0
+  and holes_total = ref 0
+  and fenced_total = ref 0
+  and resubmits = ref 0 in
+  let states =
+    Array.init n (fun _ ->
+        {
+          seen = Hashtbl.create 64;
+          closes = Hashtbl.create 4;
+          fenced = Hashtbl.create 8;
+          epoch = 0;
+          limbo = [];
+          next_oseq = 0;
+          pending = Hashtbl.create 8;
+          resubmit_scheduled = false;
+          resubmit_attempts = 0;
+          requests = Array.init n (fun _ -> Hashtbl.create 8);
+          stamped = Array.init n (fun _ -> Hashtbl.create 8);
+          cursors = Array.make n 0;
+          serving = false;
+          next_pos = 0;
+          awaiting = Hashtbl.create 8;
+          merged = Hashtbl.create 64;
+          sync_high = 0;
+        })
+  in
+  let accept node ~pos ~origin ~oseq payload =
+    let st = states.(node) in
+    if not (Hashtbl.mem st.seen pos) then begin
+      Hashtbl.replace st.seen pos (origin, oseq);
+      if origin = node then begin
+        Hashtbl.remove st.pending oseq;
+        st.resubmit_attempts <- 0
+      end;
+      deliver ~node ~origin ~pos (Some payload)
+    end
+  in
+  (* Resolve an Ordered message stamped in a now-closed epoch: valid
+     iff it fits under the close of [epoch + 1] (exactly that close —
+     a later base would admit positions restamped by an intermediate
+     epoch) and was not fenced as a hole by any later change. *)
+  let resolve_stale node ~epoch ~pos ~origin ~oseq payload =
+    let st = states.(node) in
+    match Hashtbl.find_opt st.closes (epoch + 1) with
+    | None ->
+      st.limbo <- (epoch, pos, origin, oseq, payload) :: st.limbo;
+      true
+    | Some (base, _) ->
+      if pos < base && not (Hashtbl.mem st.fenced pos) then
+        accept node ~pos ~origin ~oseq payload
+      else incr fenced_total;
+      false
+  in
+  let learn_close node ~epoch ~base ~holes =
+    let st = states.(node) in
+    if not (Hashtbl.mem st.closes epoch) then begin
+      Hashtbl.replace st.closes epoch (base, holes);
+      List.iter
+        (fun h ->
+          Hashtbl.replace st.fenced h ();
+          if not (Hashtbl.mem st.seen h) then begin
+            Hashtbl.replace st.seen h (-1, -1);
+            deliver ~node ~origin:(-1) ~pos:h None
+          end)
+        holes;
+      let limbo = st.limbo in
+      st.limbo <- [];
+      List.iter
+        (fun (e, pos, origin, oseq, payload) ->
+          ignore (resolve_stale node ~epoch:e ~pos ~origin ~oseq payload))
+        limbo
+    end
+  in
+  (* Sequencer: stamp origin's requests in oseq order, skipping oseqs
+     already stamped (learned from the takeover sync). *)
+  let rec stamp_loop node origin =
+    let st = states.(node) in
+    if st.serving then
+      let c = st.cursors.(origin) in
+      if Hashtbl.mem st.stamped.(origin) c then begin
+        Hashtbl.remove st.requests.(origin) c;
+        st.cursors.(origin) <- c + 1;
+        stamp_loop node origin
+      end
+      else
+        match Hashtbl.find_opt st.requests.(origin) c with
+        | None -> ()
+        | Some payload ->
+          Hashtbl.remove st.requests.(origin) c;
+          Hashtbl.replace st.stamped.(origin) c ();
+          st.cursors.(origin) <- c + 1;
+          let pos = st.next_pos in
+          st.next_pos <- pos + 1;
+          Transport.send_all net ~src:node
+            (Ordered { epoch = st.epoch; pos; origin; oseq = c; payload });
+          stamp_loop node origin
+  in
+  let finish_sync node =
+    let st = states.(node) in
+    let base = st.sync_high in
+    let holes = ref [] in
+    for pos = base - 1 downto 0 do
+      if not (Hashtbl.mem st.merged pos) then holes := pos :: !holes
+    done;
+    let holes = !holes in
+    holes_total := !holes_total + List.length holes;
+    Array.iter Hashtbl.reset st.stamped;
+    Hashtbl.iter
+      (fun _pos (origin, oseq) ->
+        if origin >= 0 then Hashtbl.replace st.stamped.(origin) oseq ())
+      st.merged;
+    for o = 0 to n - 1 do
+      let c = ref 0 in
+      while Hashtbl.mem st.stamped.(o) !c do
+        incr c
+      done;
+      st.cursors.(o) <- !c
+    done;
+    st.next_pos <- base;
+    st.serving <- true;
+    incr syncs;
+    learn_close node ~epoch:st.epoch ~base ~holes;
+    Transport.send_all net ~src:node (New_epoch { epoch = st.epoch; base; holes });
+    for o = 0 to n - 1 do
+      stamp_loop node o
+    done
+  in
+  let start_sync node epoch boundary =
+    let st = states.(node) in
+    st.serving <- false;
+    Hashtbl.reset st.awaiting;
+    Hashtbl.reset st.merged;
+    Hashtbl.iter (fun pos stamp -> Hashtbl.replace st.merged pos stamp) st.seen;
+    st.sync_high <-
+      Hashtbl.fold (fun pos _ hi -> max hi (pos + 1)) st.seen 0;
+    for peer = 0 to n - 1 do
+      if peer <> node && Fault.up_in_plan plan ~now:boundary ~node:peer then
+        Hashtbl.replace st.awaiting peer ()
+    done;
+    if Hashtbl.length st.awaiting = 0 then finish_sync node
+    else
+      Hashtbl.iter
+        (fun peer () ->
+          Transport.send net ~src:node ~dst:peer (Sync_req { epoch }))
+        st.awaiting
+  in
+  (* Client retry: after an epoch change (or give-up silence), re-send
+     every unordered request to the current sequencer, with backoff. *)
+  let rec schedule_resubmit node ~delay =
+    let st = states.(node) in
+    if not st.resubmit_scheduled then begin
+      st.resubmit_scheduled <- true;
+      Engine.schedule engine ~delay (fun () ->
+          st.resubmit_scheduled <- false;
+          if
+            Hashtbl.length st.pending > 0
+            && st.resubmit_attempts < max_resubmit
+          then begin
+            st.resubmit_attempts <- st.resubmit_attempts + 1;
+            let dst = sigma_of st.epoch in
+            Hashtbl.iter
+              (fun oseq payload ->
+                incr resubmits;
+                Transport.send net ~src:node ~dst
+                  (Request { origin = node; oseq; payload }))
+              st.pending;
+            schedule_resubmit node ~delay:resubmit_every
+          end)
+    end
+  in
+  let on_boundary node epoch =
+    let st = states.(node) in
+    st.epoch <- epoch;
+    if node = 0 then incr epochs;
+    let boundary, seq = views.(epoch) in
+    if seq = node then
+      if epoch = 0 then st.serving <- true else start_sync node epoch boundary
+    else st.serving <- false;
+    if Hashtbl.length st.pending > 0 then begin
+      st.resubmit_attempts <- 0;
+      schedule_resubmit node ~delay:resubmit_after
+    end
+  in
+  for node = 0 to n - 1 do
+    Array.iteri
+      (fun epoch (t, _) ->
+        if epoch = 0 then on_boundary node 0
+        else Engine.at engine ~time:t (fun () -> on_boundary node epoch))
+      views;
+    Transport.set_handler net node (fun src msg ->
+        let st = states.(node) in
+        match msg with
+        | Request { origin; oseq; payload } ->
+          (* Stale routing (sequencer changed while in flight) is
+             dropped; the origin resubmits against the new epoch. *)
+          if sigma_of st.epoch = node then
+            if not (Hashtbl.mem st.stamped.(origin) oseq) then begin
+              if oseq >= st.cursors.(origin) then
+                Hashtbl.replace st.requests.(origin) oseq payload;
+              if st.serving then stamp_loop node origin
+            end
+        | Ordered { epoch; pos; origin; oseq; payload } ->
+          if epoch >= st.epoch then accept node ~pos ~origin ~oseq payload
+          else ignore (resolve_stale node ~epoch ~pos ~origin ~oseq payload)
+        | Sync_req { epoch } ->
+          let held =
+            Hashtbl.fold
+              (fun pos (origin, oseq) acc -> (pos, origin, oseq) :: acc)
+              st.seen []
+          in
+          let high =
+            Hashtbl.fold (fun pos _ hi -> max hi (pos + 1)) st.seen 0
+          in
+          Transport.send net ~src:node ~dst:src
+            (Sync_ack { epoch; node; held; high })
+        | Sync_ack { epoch; node = peer; held; high } ->
+          if epoch = st.epoch && Hashtbl.mem st.awaiting peer then begin
+            Hashtbl.remove st.awaiting peer;
+            List.iter
+              (fun (pos, origin, oseq) ->
+                if not (Hashtbl.mem st.merged pos) then
+                  Hashtbl.replace st.merged pos (origin, oseq))
+              held;
+            st.sync_high <- max st.sync_high high;
+            if Hashtbl.length st.awaiting = 0 && not st.serving then
+              finish_sync node
+          end
+        | New_epoch { epoch; base; holes } ->
+          learn_close node ~epoch ~base ~holes)
+  done;
+  {
+    Rbcast.name = "ha-sequencer";
+    broadcast =
+      (fun ~src payload ->
+        let st = states.(src) in
+        let oseq = st.next_oseq in
+        st.next_oseq <- oseq + 1;
+        Hashtbl.replace st.pending oseq payload;
+        Transport.send net ~src ~dst:(sigma_of st.epoch)
+          (Request { origin = src; oseq; payload });
+        schedule_resubmit src ~delay:(resubmit_after + resubmit_every));
+    messages_sent = (fun () -> Transport.messages_sent net);
+    stats =
+      (fun () ->
+        {
+          Rbcast.epochs = !epochs;
+          syncs = !syncs;
+          holes = !holes_total;
+          fenced = !fenced_total;
+          resubmits = !resubmits;
+        });
+  }
+
+let factory : 'p Rbcast.factory = create

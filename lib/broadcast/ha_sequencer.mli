@@ -1,0 +1,28 @@
+(** Sequencer atomic broadcast with crash failover.
+
+    Extends the fixed-sequencer protocol with {e epochs}: the
+    sequencer of epoch [e] is the lowest node id alive at the epoch's
+    boundary instant, boundaries being exactly the crash/restart
+    instants of the fault plan at which that rule changes its answer
+    (the plan acts as a perfect failure detector, so every node
+    switches epoch deterministically at the same virtual time).
+
+    On takeover the new sequencer freezes, polls the live nodes for
+    the positions they have seen ([Sync_req]/[Sync_ack]), and computes
+    [base] — one past the highest position seen anywhere live — plus
+    the {e holes}: positions below [base] that no live node holds.  It
+    announces [New_epoch {base; holes}], resumes stamping at [base],
+    and rebuilds its per-origin duplicate-suppression state from the
+    merged acks.  Receivers fence the old epoch against that close:
+    a stale [Ordered] is accepted iff its position is below the base
+    of the {e immediately} following epoch and not a hole; holes are
+    delivered as [None] no-ops so position sequences stay contiguous.
+    Clients re-send unacknowledged requests to the new sequencer with
+    backoff ({!Rbcast.stats}[.resubmits]).
+
+    Positions are global and strictly monotone across epochs, so the
+    recorded synchronization order remains a single total order over
+    the whole crash-spanning history. *)
+
+val create : 'p Rbcast.factory
+val factory : 'p Rbcast.factory

@@ -28,8 +28,12 @@ type 'p node_state = {
   last_heard : int array;  (** highest clock value heard from each node *)
 }
 
-let create ?duplicate ?fault engine ~n ~latency ~rng ~deliver : 'p Abcast.t =
-  let chan = Fifo_channel.create ?duplicate ?fault engine ~n ~latency ~rng in
+let create ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
+    'p Abcast.t =
+  let chan =
+    Fifo_channel.create ?duplicate ?fault ?config:reliable engine ~n ~latency
+      ~rng
+  in
   let states =
     Array.init n (fun _ ->
         {

@@ -1,0 +1,58 @@
+(** Recoverable atomic broadcast: total-order delivery tagged with
+    global positions.
+
+    The plain {!Abcast} interface delivers payloads in order at each
+    node and leaves the position implicit.  Crash recovery needs it
+    explicit: a write-ahead log keys entries by position, a rejoining
+    replica asks peers for "everything from position [H]", and a
+    sequencer epoch change can fence a position off as a {e hole}
+    that every replica skips.  A recoverable broadcast therefore
+    delivers [(pos, payload option)] — [None] marks a hole — with
+    exactly-once-per-position discipline but {e no ordering
+    guarantee}: positions may arrive out of order (catch-up, fencing,
+    retransmission) and the store sequences them with its own cursor.
+
+    Two implementations: {!Ha_sequencer} (epoch-numbered sequencers
+    with deterministic failover) and {!of_abcast} over the Lamport
+    broadcast (whose intrinsic delivery order provides positions). *)
+
+type stats = {
+  epochs : int;  (** view changes executed *)
+  syncs : int;  (** takeover sync rounds completed *)
+  holes : int;  (** positions fenced as holes at epoch changes *)
+  fenced : int;  (** stale sequencer messages discarded *)
+  resubmits : int;  (** client requests re-sent to a new epoch *)
+}
+
+val zero_stats : stats
+val pp_stats : Format.formatter -> stats -> unit
+
+type 'p t = {
+  name : string;
+  broadcast : src:int -> 'p -> unit;
+  messages_sent : unit -> int;
+  stats : unit -> stats;
+}
+
+val broadcast : 'p t -> src:int -> 'p -> unit
+val messages_sent : 'p t -> int
+val name : 'p t -> string
+val stats : 'p t -> stats
+
+(** [deliver ~node ~origin ~pos payload] is invoked at most once per
+    [(node, pos)]; [payload = None] is a hole the store must skip.
+    Positions can arrive in any order. *)
+type 'p factory =
+  ?duplicate:float ->
+  ?fault:Mmc_sim.Fault.t ->
+  ?reliable:Mmc_sim.Reliable.config ->
+  Mmc_sim.Engine.t ->
+  n:int ->
+  latency:Mmc_sim.Latency.t ->
+  rng:Mmc_sim.Rng.t ->
+  deliver:(node:int -> origin:int -> pos:int -> 'p option -> unit) ->
+  'p t
+
+(** Lift a plain atomic broadcast by numbering each node's delivery
+    sequence (positions arrive in order, holes never occur). *)
+val of_abcast : 'p Abcast.factory -> 'p factory

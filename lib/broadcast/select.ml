@@ -4,3 +4,8 @@ let factory (impl : Abcast.impl) : 'p Abcast.factory =
   match impl with
   | Abcast.Sequencer_impl -> Sequencer.create
   | Abcast.Lamport_impl -> Lamport.create
+
+let recoverable (impl : Abcast.impl) : 'p Rbcast.factory =
+  match impl with
+  | Abcast.Sequencer_impl -> Ha_sequencer.create
+  | Abcast.Lamport_impl -> Rbcast.of_abcast Lamport.create

@@ -1,3 +1,8 @@
 (** Instantiate an atomic broadcast by implementation selector. *)
 
 val factory : Abcast.impl -> 'p Abcast.factory
+
+(** Recovery-capable variant: the sequencer maps to {!Ha_sequencer}
+    (epoch failover), Lamport to {!Rbcast.of_abcast} over the plain
+    protocol (ordering state treated as durable). *)
+val recoverable : Abcast.impl -> 'p Rbcast.factory

@@ -18,8 +18,11 @@ type 'p msg =
 
 let sequencer_node = 0
 
-let create ?duplicate ?fault engine ~n ~latency ~rng ~deliver : 'p Abcast.t =
-  let net = Transport.create ?duplicate ?fault engine ~n ~latency ~rng in
+let create ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
+    'p Abcast.t =
+  let net =
+    Transport.create ?duplicate ?fault ?config:reliable engine ~n ~latency ~rng
+  in
   let next_seq = ref 0 in
   (* Sequencer-side per-origin cursor and reorder buffer: requests are
      stamped in origin_seq order, duplicates (below the cursor) are

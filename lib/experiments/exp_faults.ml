@@ -189,7 +189,7 @@ let f2 ?(lengths = [ 0; 100; 250; 500 ]) ?(seeds = 3) ?(procs = 4) ?(ops = 12)
         Fault.none with
         Fault.drop = 0.1;
         partitions = [ { Fault.from_ = 100; until = 100 + len; island = [ 0 ] } ];
-        crashes = [ { Fault.node = procs - 1; at = 60; back = 60 + len } ];
+        crashes = [ { Fault.node = procs - 1; at = 60; back = 60 + len; wipe = false } ];
       }
   in
   let rows =

@@ -112,6 +112,15 @@ let all : entry list =
       quick = (fun () -> Exp_faults.f2 ~lengths:[ 0; 250 ] ~seeds:2 ~ops:8 ());
     };
     {
+      id = "R3";
+      description = "crash recovery: wipe schedule x checkpoint interval";
+      run = (fun () -> Exp_recovery.r3 ());
+      quick =
+        (fun () ->
+          Exp_recovery.r3 ~intervals:[ 4; 64 ] ~seeds:2 ~ops:8
+            ~schedule_names:[ "seq"; "seq+flw" ] ());
+    };
+    {
       id = "S1";
       description = "sharding: shard count x cross-shard ratio";
       run = (fun () -> Exp_shard.s1 ());

@@ -1,0 +1,49 @@
+(** Anti-entropy state transfer for rejoining replicas (see the
+    interface). *)
+
+open Mmc_sim
+
+type ('s, 'p) msg =
+  | Pull of { from_ : int }
+  | Push of {
+      cursor : int;
+      snap : (int * 's) option;
+      entries : 'p Wal.entry list;
+    }
+
+type ('s, 'p) t = {
+  net : ('s, 'p) msg Transport.t;
+  mutable pulls : int;
+  mutable pushes : int;
+  mutable entries_pushed : int;
+  mutable snapshots_pushed : int;
+}
+
+let create ?fault ?config engine ~n ~latency ~rng ~serve ~learn =
+  let net = Transport.create ?fault ?config engine ~n ~latency ~rng in
+  let t = { net; pulls = 0; pushes = 0; entries_pushed = 0; snapshots_pushed = 0 } in
+  for node = 0 to n - 1 do
+    Transport.set_handler net node (fun src msg ->
+        match msg with
+        | Pull { from_ } ->
+          let cursor, snap, entries = serve ~node ~from:from_ in
+          t.pushes <- t.pushes + 1;
+          t.entries_pushed <- t.entries_pushed + List.length entries;
+          if snap <> None then t.snapshots_pushed <- t.snapshots_pushed + 1;
+          Transport.send net ~src:node ~dst:src (Push { cursor; snap; entries })
+        | Push { cursor; snap; entries } ->
+          learn ~node ~peer_cursor:cursor ~snap entries)
+  done;
+  t
+
+let pull t ~node ~from =
+  t.pulls <- t.pulls + 1;
+  for dst = 0 to Transport.n_nodes t.net - 1 do
+    if dst <> node then Transport.send t.net ~src:node ~dst (Pull { from_ = from })
+  done
+
+let messages_sent t = Transport.messages_sent t.net
+let pulls t = t.pulls
+let pushes t = t.pushes
+let entries_pushed t = t.entries_pushed
+let snapshots_pushed t = t.snapshots_pushed

@@ -1,0 +1,58 @@
+(** Anti-entropy state transfer for rejoining replicas.
+
+    A replica that restarts after a wipe-crash recovers its checkpoint
+    and WAL suffix locally, but entries delivered while it was down
+    exist only at its peers (retransmission may have given them up
+    under a finite retry budget, and sequencer epoch changes can leave
+    gaps only peers can fill).  This module is the catch-up protocol:
+    the rejoining replica {!pull}s from every peer with its next
+    needed position; each peer responds with a [Push] of its retained
+    WAL entries from that position — or, when the position has already
+    been truncated, its latest checkpoint plus the suffix (full state
+    transfer).  Pushes also carry the peer's applied cursor, giving
+    the rejoiner a high-water mark to poll towards.
+
+    The protocol runs over its own {!Mmc_sim.Transport} (same engine,
+    latency model and fault injector as the store's transports), so
+    catch-up traffic is itself subject to the fault plan and is
+    counted in message totals. *)
+
+open Mmc_sim
+
+type ('s, 'p) msg =
+  | Pull of { from_ : int }
+  | Push of {
+      cursor : int;  (** the responder's applied position *)
+      snap : (int * 's) option;  (** checkpoint, when [from_] was truncated *)
+      entries : 'p Wal.entry list;
+    }
+
+type ('s, 'p) t
+
+(** [serve ~node ~from] is called on a peer receiving a [Pull]: return
+    [(cursor, checkpoint option, entries)].  [learn] is called on the
+    puller for every [Push]. *)
+val create :
+  ?fault:Fault.t ->
+  ?config:Reliable.config ->
+  Engine.t ->
+  n:int ->
+  latency:Latency.t ->
+  rng:Rng.t ->
+  serve:(node:int -> from:int -> int * (int * 's) option * 'p Wal.entry list) ->
+  learn:
+    (node:int ->
+    peer_cursor:int ->
+    snap:(int * 's) option ->
+    'p Wal.entry list ->
+    unit) ->
+  ('s, 'p) t
+
+(** Ask every peer for entries from position [from]. *)
+val pull : ('s, 'p) t -> node:int -> from:int -> unit
+
+val messages_sent : ('s, 'p) t -> int
+val pulls : ('s, 'p) t -> int
+val pushes : ('s, 'p) t -> int
+val entries_pushed : ('s, 'p) t -> int
+val snapshots_pushed : ('s, 'p) t -> int

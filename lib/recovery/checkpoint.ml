@@ -1,0 +1,25 @@
+(** Periodic object-state snapshots (see the interface). *)
+
+type 's t = {
+  mutable snap : (int * 's) option;  (** (position covered, snapshot) *)
+  mutable taken : int;
+}
+
+let create () = { snap = None; taken = 0 }
+
+let save t ~pos s =
+  (match t.snap with
+  | Some (p, _) when pos < p ->
+    invalid_arg
+      (Fmt.str "Checkpoint.save: position %d below the last checkpoint %d" pos p)
+  | _ -> ());
+  t.snap <- Some (pos, s);
+  t.taken <- t.taken + 1
+
+let load t = t.snap
+let taken t = t.taken
+
+let pp ppf t =
+  match t.snap with
+  | None -> Fmt.string ppf "checkpoint: none"
+  | Some (pos, _) -> Fmt.pf ppf "checkpoint@%d (%d taken)" pos t.taken

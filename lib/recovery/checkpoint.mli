@@ -1,0 +1,23 @@
+(** Periodic object-state snapshots.
+
+    A checkpoint is a copy of the replica's applied state together with
+    the total-order position it covers: state after applying positions
+    [[0, pos)].  Recovery loads the latest checkpoint and replays the
+    write-ahead log suffix from [pos]; the log prefix below [pos] can
+    be truncated.  Snapshots are monotone — saving below the last
+    covered position raises [Invalid_argument]. *)
+
+type 's t
+
+val create : unit -> 's t
+
+(** Record a snapshot covering positions [[0, pos)]. *)
+val save : 's t -> pos:int -> 's -> unit
+
+(** Latest snapshot, if any: [(pos, state)]. *)
+val load : 's t -> (int * 's) option
+
+(** Checkpoints taken so far. *)
+val taken : 's t -> int
+
+val pp : Format.formatter -> 's t -> unit

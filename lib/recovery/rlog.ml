@@ -1,0 +1,73 @@
+(** Per-replica durable state: WAL + checkpoint under one policy (see
+    the interface). *)
+
+type policy = {
+  checkpoint_every : int;
+  gap_poll : int;
+  retain : int;
+}
+
+let default_policy = { checkpoint_every = 16; gap_poll = 60; retain = 64 }
+
+let validate_policy p =
+  if p.checkpoint_every < 1 then
+    invalid_arg "Rlog.validate_policy: checkpoint_every must be >= 1";
+  if p.gap_poll < 1 then invalid_arg "Rlog.validate_policy: gap_poll must be >= 1";
+  if p.retain < 0 then invalid_arg "Rlog.validate_policy: retain must be >= 0"
+
+type ('s, 'p) t = {
+  policy : policy;
+  wal : 'p Wal.t;
+  checkpoint : 's Checkpoint.t;
+  mutable replayed : int;
+}
+
+let create policy =
+  validate_policy policy;
+  { policy; wal = Wal.create (); checkpoint = Checkpoint.create (); replayed = 0 }
+
+let policy t = t.policy
+let wal t = t.wal
+let checkpoint t = t.checkpoint
+
+let log t entry ~snapshot =
+  Wal.append t.wal entry;
+  let high = Wal.high t.wal in
+  if high mod t.policy.checkpoint_every = 0 then begin
+    Checkpoint.save t.checkpoint ~pos:high (snapshot ());
+    (* Keep [retain] entries below the checkpoint to serve anti-entropy
+       catch-up from rejoining peers without full state transfer. *)
+    Wal.truncate_below t.wal ~pos:(max 0 (high - t.policy.retain))
+  end
+
+let recover t =
+  let snap = Checkpoint.load t.checkpoint in
+  let from = match snap with Some (pos, _) -> pos | None -> 0 in
+  let replay = Wal.suffix t.wal ~from in
+  t.replayed <- t.replayed + List.length replay;
+  (snap, replay)
+
+let serve t ~from = Wal.suffix t.wal ~from
+
+(* Can [from] be served from the retained log alone, or does the peer
+   need the checkpoint (full state transfer) first? *)
+let serves_from t ~from = from >= Wal.low t.wal
+
+type stats = {
+  appends : int;
+  checkpoints : int;
+  truncated : int;
+  replayed : int;
+}
+
+let stats t =
+  {
+    appends = Wal.appended t.wal;
+    checkpoints = Checkpoint.taken t.checkpoint;
+    truncated = Wal.truncated t.wal;
+    replayed = t.replayed;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "wal %d appends (%d truncated), %d checkpoints, %d replayed"
+    s.appends s.truncated s.checkpoints s.replayed

@@ -1,0 +1,57 @@
+(** Per-replica durable state: a {!Wal} and a {!Checkpoint} under one
+    policy.
+
+    The recoverable store owns one [Rlog] per replica.  {!log} appends
+    a delivered entry and, every [checkpoint_every] positions, takes a
+    snapshot (supplied by the caller) and truncates the log prefix it
+    covers — keeping [retain] entries below the checkpoint so the
+    replica can still serve anti-entropy catch-up to peers that are
+    only slightly behind.  {!recover} is the deterministic restart
+    path: latest checkpoint plus the log suffix to replay. *)
+
+type policy = {
+  checkpoint_every : int;  (** snapshot every this many applied positions *)
+  gap_poll : int;
+      (** virtual-time interval between catch-up polls while the
+          replica has a delivery gap *)
+  retain : int;  (** log entries kept below the last checkpoint *)
+}
+
+(** checkpoint_every 16, gap_poll 60, retain 64. *)
+val default_policy : policy
+
+(** Raise [Invalid_argument] unless intervals are positive and
+    [retain] non-negative. *)
+val validate_policy : policy -> unit
+
+type ('s, 'p) t
+
+val create : policy -> ('s, 'p) t
+val policy : ('s, 'p) t -> policy
+val wal : ('s, 'p) t -> 'p Wal.t
+val checkpoint : ('s, 'p) t -> 's Checkpoint.t
+
+(** Append a delivered entry (write-ahead: call before applying).
+    [snapshot] is invoked only when the policy takes a checkpoint. *)
+val log : ('s, 'p) t -> 'p Wal.entry -> snapshot:(unit -> 's) -> unit
+
+(** Restart path: the latest checkpoint (if any) and the log suffix to
+    replay on top of it, in position order. *)
+val recover : ('s, 'p) t -> (int * 's) option * 'p Wal.entry list
+
+(** Entries with position [>= from] for an anti-entropy [Push]. *)
+val serve : ('s, 'p) t -> from:int -> 'p Wal.entry list
+
+(** Whether [from] is still covered by the retained log (otherwise the
+    peer needs the checkpoint — full state transfer). *)
+val serves_from : ('s, 'p) t -> from:int -> bool
+
+type stats = {
+  appends : int;
+  checkpoints : int;
+  truncated : int;
+  replayed : int;
+}
+
+val stats : ('s, 'p) t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,44 @@
+(** Per-replica write-ahead log of delivered broadcast entries (see the
+    interface). *)
+
+type 'p entry = { pos : int; origin : int; payload : 'p option }
+
+type 'p t = {
+  mutable entries : 'p entry list;  (** newest first, strictly decreasing pos *)
+  mutable low : int;  (** smallest retained position (older truncated) *)
+  mutable high : int;  (** 1 + highest appended position; 0 when empty *)
+  mutable appended : int;
+  mutable truncated : int;
+}
+
+let create () = { entries = []; low = 0; high = 0; appended = 0; truncated = 0 }
+
+let append t e =
+  if e.pos < t.high then
+    invalid_arg
+      (Fmt.str "Wal.append: position %d not above the log head %d" e.pos
+         (t.high - 1));
+  t.entries <- e :: t.entries;
+  t.high <- e.pos + 1;
+  t.appended <- t.appended + 1
+
+let high t = t.high
+let low t = t.low
+let length t = List.length t.entries
+let appended t = t.appended
+let truncated t = t.truncated
+
+let truncate_below t ~pos =
+  if pos > t.low then begin
+    let keep, drop = List.partition (fun e -> e.pos >= pos) t.entries in
+    t.entries <- keep;
+    t.low <- pos;
+    t.truncated <- t.truncated + List.length drop
+  end
+
+let suffix t ~from =
+  List.filter (fun e -> e.pos >= from) t.entries |> List.rev
+
+let pp ppf t =
+  Fmt.pf ppf "wal[%d,%d) %d entries (%d appended, %d truncated)" t.low t.high
+    (length t) t.appended t.truncated

@@ -1,0 +1,49 @@
+(** Per-replica write-ahead log of delivered broadcast entries.
+
+    The recoverable store appends every totally-ordered entry {e
+    before} applying it to the volatile object state, so the applied
+    prefix is always reconstructible: a crash loses the in-memory
+    copy, never the log.  Entries are keyed by their global
+    total-order position; [payload = None] records a {e hole} — a
+    position fenced off during a sequencer epoch change that every
+    replica skips uniformly (the log keeps the slot so replay and
+    catch-up stay position-aligned).
+
+    The log is append-only and strictly position-increasing.
+    {!truncate_below} drops a prefix once a checkpoint covers it
+    (keeping the suffix available to serve anti-entropy catch-up
+    requests from rejoining peers). *)
+
+type 'p entry = {
+  pos : int;  (** global total-order position *)
+  origin : int;  (** issuing replica *)
+  payload : 'p option;  (** [None] = hole (epoch-fence no-op) *)
+}
+
+type 'p t
+
+val create : unit -> 'p t
+
+(** Append at a position strictly above the current head; raises
+    [Invalid_argument] otherwise (the caller logs in apply order). *)
+val append : 'p t -> 'p entry -> unit
+
+(** 1 + highest appended position; 0 for an empty log. *)
+val high : 'p t -> int
+
+(** Smallest retained position (everything below was truncated). *)
+val low : 'p t -> int
+
+val length : 'p t -> int
+val appended : 'p t -> int
+val truncated : 'p t -> int
+
+(** Drop entries below [pos] (a checkpoint at [pos] covers them). *)
+val truncate_below : 'p t -> pos:int -> unit
+
+(** Retained entries with position [>= from], in position order —
+    the replay suffix after loading a checkpoint, and the payload of
+    anti-entropy [Push] responses. *)
+val suffix : 'p t -> from:int -> 'p entry list
+
+val pp : Format.formatter -> 'p t -> unit

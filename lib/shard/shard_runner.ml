@@ -18,6 +18,7 @@ type result = {
   query_latency : Stats.summary;
   update_latency : Stats.summary;
   fault : Fault.t option;
+  recovery : Rstore.handle option array;
 }
 
 let run ~seed ?placement (cfg : Runner.config) ~workload =
@@ -83,6 +84,7 @@ let run ~seed ?placement (cfg : Runner.config) ~workload =
     query_latency = Stats.summarize query_stats;
     update_latency = Stats.summarize update_stats;
     fault;
+    recovery = Shard_store.recovery sharded;
   }
 
 let check ?pool ?oracle ?(kind = Constraints.WW) res ~flavour =

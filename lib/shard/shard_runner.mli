@@ -24,6 +24,8 @@ type result = {
   update_latency : Stats.summary;
   fault : Fault.t option;
       (** the shared fault injector when a plan was configured *)
+  recovery : Mmc_store.Rstore.handle option array;
+      (** per-shard recovery handles ([Rmsc] shards only) *)
 }
 
 (** [run ~seed cfg ~placement ~workload] — [workload rng ~proc ~step]

@@ -6,6 +6,7 @@ type t = {
   placement : Placement.t;
   shards : Store.t array;
   recorders : Recorder.t array;
+  recovery : Rstore.handle option array;
   router : Router.t;
   store : Store.t;
 }
@@ -18,10 +19,13 @@ let create ?fault (cfg : Runner.config) engine ~placement ~rng =
     Array.init n_shards (fun s ->
         Recorder.create ~n_objects:(Placement.size placement s))
   in
+  let recovery = Array.make n_shards None in
   let shards =
     Array.init n_shards (fun s ->
         let cfg_s = { cfg with Runner.n_objects = Placement.size placement s } in
-        Runner.make_store ?fault cfg_s engine
+        Runner.make_store ?fault
+          ~sink:(fun h -> recovery.(s) <- Some h)
+          cfg_s engine
           ~rng:(Mmc_sim.Rng.split rng)
           ~recorder:recorders.(s))
   in
@@ -36,12 +40,13 @@ let create ?fault (cfg : Runner.config) engine ~placement ~rng =
           Array.fold_left (fun acc s -> acc + Store.messages_sent s) 0 shards);
     }
   in
-  { placement; shards; recorders; router; store }
+  { placement; shards; recorders; recovery; router; store }
 
 let store t = t.store
 let placement t = t.placement
 let router t = t.router
 let recorders t = t.recorders
+let recovery t = Array.copy t.recovery
 
 let messages_by_shard t =
   Array.map (fun s -> Store.messages_sent s) t.shards

@@ -38,5 +38,8 @@ val router : t -> Router.t
 (** Per-shard recorders (local object ids), index = shard. *)
 val recorders : t -> Recorder.t array
 
+(** Per-shard recovery handles — [Some] for [Rmsc] shards. *)
+val recovery : t -> Rstore.handle option array
+
 (** Per-shard transport message counts. *)
 val messages_by_shard : t -> int array

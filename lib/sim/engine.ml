@@ -44,6 +44,11 @@ let schedule t ~delay action =
     time). *)
 let schedule_now t action = schedule t ~delay:0 action
 
+(** Schedule at absolute virtual time [time], clamped to now — the
+    natural form for plan-driven events (crash wipes, restarts, view
+    changes) whose instants are known at creation time. *)
+let at t ~time action = schedule t ~delay:(max 0 (time - t.now)) action
+
 exception Stop
 
 (** Run until the queue drains, [max_events] events have executed, or

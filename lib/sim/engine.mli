@@ -20,6 +20,9 @@ val schedule : t -> delay:int -> (unit -> unit) -> unit
 (** Schedule at the current time (after pending same-time events). *)
 val schedule_now : t -> (unit -> unit) -> unit
 
+(** Schedule at absolute virtual time [time] (clamped to now). *)
+val at : t -> time:int -> (unit -> unit) -> unit
+
 (** An event may raise this to end the run early. *)
 exception Stop
 

@@ -4,7 +4,9 @@
 
 type partition = { from_ : int; until : int; island : int list }
 
-type crash = { node : int; at : int; back : int }
+type crash = { node : int; at : int; back : int; wipe : bool }
+
+let crash ?(wipe = false) ~node ~at ~back () = { node; at; back; wipe }
 
 type plan = {
   drop : float;
@@ -70,8 +72,19 @@ let pp_plan ppf p =
     Fmt.(list ~sep:comma (fun ppf w ->
         pf ppf "[%d,%d)x{%a}" w.from_ w.until (list ~sep:semi int) w.island))
     p.partitions
-    Fmt.(list ~sep:comma (fun ppf c -> pf ppf "%d:[%d,%d)" c.node c.at c.back))
+    Fmt.(
+      list ~sep:comma (fun ppf c ->
+          pf ppf "%d:[%d,%d)%s" c.node c.at c.back (if c.wipe then "!" else "")))
     p.crashes
+
+let wipes p = List.filter (fun c -> c.wipe) p.crashes
+
+let up_in_plan p ~now ~node =
+  not (List.exists (fun c -> c.node = node && c.at <= now && now < c.back) p.crashes)
+
+let crash_instants p =
+  List.concat_map (fun c -> [ c.at; c.back ]) p.crashes
+  |> List.sort_uniq compare
 
 type reason = Loss | Partitioned | Crashed_src | Crashed_dst
 
@@ -86,6 +99,7 @@ type counts = {
   acks : int;
   abandoned : int;
   duplicates : int;
+  restarts : int;
 }
 
 type t = {
@@ -112,6 +126,7 @@ let create plan ~rng =
         acks = 0;
         abandoned = 0;
         duplicates = 0;
+        restarts = 0;
       };
     delays = Stats.create ();
     heals =
@@ -175,6 +190,8 @@ let note_ack t = t.c <- { t.c with acks = t.c.acks + 1 }
 let note_abandoned t = t.c <- { t.c with abandoned = t.c.abandoned + 1 }
 
 let note_duplicate t = t.c <- { t.c with duplicates = t.c.duplicates + 1 }
+
+let note_restart t = t.c <- { t.c with restarts = t.c.restarts + 1 }
 
 let note_delivery t ~sent ~delivered =
   Stats.add t.delays (delivered - sent);

@@ -20,8 +20,18 @@
     [\[from_, until)]; the partition heals at [until]. *)
 type partition = { from_ : int; until : int; island : int list }
 
-(** Node [node] is down during [\[at, back)] and recovers at [back]. *)
-type crash = { node : int; at : int; back : int }
+(** Node [node] is down during [\[at, back)] and restarts at [back].
+    [wipe = false] is a fail-recover crash with stable state: the
+    replica rejoins with its state intact and missed messages reach it
+    by retransmission.  [wipe = true] is a wipe-crash: the replica's
+    volatile state is lost at [at] and on restart it must recover from
+    its checkpoint + write-ahead log and fetch what it missed through
+    anti-entropy catch-up ({!Mmc_recovery}); only recovery-aware
+    stores support wipe-crashes. *)
+type crash = { node : int; at : int; back : int; wipe : bool }
+
+(** Build a crash window; [wipe] defaults to [false]. *)
+val crash : ?wipe:bool -> node:int -> at:int -> back:int -> unit -> crash
 
 type plan = {
   drop : float;  (** per-message loss probability, every link *)
@@ -44,6 +54,18 @@ val is_none : plan -> bool
 val validate : ?n:int -> plan -> unit
 
 val pp_plan : Format.formatter -> plan -> unit
+
+(** The wipe-crashes of a plan. *)
+val wipes : plan -> crash list
+
+(** Static liveness: is [node] up at [now] under this plan?  Usable
+    without an injector — recovery wiring and the failover sequencer
+    derive their deterministic failure-detector view from the plan. *)
+val up_in_plan : plan -> now:int -> node:int -> bool
+
+(** Sorted distinct crash-start and restart instants of the plan: the
+    candidate view-change points of the failover sequencer. *)
+val crash_instants : plan -> int list
 
 (** A fault injector: a validated plan, a private PRNG stream, and the
     accumulated counters of the run. *)
@@ -82,6 +104,9 @@ val note_ack : t -> unit
 val note_abandoned : t -> unit
 val note_duplicate : t -> unit
 
+(** Count a wipe-crash restart completing its local recovery. *)
+val note_restart : t -> unit
+
 (** Record a successful first delivery: feeds the delivery-delay
     distribution and, when the message was sent before a heal point
     (partition [until] or crash [back]) and delivered after it, the
@@ -97,6 +122,7 @@ type counts = {
   acks : int;
   abandoned : int;  (** messages given up after the retry budget *)
   duplicates : int;  (** redundant deliveries suppressed *)
+  restarts : int;  (** wipe-crash restarts that completed recovery *)
 }
 
 val counts : t -> counts

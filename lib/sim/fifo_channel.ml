@@ -18,8 +18,8 @@ type 'msg t = {
   handlers : (int -> 'msg -> unit) array;
 }
 
-let create ?duplicate ?fault engine ~n ~latency ~rng =
-  let net = Transport.create ?duplicate ?fault engine ~n ~latency ~rng in
+let create ?duplicate ?fault ?config engine ~n ~latency ~rng =
+  let net = Transport.create ?duplicate ?fault ?config engine ~n ~latency ~rng in
   let t =
     {
       net;

@@ -12,6 +12,7 @@ type 'msg t
 val create :
   ?duplicate:float ->
   ?fault:Fault.t ->
+  ?config:Reliable.config ->
   Engine.t ->
   n:int ->
   latency:Latency.t ->

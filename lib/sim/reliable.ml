@@ -128,6 +128,8 @@ let messages_sent t = Network.messages_sent t.net
 
 let fault t = t.fault
 
+let config t = t.config
+
 let accepted t = t.accepted
 
 let delivered t = t.delivered

@@ -57,6 +57,9 @@ val messages_sent : 'msg t -> int
 
 val fault : 'msg t -> Fault.t
 
+(** The retransmission configuration in force. *)
+val config : 'msg t -> config
+
 (** Logical messages accepted by [send] so far. *)
 val accepted : 'msg t -> int
 

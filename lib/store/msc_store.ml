@@ -19,7 +19,7 @@ type payload = {
   k : Value.t -> unit;
 }
 
-let create ?fault engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder :
+let create ?fault ?reliable engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder :
     Store.t =
   let xs = Array.init n (fun _ -> Array.make n_objects Value.initial) in
   let tss = Array.init n (fun _ -> Array.make n_objects 0) in
@@ -51,7 +51,7 @@ let create ?fault engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder :
     end
   in
   let abcast =
-    (Select.factory abcast_impl) ?fault engine ~n ~latency ~rng:(Rng.split rng)
+    (Select.factory abcast_impl) ?fault ?reliable engine ~n ~latency ~rng:(Rng.split rng)
       ~deliver
   in
   let invoke ~proc (m : Prog.mprog) ~k =

@@ -8,6 +8,7 @@
     message loss, partitions and crash/recovery windows. *)
 val create :
   ?fault:Mmc_sim.Fault.t ->
+  ?reliable:Mmc_sim.Reliable.config ->
   Mmc_sim.Engine.t ->
   n:int ->
   n_objects:int ->

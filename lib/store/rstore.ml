@@ -1,0 +1,304 @@
+(** Recoverable m-sequential-consistency store (Figure 4 protocol plus
+    crash recovery).
+
+    The msc protocol with per-replica durable state: every delivered
+    update is logged to a {!Mmc_recovery.Rlog} (WAL + periodic
+    checkpoint) before the event ends, keyed by its global broadcast
+    position from the recoverable broadcast ({!Mmc_broadcast.Rbcast}).
+    A wipe-crash destroys a replica's volatile state — object copies,
+    version vector, delivery cursor and reorder buffer; on restart the
+    replica reloads its latest checkpoint, replays the WAL suffix, and
+    runs anti-entropy catch-up ({!Mmc_recovery.Catchup}) against its
+    peers for the positions delivered while it was down.  A durable
+    per-replica responded set makes responses exactly-once across
+    replay, and client-library state (continuations, request numbers)
+    lives outside the replica, so a recovered origin still answers the
+    invocations it lost.
+
+    Queries stay communication-free: they read the local prefix state,
+    which is always a legal m-s.c. snapshot, so a freshly replayed
+    replica can serve them before catch-up completes.  Clients whose
+    replica is down retry until it is back and replayed. *)
+
+open Mmc_core
+open Mmc_sim
+open Mmc_broadcast
+open Mmc_recovery
+
+type payload = {
+  origin : int;
+  oseq : int;  (** per-origin invocation number (responded-set key) *)
+  mprog : Prog.mprog;
+  inv : Types.time;
+}
+
+type snap = { sxs : Value.t array; stss : int array }
+
+type handle = {
+  cursors : unit -> int array;
+  converged : unit -> bool;
+  log_stats : unit -> Rlog.stats array;
+  broadcast_stats : unit -> Rbcast.stats;
+  pulls : unit -> int;
+  pushes : unit -> int;
+  entries_pushed : unit -> int;
+  snapshots_pushed : unit -> int;
+  recoveries : unit -> int;
+}
+
+let retry_every = 15
+let poll_budget = 200
+
+let create ?fault ?reliable ?(policy = Rlog.default_policy) ?sink engine ~n
+    ~n_objects ~latency ~rng ~abcast_impl ~recorder : Store.t =
+  Rlog.validate_policy policy;
+  let plan = match fault with Some f -> Fault.plan f | None -> Fault.none in
+  let up node now = Fault.up_in_plan plan ~now ~node in
+  (* Volatile replica state — destroyed by a wipe-crash. *)
+  let xs = Array.init n (fun _ -> Array.make n_objects Value.initial) in
+  let tss = Array.init n (fun _ -> Array.make n_objects 0) in
+  let cursors = Array.make n 0 in
+  let pending : (int, int * payload option) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 16)
+  in
+  let ready = Array.make n true in
+  (* Durable replica state. *)
+  let rlogs : (snap, payload) Rlog.t array =
+    Array.init n (fun _ -> Rlog.create policy)
+  in
+  let responded : (int, unit) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 16)
+  in
+  (* Client-library state (outside the replica, survives wipes). *)
+  let ks : (int * int, Value.t -> unit) Hashtbl.t = Hashtbl.create 16 in
+  let oseqs = Array.make n 0 in
+  let recoveries = ref 0 in
+  let snapshot_of node =
+    { sxs = Array.copy xs.(node); stss = Array.copy tss.(node) }
+  in
+  let apply_one node ~replay ~pos ~origin (p : payload option) =
+    (match p with
+    | None -> () (* epoch-fence hole: advance past it *)
+    | Some lp ->
+      let start_ts = Array.copy tss.(node) in
+      let applied = Apply.update xs.(node) tss.(node) ~ns:0 lp.mprog.Prog.prog in
+      if origin = node && not (Hashtbl.mem responded.(node) lp.oseq) then begin
+        Hashtbl.replace responded.(node) lp.oseq ();
+        Recorder.add recorder
+          {
+            Recorder.proc = node;
+            inv = lp.inv;
+            resp = Engine.now engine;
+            ops = applied.Apply.ops;
+            reads = applied.Apply.reads;
+            writes = applied.Apply.writes;
+            start_ts;
+            finish_ts = Array.copy tss.(node);
+            sync = Some pos;
+          };
+        match Hashtbl.find_opt ks (node, lp.oseq) with
+        | Some k ->
+          Hashtbl.remove ks (node, lp.oseq);
+          k applied.Apply.result
+        | None -> ()
+      end);
+    cursors.(node) <- pos + 1;
+    if not replay then
+      Rlog.log rlogs.(node)
+        { Wal.pos; origin; payload = p }
+        ~snapshot:(fun () -> snapshot_of node)
+  in
+  let rec drain node =
+    match Hashtbl.find_opt pending.(node) cursors.(node) with
+    | None -> ()
+    | Some (origin, p) ->
+      let pos = cursors.(node) in
+      Hashtbl.remove pending.(node) pos;
+      apply_one node ~replay:false ~pos ~origin p;
+      drain node
+  in
+  (* Anti-entropy: the catch-up transport shares the engine, latency
+     model and fault injector with the broadcast's transport. *)
+  let targets = Array.make n 0 in
+  let recovering = Array.make n false in
+  let catchup = ref None in
+  let ingest node ~pos ~origin p =
+    if pos = cursors.(node) then begin
+      apply_one node ~replay:false ~pos ~origin p;
+      drain node
+    end
+    else if pos > cursors.(node) then
+      Hashtbl.replace pending.(node) pos (origin, p)
+  in
+  let serve ~node ~from =
+    let rl = rlogs.(node) in
+    if Rlog.serves_from rl ~from then (cursors.(node), None, Rlog.serve rl ~from)
+    else
+      let snap = Checkpoint.load (Rlog.checkpoint rl) in
+      let from' = match snap with Some (p, _) -> p | None -> 0 in
+      (cursors.(node), snap, Rlog.serve rl ~from:from')
+  in
+  let learn ~node ~peer_cursor ~snap entries =
+    targets.(node) <- max targets.(node) peer_cursor;
+    (match snap with
+    | Some (cpos, s) when cpos > cursors.(node) ->
+      (* Full state transfer: our retained log no longer reaches back
+         to our cursor at any peer.  Install the snapshot and make it
+         our own recovery point. *)
+      xs.(node) <- Array.copy s.sxs;
+      tss.(node) <- Array.copy s.stss;
+      cursors.(node) <- cpos;
+      let ck = Rlog.checkpoint rlogs.(node) in
+      let covered =
+        match Checkpoint.load ck with Some (p, _) -> p | None -> -1
+      in
+      if cpos > covered then Checkpoint.save ck ~pos:cpos (snapshot_of node);
+      Hashtbl.iter
+        (fun pos _ -> if pos < cpos then Hashtbl.remove pending.(node) pos)
+        (Hashtbl.copy pending.(node))
+    | _ -> ());
+    List.iter
+      (fun (e : payload Wal.entry) ->
+        ingest node ~pos:e.Wal.pos ~origin:e.Wal.origin e.Wal.payload)
+      entries;
+    drain node
+  in
+  (* Gap polling: while a replica has buffered positions above a hole
+     in its sequence (or is catching up to a peer's cursor), pull from
+     peers every [policy.gap_poll] ticks.  Bounded so the simulation
+     quiesces even if a gap is unservable. *)
+  let poll_armed = Array.make n false in
+  let poll_attempts = Array.make n 0 in
+  let poll_cursor = Array.make n (-1) in
+  let rec arm_poll node =
+    if not poll_armed.(node) then begin
+      poll_armed.(node) <- true;
+      Engine.schedule engine ~delay:policy.Rlog.gap_poll (fun () ->
+          poll_armed.(node) <- false;
+          if cursors.(node) > poll_cursor.(node) then poll_attempts.(node) <- 0
+          else poll_attempts.(node) <- poll_attempts.(node) + 1;
+          poll_cursor.(node) <- cursors.(node);
+          let behind =
+            Hashtbl.length pending.(node) > 0
+            || cursors.(node) < targets.(node)
+          in
+          if behind && poll_attempts.(node) < poll_budget then begin
+            (match !catchup with
+            | Some c -> Catchup.pull c ~node ~from:cursors.(node)
+            | None -> ());
+            arm_poll node
+          end
+          else if not behind then recovering.(node) <- false)
+    end
+  in
+  let ingest node ~pos ~origin p =
+    ingest node ~pos ~origin p;
+    if Hashtbl.length pending.(node) > 0 then arm_poll node
+  in
+  let rbcast =
+    (Select.recoverable abcast_impl) ?fault ?reliable engine ~n ~latency
+      ~rng:(Rng.split rng)
+      ~deliver:(fun ~node ~origin ~pos p -> ingest node ~pos ~origin p)
+  in
+  catchup :=
+    Some
+      (Catchup.create ?fault ?config:reliable engine ~n ~latency
+         ~rng:(Rng.split rng) ~serve ~learn:(fun ~node ~peer_cursor ~snap es ->
+           learn ~node ~peer_cursor ~snap es;
+           if Hashtbl.length pending.(node) > 0 || cursors.(node) < targets.(node)
+           then arm_poll node));
+  (* Wipe-crash and restart events, straight from the fault plan (the
+     injector below the transports makes the down window itself; here
+     we destroy and rebuild the replica state at its edges). *)
+  List.iter
+    (fun (c : Fault.crash) ->
+      Engine.at engine ~time:c.at (fun () ->
+          ready.(c.node) <- false;
+          xs.(c.node) <- Array.make n_objects Value.initial;
+          tss.(c.node) <- Array.make n_objects 0;
+          cursors.(c.node) <- 0;
+          Hashtbl.reset pending.(c.node));
+      Engine.at engine ~time:c.back (fun () ->
+          let snap, replay = Rlog.recover rlogs.(c.node) in
+          (match snap with
+          | Some (cpos, s) ->
+            xs.(c.node) <- Array.copy s.sxs;
+            tss.(c.node) <- Array.copy s.stss;
+            cursors.(c.node) <- cpos
+          | None -> ());
+          List.iter
+            (fun (e : payload Wal.entry) ->
+              if e.Wal.pos = cursors.(c.node) then
+                apply_one c.node ~replay:true ~pos:e.Wal.pos ~origin:e.Wal.origin
+                  e.Wal.payload)
+            replay;
+          ready.(c.node) <- true;
+          recovering.(c.node) <- true;
+          incr recoveries;
+          (match fault with Some f -> Fault.note_restart f | None -> ());
+          (match !catchup with
+          | Some cu -> Catchup.pull cu ~node:c.node ~from:cursors.(c.node)
+          | None -> ());
+          poll_attempts.(c.node) <- 0;
+          arm_poll c.node))
+    (Fault.wipes plan);
+  let rec invoke ~proc (m : Prog.mprog) ~k =
+    let now = Engine.now engine in
+    if not (up proc now && ready.(proc)) then
+      (* The replica is down or still replaying: the client library
+         retries until it can reach it. *)
+      Engine.schedule engine ~delay:retry_every (fun () -> invoke ~proc m ~k)
+    else if Prog.is_query m then begin
+      let ts = tss.(proc) in
+      let applied = Apply.query xs.(proc) ts ~ns:0 m.Prog.prog in
+      Recorder.add recorder
+        {
+          Recorder.proc;
+          inv = now;
+          resp = now;
+          ops = applied.Apply.ops;
+          reads = applied.Apply.reads;
+          writes = [];
+          start_ts = Array.copy ts;
+          finish_ts = Array.copy ts;
+          sync = None;
+        };
+      k applied.Apply.result
+    end
+    else begin
+      let oseq = oseqs.(proc) in
+      oseqs.(proc) <- oseq + 1;
+      Hashtbl.replace ks (proc, oseq) k;
+      Rbcast.broadcast rbcast ~src:proc
+        { origin = proc; oseq; mprog = m; inv = now }
+    end
+  in
+  (match sink with
+  | None -> ()
+  | Some f ->
+    f
+      {
+        cursors = (fun () -> Array.copy cursors);
+        converged =
+          (fun () ->
+            Array.for_all (fun c -> c = cursors.(0)) cursors
+            && Array.for_all (fun x -> x = xs.(0)) xs
+            && Array.for_all (fun t -> t = tss.(0)) tss);
+        log_stats = (fun () -> Array.map Rlog.stats rlogs);
+        broadcast_stats = (fun () -> Rbcast.stats rbcast);
+        pulls = (fun () -> Catchup.pulls (Option.get !catchup));
+        pushes = (fun () -> Catchup.pushes (Option.get !catchup));
+        entries_pushed =
+          (fun () -> Catchup.entries_pushed (Option.get !catchup));
+        snapshots_pushed =
+          (fun () -> Catchup.snapshots_pushed (Option.get !catchup));
+        recoveries = (fun () -> !recoveries);
+      });
+  {
+    Store.name = "rmsc";
+    invoke;
+    messages_sent =
+      (fun () ->
+        Rbcast.messages_sent rbcast
+        + Catchup.messages_sent (Option.get !catchup));
+  }

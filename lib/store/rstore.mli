@@ -1,0 +1,38 @@
+(** Recoverable m-sequential-consistency store: the Figure 4 protocol
+    over {!Mmc_broadcast.Rbcast} with write-ahead logging, periodic
+    checkpoints, wipe-crash restart (checkpoint load + WAL replay) and
+    anti-entropy catch-up.  See the implementation header for the
+    durability model. *)
+
+open Mmc_recovery
+
+(** Introspection over the recovery machinery, for verification:
+    [converged] is true when every replica holds the same cursor,
+    object copies and version vector. *)
+type handle = {
+  cursors : unit -> int array;
+  converged : unit -> bool;
+  log_stats : unit -> Rlog.stats array;
+  broadcast_stats : unit -> Mmc_broadcast.Rbcast.stats;
+  pulls : unit -> int;
+  pushes : unit -> int;
+  entries_pushed : unit -> int;
+  snapshots_pushed : unit -> int;
+  recoveries : unit -> int;  (** wipe-crash restarts completed *)
+}
+
+(** [sink] receives the store's {!handle} at creation (the store
+    interface itself stays uniform across kinds). *)
+val create :
+  ?fault:Mmc_sim.Fault.t ->
+  ?reliable:Mmc_sim.Reliable.config ->
+  ?policy:Rlog.policy ->
+  ?sink:(handle -> unit) ->
+  Mmc_sim.Engine.t ->
+  n:int ->
+  n_objects:int ->
+  latency:Mmc_sim.Latency.t ->
+  rng:Mmc_sim.Rng.t ->
+  abcast_impl:Mmc_broadcast.Abcast.impl ->
+  recorder:Recorder.t ->
+  Store.t

@@ -24,6 +24,12 @@ type config = {
   fault : Fault.plan;
       (** faults injected below the store's transport; {!Fault.none}
           (the default) leaves the channels reliable *)
+  reliable : Reliable.config option;
+      (** retry budget of the ack/retransmit layer under faults
+          ([None] = {!Reliable.default}); threaded to the broadcast
+          and catch-up transports of the msc/mlin/rmsc stores *)
+  recovery : Mmc_recovery.Rlog.policy;
+      (** WAL checkpoint/gap-poll policy of the [Rmsc] store *)
 }
 
 let default_config =
@@ -38,6 +44,8 @@ let default_config =
     kind = Store.Msc;
     aw_delta = 15;
     fault = Fault.none;
+    reliable = None;
+    recovery = Mmc_recovery.Rlog.default_policy;
   }
 
 type result = {
@@ -55,16 +63,25 @@ type result = {
   fault : Fault.t option;
       (** the run's fault injector — drop/retransmission/recovery
           counters — when a fault plan was configured *)
+  recovery : Rstore.handle option;
+      (** the [Rmsc] store's recovery introspection (cursors,
+          convergence, WAL/catch-up counters) *)
 }
 
-let make_store ?fault cfg engine ~rng ~recorder =
+let make_store ?fault ?sink cfg engine ~rng ~recorder =
   match cfg.kind with
   | Store.Msc ->
-    Msc_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
-      ~latency:cfg.latency ~rng ~abcast_impl:cfg.abcast_impl ~recorder
+    Msc_store.create ?fault ?reliable:cfg.reliable engine ~n:cfg.n_procs
+      ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
+      ~abcast_impl:cfg.abcast_impl ~recorder
   | Store.Mlin ->
-    Mlin_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
-      ~latency:cfg.latency ~rng ~abcast_impl:cfg.abcast_impl ~recorder
+    Mlin_store.create ?fault ?reliable:cfg.reliable engine ~n:cfg.n_procs
+      ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
+      ~abcast_impl:cfg.abcast_impl ~recorder
+  | Store.Rmsc ->
+    Rstore.create ?fault ?reliable:cfg.reliable ~policy:cfg.recovery ?sink
+      engine ~n:cfg.n_procs ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
+      ~abcast_impl:cfg.abcast_impl ~recorder
   | Store.Central ->
     Central_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
       ~latency:cfg.latency ~rng ~recorder
@@ -141,7 +158,11 @@ let run ~seed cfg ~workload =
     if Fault.is_none cfg.fault then None
     else Some (Fault.create cfg.fault ~rng:(Rng.split rng))
   in
-  let store = make_store ?fault cfg engine ~rng:store_rng ~recorder in
+  let handle = ref None in
+  let store =
+    make_store ?fault ~sink:(fun h -> handle := Some h) cfg engine
+      ~rng:store_rng ~recorder
+  in
   let rec step proc i () =
     if i < cfg.ops_per_proc then begin
       let m = workload client_rngs.(proc) ~proc ~step:i in
@@ -174,4 +195,5 @@ let run ~seed cfg ~workload =
     query_latency = Stats.summarize query_stats;
     update_latency = Stats.summarize update_stats;
     fault;
+    recovery = !handle;
   }

@@ -18,6 +18,13 @@ type config = {
       (** faults injected below the store's transport;
           {!Mmc_sim.Fault.none} (the default) leaves the channels
           reliable *)
+  reliable : Mmc_sim.Reliable.config option;
+      (** retry budget of the ack/retransmit layer under faults
+          ([None] = {!Mmc_sim.Reliable.default}); threaded to the
+          broadcast and catch-up transports of the msc/mlin/rmsc
+          stores *)
+  recovery : Mmc_recovery.Rlog.policy;
+      (** WAL checkpoint/gap-poll policy of the [Rmsc] store *)
 }
 
 val default_config : config
@@ -37,10 +44,14 @@ type result = {
   fault : Mmc_sim.Fault.t option;
       (** the run's fault injector — drop/retransmission/recovery
           counters — when a fault plan was configured *)
+  recovery : Rstore.handle option;
+      (** the [Rmsc] store's recovery introspection (cursors,
+          convergence, WAL/catch-up counters) *)
 }
 
 val make_store :
   ?fault:Mmc_sim.Fault.t ->
+  ?sink:(Rstore.handle -> unit) ->
   config ->
   Mmc_sim.Engine.t ->
   rng:Mmc_sim.Rng.t ->

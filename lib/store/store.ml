@@ -28,6 +28,7 @@ type kind =
   | Causal  (** causal propagation (Raynal et al., weaker baseline) *)
   | Lock  (** distributed strict two-phase locking over sharded owners *)
   | Aw  (** Attiya–Welch clock-based linearizability (needs delay bound) *)
+  | Rmsc  (** recoverable msc: WAL + checkpoints + catch-up (Rstore) *)
 
 let pp_kind ppf = function
   | Msc -> Fmt.string ppf "msc"
@@ -37,6 +38,7 @@ let pp_kind ppf = function
   | Causal -> Fmt.string ppf "causal"
   | Lock -> Fmt.string ppf "lock"
   | Aw -> Fmt.string ppf "aw"
+  | Rmsc -> Fmt.string ppf "rmsc"
 
 let kind_of_string = function
   | "msc" -> Some Msc
@@ -46,4 +48,5 @@ let kind_of_string = function
   | "causal" -> Some Causal
   | "lock" -> Some Lock
   | "aw" -> Some Aw
+  | "rmsc" -> Some Rmsc
   | _ -> None

@@ -23,6 +23,7 @@ type kind =
   | Causal  (** causal propagation (Raynal et al., weaker baseline) *)
   | Lock  (** distributed strict two-phase locking over sharded owners *)
   | Aw  (** Attiya–Welch clock-based linearizability (needs delay bound) *)
+  | Rmsc  (** recoverable msc: WAL + checkpoints + catch-up (Rstore) *)
 
 val pp_kind : Format.formatter -> kind -> unit
 val kind_of_string : string -> kind option

@@ -27,10 +27,10 @@ let test_validate_rejects () =
     { Fault.none with Fault.partitions = [ { Fault.from_ = 10; until = 10; island = [ 0 ] } ] };
   invalid
     { Fault.none with Fault.partitions = [ { Fault.from_ = 0; until = 5; island = [] } ] };
-  invalid { Fault.none with Fault.crashes = [ { Fault.node = 0; at = 9; back = 4 } ] };
+  invalid { Fault.none with Fault.crashes = [ { Fault.node = 0; at = 9; back = 4; wipe = false } ] };
   (* node ids checked against n when provided *)
   Alcotest.check_raises "node out of range" (Invalid_argument "") (fun () ->
-      try Fault.validate ~n:2 { Fault.none with Fault.crashes = [ { Fault.node = 5; at = 0; back = 1 } ] }
+      try Fault.validate ~n:2 { Fault.none with Fault.crashes = [ { Fault.node = 5; at = 0; back = 1; wipe = false } ] }
       with Invalid_argument _ -> raise (Invalid_argument ""));
   (* a sane plan passes *)
   Fault.validate ~n:4
@@ -40,7 +40,7 @@ let test_validate_rejects () =
       spike_prob = 0.1;
       spike_delay = 50;
       partitions = [ { Fault.from_ = 10; until = 90; island = [ 0; 1 ] } ];
-      crashes = [ { Fault.node = 3; at = 5; back = 40 } ];
+      crashes = [ { Fault.node = 3; at = 5; back = 40; wipe = false } ];
     }
 
 let test_network_duplicate_validated () =
@@ -116,7 +116,7 @@ let test_crash_recovery_rejoin () =
   (* Messages sent while the destination is down arrive after it
      recovers; messages in flight at crash time are lost and
      retransmitted. *)
-  let plan = { Fault.none with Fault.crashes = [ { Fault.node = 1; at = 20; back = 300 } ] } in
+  let plan = { Fault.none with Fault.crashes = [ { Fault.node = 1; at = 20; back = 300; wipe = false } ] } in
   let e, r, _fault, received, stamps = reliable_pair ~seed:11 ~plan in
   (* in flight at crash time: latency >= 1 puts arrival inside the
      down window *)
@@ -133,6 +133,61 @@ let test_crash_recovery_rejoin () =
     (List.for_all (fun t -> t >= 300) stamps.(1));
   Alcotest.(check (list (pair int int))) "crashed sender's message delivered"
     [ (1, 3) ] received.(2)
+
+let test_backoff_cap_bounds_heal_latency () =
+  (* Regression for the rto cap: a message stuck behind a long
+     partition keeps being retransmitted at a cadence bounded by
+     [max_rto], so it lands within one capped interval of the heal.
+     Uncapped exponential backoff would be silent for thousands of
+     ticks by then and deliver much later. *)
+  let heal = 3000 in
+  let plan =
+    { Fault.none with Fault.partitions = [ { Fault.from_ = 50; until = heal; island = [ 1 ] } ] }
+  in
+  List.iter
+    (fun seed ->
+      let e, r, _fault, received, stamps = reliable_pair ~seed ~plan in
+      Engine.schedule e ~delay:60 (fun () -> Reliable.send r ~src:0 ~dst:1 7);
+      Engine.run e;
+      Alcotest.(check (list (pair int int))) "delivered exactly once" [ (0, 7) ] received.(1);
+      let t = List.hd stamps.(1) in
+      let cfg = Reliable.config r in
+      Alcotest.(check bool)
+        (Fmt.str "delivered after the heal (seed %d)" seed)
+        true (t >= heal);
+      Alcotest.(check bool)
+        (Fmt.str "within one capped rto of the heal (seed %d, t=%d)" seed t)
+        true
+        (t <= heal + cfg.Reliable.max_rto + 10))
+    [ 0; 1; 2 ]
+
+let test_giveup_surfaces_abandoned () =
+  (* A tiny retry budget against a long crash window: the sender gives
+     up, the message is never delivered, and the give-up is surfaced in
+     the injector's [abandoned] counter. *)
+  let plan =
+    { Fault.none with Fault.crashes = [ { Fault.node = 1; at = 10; back = 5000; wipe = false } ] }
+  in
+  let e = Engine.create () in
+  let rng = Rng.create 4 in
+  let fault = Fault.create plan ~rng:(Rng.split rng) in
+  let r =
+    Reliable.create
+      ~config:{ Reliable.default_config with Reliable.max_retries = 2 }
+      ~fault e ~n:3
+      ~latency:(Latency.Uniform (1, 10))
+      ~rng:(Rng.split rng)
+  in
+  let received = ref [] in
+  for node = 0 to 2 do
+    Reliable.set_handler r node (fun src msg -> received := (node, src, msg) :: !received)
+  done;
+  Engine.schedule e ~delay:20 (fun () -> Reliable.send r ~src:0 ~dst:1 9);
+  Engine.run e;
+  Alcotest.(check (list (triple int int int))) "never delivered" [] !received;
+  Alcotest.(check int) "give-up surfaced" 1 (Fault.counts fault).Fault.abandoned;
+  Alcotest.(check bool) "engine quiesced before the recovery" true
+    (Engine.now e < 5000)
 
 let test_reliable_self_send () =
   let e, r, _, received, _ = reliable_pair ~seed:3 ~plan:{ Fault.none with Fault.drop = 0.5 } in
@@ -250,7 +305,7 @@ let test_broadcast_lamport_lossy () =
 let test_broadcast_crash_recovery () =
   (* A node down for a window still converges to the common order. *)
   let plan =
-    { Fault.none with Fault.drop = 0.15; crashes = [ { Fault.node = 2; at = 30; back = 400 } ] }
+    { Fault.none with Fault.drop = 0.15; crashes = [ { Fault.node = 2; at = 30; back = 400; wipe = false } ] }
   in
   List.iter
     (fun impl ->
@@ -295,7 +350,7 @@ let test_lossy_run_admissible () =
       Fault.none with
       Fault.drop = 0.3;
       partitions = [ { Fault.from_ = 80; until = 280; island = [ 0 ] } ];
-      crashes = [ { Fault.node = 2; at = 40; back = 250 } ];
+      crashes = [ { Fault.node = 2; at = 40; back = 250; wipe = false } ];
     }
   in
   List.iter
@@ -345,6 +400,10 @@ let () =
           Alcotest.test_case "partition heal" `Quick test_partition_heal_delivery;
           Alcotest.test_case "crash recovery rejoin" `Quick
             test_crash_recovery_rejoin;
+          Alcotest.test_case "backoff cap bounds heal latency" `Quick
+            test_backoff_cap_bounds_heal_latency;
+          Alcotest.test_case "give-up surfaces abandoned" `Quick
+            test_giveup_surfaces_abandoned;
           Alcotest.test_case "self send" `Quick test_reliable_self_send;
           Alcotest.test_case "fifo over faults" `Quick test_fifo_over_faults;
           QCheck_alcotest.to_alcotest prop_reliable_exactly_once;
