@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci smoke shard-smoke par-smoke recover-smoke experiments bench-json clean
+.PHONY: all build test check ci smoke shard-smoke par-smoke recover-smoke chaos-smoke experiments bench-json clean
 
 all: build
 
@@ -18,7 +18,7 @@ check: build test
 
 # Mirror of .github/workflows/ci.yml: build, full test suite, the
 # recovery smoke and the bench smoke over the core and shard groups.
-ci: build test par-smoke recover-smoke
+ci: build test par-smoke recover-smoke chaos-smoke
 	$(DUNE) build bench/main.exe
 	$(DUNE) exec bench/main.exe -- --only core
 	$(DUNE) exec bench/main.exe -- --only shard
@@ -55,6 +55,13 @@ recover-smoke: build
 	$(DUNE) exec bin/mmc_cli.exe -- recover --abcast lamport \
 	  --checkpoint-every 4 --seed 2
 
+# Chaos smoke: 25 random fault plans (fixed seed base) against the
+# recoverable store under quorum-stable delivery; exits non-zero
+# unless every plan converges, passes the stitched Theorem-7 check
+# and accounts for all of its wipe-crash restarts.
+chaos-smoke: build
+	$(DUNE) exec bin/mmc_cli.exe -- chaos --plans 25 --seed 1
+
 # Quick versions of every registered experiment table.
 experiments: build
 	$(DUNE) exec bin/mmc_cli.exe -- experiments all --quick
@@ -70,7 +77,7 @@ experiments: build
 # about.
 bench-json: build
 	$(DUNE) exec bench/main.exe -- --only core --only shard \
-	  --only recovery --only parallel \
+	  --only recovery --only chaos --only parallel \
 	  --domains 1 --domains 2 --domains 4 --json BENCH_core.json
 
 clean:

@@ -46,7 +46,7 @@ open Mmc_core
 
 let group_names =
   [ "T1"; "T2"; "T7"; "core"; "protocol"; "P4"; "P5"; "figures"; "shard";
-    "recovery"; "parallel" ]
+    "recovery"; "chaos"; "parallel" ]
 
 let only, json_file, cli_seed, cli_domains =
   let only = ref [] and json = ref None in
@@ -442,6 +442,84 @@ let recovery_metrics () =
       ])
     recovery_variants
 
+(* --- stable vs optimistic delivery: the `chaos` group --- *)
+
+(* The price of quorum-stable delivery: the same recoverable-store run
+   under both delivery rules, over a lossy-but-crashfree plan and over
+   a sequencer-wipe plan.  Optimistic runs may abort when the §12
+   anomaly actually bites (the recorder refuses the second writer of a
+   version); the guard keeps the benchmark honest about measuring the
+   runs that finish. *)
+
+let chaos_wipe = [ { Mmc_sim.Fault.node = 0; at = 150; back = 600; wipe = true } ]
+
+let run_chaos ~delivery ~crashes () =
+  let cfg =
+    {
+      Mmc_store.Runner.default_config with
+      n_procs = 4;
+      n_objects = 8;
+      ops_per_proc = 12;
+      kind = Mmc_store.Store.Rmsc;
+      fault = { Mmc_sim.Fault.none with Mmc_sim.Fault.drop = 0.1; crashes };
+      delivery;
+    }
+  in
+  Mmc_store.Runner.run ~seed:(23 + soff) cfg
+    ~workload:(Mmc_workload.Generator.mixed recovery_spec)
+
+let chaos_variants =
+  [
+    ("stable-lossy", Mmc_store.Rstore.Stable, []);
+    ("optimistic-lossy", Mmc_store.Rstore.Optimistic, []);
+    ("stable-wipe", Mmc_store.Rstore.Stable, chaos_wipe);
+    ("optimistic-wipe", Mmc_store.Rstore.Optimistic, chaos_wipe);
+  ]
+
+let bench_chaos =
+  Test.make_grouped ~name:"chaos"
+    (List.map
+       (fun (name, delivery, crashes) ->
+         Test.make ~name:(Fmt.str "run-%s" name)
+           (Staged.stage (fun () ->
+                try ignore (run_chaos ~delivery ~crashes ()) with _ -> ())))
+       chaos_variants)
+
+(* Wall-ms and virtual-time per variant, plus the stability-ack volume
+   of one run — what a quorum-stable delivery gate costs over
+   apply-on-arrival, recorded with --json. *)
+let chaos_metrics () =
+  let wall_ms repeats f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to repeats do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1_000. /. float_of_int repeats
+  in
+  List.concat_map
+    (fun (name, delivery, crashes) ->
+      let run () = run_chaos ~delivery ~crashes () in
+      let ms_run = wall_ms 10 (fun () -> try ignore (run ()) with _ -> ()) in
+      match run () with
+      | exception _ ->
+        [
+          (Fmt.str "metrics/chaos/%s/ms-run" name, ms_run);
+          (Fmt.str "metrics/chaos/%s/aborted" name, 1.);
+        ]
+      | res ->
+        let acks =
+          match res.Mmc_store.Runner.recovery with
+          | None -> 0
+          | Some h -> h.Mmc_store.Rstore.stability_acks ()
+        in
+        [
+          (Fmt.str "metrics/chaos/%s/ms-run" name, ms_run);
+          ( Fmt.str "metrics/chaos/%s/virtual-time" name,
+            float_of_int res.Mmc_store.Runner.duration );
+          (Fmt.str "metrics/chaos/%s/stability-acks" name, float_of_int acks);
+        ])
+    chaos_variants
+
 (* --- multicore verification: the `parallel` group --- *)
 
 (* One pool per requested --domains value, spawned once and reused by
@@ -569,6 +647,7 @@ let groups =
     ("figures", bench_figures);
     ("shard", bench_shard);
     ("recovery", bench_recovery);
+    ("chaos", bench_chaos);
     ("parallel", bench_parallel);
   ]
 
@@ -612,6 +691,7 @@ let write_json file rows =
     (if only = [] || List.mem "shard" only then shard_metrics () else [])
     @ (if only = [] || List.mem "recovery" only then recovery_metrics ()
        else [])
+    @ (if only = [] || List.mem "chaos" only then chaos_metrics () else [])
     @ if only = [] || List.mem "parallel" only then parallel_metrics () else []
   in
   let entries =

@@ -1,31 +1,57 @@
-(** Sequencer atomic broadcast with epoch-numbered failover
+(** Sequencer atomic broadcast with suspicion-driven failover
     (implementation notes; model in the interface).
 
-    Determinism: epoch boundaries are derived from the fault plan (a
-    perfect failure detector), so every node switches epoch at the
-    same virtual instant via a locally scheduled event.  Boundary
-    events are scheduled at creation time and therefore execute before
-    any message delivery at the same instant.
+    Failure detection: a {!Mmc_sim.Detector} runs heartbeats on the
+    same fault-injected wire as the protocol.  Nothing here reads the
+    fault plan — re-election is triggered purely by suspicion edges,
+    so nodes act on (possibly wrong) local opinions exactly as a real
+    deployment would.  A false suspicion costs an epoch change, never
+    safety: the falsely suspected sequencer's later messages carry a
+    stale epoch and are fenced.
+
+    Epoch ownership: epoch [e] belongs to node [e mod n] (rotating
+    coordinator).  A node elects only when it is the smallest id it
+    does not suspect, and it elects the smallest owned epoch above its
+    current one — so racing candidates claim distinct epochs, the
+    lowest-id candidate claims the lowest, and adoption is
+    highest-epoch-wins.  A candidate adopting a higher epoch abandons
+    its own sync.
+
+    Takeover sync is quorum-gated: the candidate freezes, polls peers
+    for their durable position sets, and forms the epoch only once
+    itself plus ackers reach a majority.  Timer retries are capped, but
+    an unsatisfied election stays open and is revived by unsuspicion
+    edges (a healed partition re-adds peers), so liveness needs only a
+    majority to eventually become mutually unsuspected.  [base] is one
+    past the highest position any sync member holds; positions below
+    [base] held by nobody in the quorum are fenced as holes.
+
+    The close of epoch [e] carries [prev] — the highest epoch the
+    candidate knows actually {e formed} (stamped something or closed),
+    not merely the number it happened to hold: elections race through
+    epochs that never form, and a close anchored to an unformed number
+    would leave stale messages from the last formed epoch without a
+    covering close forever.  The close covers every epoch in [[prev,
+    e)]: a stale [Ordered] from epoch [s] is resolved against the
+    earliest learned close with [prev <= s < e] (accepted iff below
+    that close's base and not already seen).  A close also {e reconciles}: stamps from older
+    epochs at/above [base] are withdrawn with [Retract] (the new epoch
+    renumbers them), and a fenced hole overriding an older stamp
+    retracts it before delivering the hole.  Symmetrically, a
+    current-epoch [Ordered] that overtakes its own [New_epoch]
+    supersedes an older stamp in place.
+
+    Quorum intersection makes the store's stable mode safe: a position
+    acknowledged by a majority has its durable [seen] entry on at
+    least one member of any takeover sync quorum, hence it is always
+    inside [merged], below [base], and never fenced or renumbered.
 
     Durability: the ordering metadata — seen positions with their
-    (origin, oseq) stamp, learned epoch closes, fenced holes — is
-    stable storage and survives wipe-crashes (the sequenced log is the
-    upstream of the store's WAL).  Client pending-request tables and
-    sequencer request buffers are volatile but self-healing: origins
-    resubmit unacked requests and the takeover sync rebuilds the
-    per-origin stamped sets, so a lost buffer only delays stamping.
-
-    Takeover sync safety: at a boundary every node freezes the old
-    epoch before any later-timestamped message can arrive, so a
-    position delivered anywhere is in some live node's [seen] set by
-    the time its Sync_ack is computed.  Hence [base] (the exclusive
-    high-water over all acks) covers every delivered position, and a
-    position [< base] held by nobody live was delivered nowhere live —
-    it is fenced as a hole and skipped as a no-op everywhere.  The
-    residual risk — a replica that delivered a position and is down
-    across the epoch change that fences it — is the classical
-    optimistic-delivery anomaly; it is detected by the convergence
-    check and discussed in DESIGN.md §12. *)
+    (epoch, origin, oseq) stamp, learned closes — survives
+    wipe-crashes (the sequenced log is the upstream of the store's
+    WAL).  Client pending tables and sequencer request buffers are
+    volatile but self-healing: origins resubmit unacked requests and
+    the takeover sync rebuilds the per-origin stamped sets. *)
 
 open Mmc_sim
 
@@ -36,22 +62,31 @@ type 'p msg =
   | Sync_ack of {
       epoch : int;
       node : int;
-      held : (int * int * int) list;  (** (pos, origin, oseq) *)
+      held : (int * int * int * int) list;
+          (** (pos, stamp epoch, origin, oseq); holes [(e, -1, -1)] *)
       high : int;
     }
-  | New_epoch of { epoch : int; base : int; holes : int list }
+  | New_epoch of { epoch : int; prev : int; base : int; holes : int list }
+
+(** A learned epoch close: epoch [e]'s sequencer renumbers from
+    [base], fenced [holes], and covers stale epochs in [[prev, e)] —
+    [prev] being the last epoch the candidate knew had formed. *)
+type close = { base : int; holes : int list; prev : int }
 
 type 'p node_state = {
   (* --- durable ordering metadata --- *)
-  seen : (int, int * int) Hashtbl.t;  (** pos -> (origin, oseq); holes (-1,-1) *)
-  closes : (int, int * int list) Hashtbl.t;  (** epoch -> (base, holes) *)
-  fenced : (int, unit) Hashtbl.t;
+  seen : (int, int * int * int) Hashtbl.t;
+      (** pos -> (stamp epoch, origin, oseq); holes [(e, -1, -1)] *)
+  closes : (int, close) Hashtbl.t;
   mutable epoch : int;
   mutable limbo : (int * int * int * int * 'p) list;
       (** stale [(epoch, pos, origin, oseq, payload)] awaiting a close *)
   (* --- client side (volatile) --- *)
   mutable next_oseq : int;
   pending : (int, 'p) Hashtbl.t;  (** oseq -> payload, not yet ordered *)
+  restamp : (int, 'p) Hashtbl.t;
+      (** every own oseq ever stamped, kept so a later retraction of
+          that stamp can put the payload back into [pending] *)
   mutable resubmit_scheduled : bool;
   mutable resubmit_attempts : int;
   (* --- sequencer side (volatile) --- *)
@@ -60,119 +95,194 @@ type 'p node_state = {
   cursors : int array;
   mutable serving : bool;
   mutable next_pos : int;
-  awaiting : (int, unit) Hashtbl.t;  (** peers still to Sync_ack *)
-  merged : (int, int * int) Hashtbl.t;  (** sync merge of held triples *)
+  (* --- candidate sync state (volatile) --- *)
+  mutable syncing : bool;
+  mutable sync_prev : int;  (** epoch held when this election started *)
+  awaiting : (int, unit) Hashtbl.t;  (** peers polled, yet to Sync_ack *)
+  acked : (int, unit) Hashtbl.t;  (** peers whose ack was merged *)
+  merged : (int, int * int * int) Hashtbl.t;
   mutable sync_high : int;
+  mutable sync_attempts : int;
+  mutable retry_scheduled : bool;
 }
 
 let resubmit_after = 30
 let resubmit_every = 80
 let max_resubmit = 50
+let sync_retry_every = 80
+let max_sync_attempts = 50
 
-(* The epoch schedule: (boundary instant, sequencer) for every change
-   of the lowest-live-id rule over the fault plan's crash instants. *)
-let views_of_plan plan ~n =
-  let instants =
-    List.sort_uniq compare (0 :: Fault.crash_instants plan)
-  in
-  let sigma t =
-    let rec find i =
-      if i >= n then 0
-      else if Fault.up_in_plan plan ~now:t ~node:i then i
-      else find (i + 1)
-    in
-    find 0
-  in
-  List.rev
-    (List.fold_left
-       (fun acc t ->
-         let s = sigma t in
-         match acc with
-         | (_, s') :: _ when s' = s -> acc
-         | _ -> (t, s) :: acc)
-       [] instants)
-
-let create ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
-    'p Rbcast.t =
+let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
+    ~deliver : 'p Rbcast.t =
   let net =
     Transport.create ?duplicate ?fault ?config:reliable engine ~n ~latency ~rng
   in
-  let plan =
-    match fault with Some f -> Fault.plan f | None -> Fault.none
+  let det =
+    Detector.create ?config:detector ?fault engine ~n ~latency
+      ~rng:(Rng.split rng)
   in
-  let views = Array.of_list (views_of_plan plan ~n) in
-  let sigma_of epoch = snd views.(epoch) in
+  let sigma epoch = epoch mod n in
+  let quorum = (n / 2) + 1 in
   let epochs = ref 0
   and syncs = ref 0
   and holes_total = ref 0
   and fenced_total = ref 0
-  and resubmits = ref 0 in
+  and resubmits = ref 0
+  and retracted_total = ref 0 in
   let states =
-    Array.init n (fun _ ->
+    Array.init n (fun node ->
         {
           seen = Hashtbl.create 64;
           closes = Hashtbl.create 4;
-          fenced = Hashtbl.create 8;
           epoch = 0;
           limbo = [];
           next_oseq = 0;
           pending = Hashtbl.create 8;
+          restamp = Hashtbl.create 8;
           resubmit_scheduled = false;
           resubmit_attempts = 0;
           requests = Array.init n (fun _ -> Hashtbl.create 8);
           stamped = Array.init n (fun _ -> Hashtbl.create 8);
           cursors = Array.make n 0;
-          serving = false;
+          serving = node = 0;
           next_pos = 0;
+          syncing = false;
+          sync_prev = 0;
           awaiting = Hashtbl.create 8;
+          acked = Hashtbl.create 8;
           merged = Hashtbl.create 64;
           sync_high = 0;
+          sync_attempts = 0;
+          retry_scheduled = false;
         })
   in
-  let accept node ~pos ~origin ~oseq payload =
+  (* Client retry: after an epoch change (or give-up silence), re-send
+     every unordered request to the current sequencer, with backoff. *)
+  let rec schedule_resubmit node ~delay =
     let st = states.(node) in
+    if not st.resubmit_scheduled then begin
+      st.resubmit_scheduled <- true;
+      Engine.schedule engine ~delay (fun () ->
+          st.resubmit_scheduled <- false;
+          if
+            Hashtbl.length st.pending > 0
+            && st.resubmit_attempts < max_resubmit
+          then begin
+            st.resubmit_attempts <- st.resubmit_attempts + 1;
+            let dst = sigma st.epoch in
+            Hashtbl.iter
+              (fun oseq payload ->
+                incr resubmits;
+                Transport.send net ~src:node ~dst
+                  (Request { origin = node; oseq; payload }))
+              st.pending;
+            schedule_resubmit node ~delay:resubmit_every
+          end)
+    end
+  in
+  (* Withdraw [pos]'s stamp at [node].  When the stamp carried one of
+     this node's own invocations and no other position still does, the
+     payload goes back into [pending] for resubmission — a fenced
+     stamp must not lose the operation (the client's continuation is
+     still waiting on it). *)
+  let withdraw node ~pos ~origin ~oseq =
+    let st = states.(node) in
+    Hashtbl.remove st.seen pos;
+    incr retracted_total;
+    deliver ~node ~origin:(-1) ~pos Rbcast.Retract;
+    if origin = node && not (Hashtbl.mem st.pending oseq) then begin
+      let live =
+        Hashtbl.fold
+          (fun _ (_, o, q) acc -> acc || (o = origin && q = oseq))
+          st.seen false
+      in
+      if not live then
+        match Hashtbl.find_opt st.restamp oseq with
+        | Some payload ->
+          Hashtbl.replace st.pending oseq payload;
+          st.resubmit_attempts <- 0;
+          schedule_resubmit node ~delay:resubmit_after
+        | None -> ()
+    end
+  in
+  (* Record [pos]'s stamping and deliver it.  A newer-epoch stamp
+     supersedes an older payload stamp in place: its [New_epoch] (which
+     would have retracted the old stamp first) can be overtaken on the
+     reordering wire by the restamped [Ordered]. *)
+  let accept node ~epoch ~pos ~origin ~oseq payload =
+    let st = states.(node) in
+    (match Hashtbl.find_opt st.seen pos with
+    | Some (e0, o0, q0) when e0 < epoch && o0 >= 0 ->
+      withdraw node ~pos ~origin:o0 ~oseq:q0
+    | _ -> ());
     if not (Hashtbl.mem st.seen pos) then begin
-      Hashtbl.replace st.seen pos (origin, oseq);
+      Hashtbl.replace st.seen pos (epoch, origin, oseq);
       if origin = node then begin
+        Hashtbl.replace st.restamp oseq payload;
         Hashtbl.remove st.pending oseq;
         st.resubmit_attempts <- 0
       end;
-      deliver ~node ~origin ~pos (Some payload)
+      deliver ~node ~origin ~pos (Rbcast.Payload payload)
     end
   in
-  (* Resolve an Ordered message stamped in a now-closed epoch: valid
-     iff it fits under the close of [epoch + 1] (exactly that close —
-     a later base would admit positions restamped by an intermediate
-     epoch) and was not fenced as a hole by any later change. *)
+  (* The close governing stale epoch [e]: the earliest learned close
+     whose covered range [(prev, epoch)] contains [e]. *)
+  let covering_close st e =
+    Hashtbl.fold
+      (fun ce (c : close) best ->
+        if c.prev <= e && e < ce then
+          match best with Some (be, _) when be <= ce -> best | _ -> Some (ce, c)
+        else best)
+      st.closes None
+  in
+  (* Resolve an Ordered message stamped in a since-closed epoch: valid
+     iff it fits below the covering close's base and the position is
+     not already seen (fenced holes live in [seen]). *)
   let resolve_stale node ~epoch ~pos ~origin ~oseq payload =
     let st = states.(node) in
-    match Hashtbl.find_opt st.closes (epoch + 1) with
-    | None ->
-      st.limbo <- (epoch, pos, origin, oseq, payload) :: st.limbo;
-      true
-    | Some (base, _) ->
-      if pos < base && not (Hashtbl.mem st.fenced pos) then
-        accept node ~pos ~origin ~oseq payload
-      else incr fenced_total;
-      false
+    match covering_close st epoch with
+    | None -> st.limbo <- (epoch, pos, origin, oseq, payload) :: st.limbo
+    | Some (_, c) ->
+      if pos < c.base && not (Hashtbl.mem states.(node).seen pos) then
+        accept node ~epoch ~pos ~origin ~oseq payload
+      else incr fenced_total
   in
-  let learn_close node ~epoch ~base ~holes =
+  let learn_close node ~epoch ~prev ~base ~holes =
     let st = states.(node) in
     if not (Hashtbl.mem st.closes epoch) then begin
-      Hashtbl.replace st.closes epoch (base, holes);
+      Hashtbl.replace st.closes epoch { base; holes; prev };
       List.iter
         (fun h ->
-          Hashtbl.replace st.fenced h ();
-          if not (Hashtbl.mem st.seen h) then begin
-            Hashtbl.replace st.seen h (-1, -1);
-            deliver ~node ~origin:(-1) ~pos:h None
-          end)
+          match Hashtbl.find_opt st.seen h with
+          | Some (e0, o0, q0) when e0 < epoch && o0 >= 0 ->
+            (* an orphaned stamp the quorum never saw: withdraw it,
+               then fence the position *)
+            withdraw node ~pos:h ~origin:o0 ~oseq:q0;
+            Hashtbl.replace st.seen h (epoch, -1, -1);
+            deliver ~node ~origin:(-1) ~pos:h Rbcast.Hole
+          | Some _ -> ()
+          | None ->
+            Hashtbl.replace st.seen h (epoch, -1, -1);
+            deliver ~node ~origin:(-1) ~pos:h Rbcast.Hole)
         holes;
+      (* The new epoch renumbers from [base]: older-epoch stamps at or
+         above it are dead — withdraw them; their payloads come back
+         restamped (the origins resubmit anything unstamped). *)
+      let orphans =
+        Hashtbl.fold
+          (fun pos (e0, o0, q0) acc ->
+            if pos >= base && e0 < epoch && o0 >= 0 then (pos, o0, q0) :: acc
+            else acc)
+          st.seen []
+      in
+      List.iter
+        (fun (pos, o0, q0) -> withdraw node ~pos ~origin:o0 ~oseq:q0)
+        (List.sort compare orphans);
       let limbo = st.limbo in
       st.limbo <- [];
       List.iter
         (fun (e, pos, origin, oseq, payload) ->
-          ignore (resolve_stale node ~epoch:e ~pos ~origin ~oseq payload))
+          resolve_stale node ~epoch:e ~pos ~origin ~oseq payload)
         limbo
     end
   in
@@ -202,6 +312,7 @@ let create ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
   in
   let finish_sync node =
     let st = states.(node) in
+    st.syncing <- false;
     let base = st.sync_high in
     let holes = ref [] in
     for pos = base - 1 downto 0 do
@@ -211,7 +322,7 @@ let create ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
     holes_total := !holes_total + List.length holes;
     Array.iter Hashtbl.reset st.stamped;
     Hashtbl.iter
-      (fun _pos (origin, oseq) ->
+      (fun _pos (_e, origin, oseq) ->
         if origin >= 0 then Hashtbl.replace st.stamped.(origin) oseq ())
       st.merged;
     for o = 0 to n - 1 do
@@ -224,114 +335,179 @@ let create ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
     st.next_pos <- base;
     st.serving <- true;
     incr syncs;
-    learn_close node ~epoch:st.epoch ~base ~holes;
-    Transport.send_all net ~src:node (New_epoch { epoch = st.epoch; base; holes });
+    incr epochs;
+    learn_close node ~epoch:st.epoch ~prev:st.sync_prev ~base ~holes;
+    Transport.send_all net ~src:node
+      (New_epoch { epoch = st.epoch; prev = st.sync_prev; base; holes });
     for o = 0 to n - 1 do
       stamp_loop node o
     done
   in
-  let start_sync node epoch boundary =
+  (* Timer retries are capped, but the election itself never gives up:
+     unsuspicion edges re-add peers and re-poll, so a sync stalled by
+     a partition resumes when the partition heals. *)
+  let rec maybe_finish node =
     let st = states.(node) in
-    st.serving <- false;
-    Hashtbl.reset st.awaiting;
-    Hashtbl.reset st.merged;
-    Hashtbl.iter (fun pos stamp -> Hashtbl.replace st.merged pos stamp) st.seen;
-    st.sync_high <-
-      Hashtbl.fold (fun pos _ hi -> max hi (pos + 1)) st.seen 0;
-    for peer = 0 to n - 1 do
-      if peer <> node && Fault.up_in_plan plan ~now:boundary ~node:peer then
-        Hashtbl.replace st.awaiting peer ()
-    done;
-    if Hashtbl.length st.awaiting = 0 then finish_sync node
-    else
-      Hashtbl.iter
-        (fun peer () ->
-          Transport.send net ~src:node ~dst:peer (Sync_req { epoch }))
-        st.awaiting
-  in
-  (* Client retry: after an epoch change (or give-up silence), re-send
-     every unordered request to the current sequencer, with backoff. *)
-  let rec schedule_resubmit node ~delay =
+    if st.syncing && Hashtbl.length st.awaiting = 0 then
+      if 1 + Hashtbl.length st.acked >= quorum then finish_sync node
+      else schedule_sync_retry node
+  and schedule_sync_retry node =
     let st = states.(node) in
-    if not st.resubmit_scheduled then begin
-      st.resubmit_scheduled <- true;
-      Engine.schedule engine ~delay (fun () ->
-          st.resubmit_scheduled <- false;
-          if
-            Hashtbl.length st.pending > 0
-            && st.resubmit_attempts < max_resubmit
-          then begin
-            st.resubmit_attempts <- st.resubmit_attempts + 1;
-            let dst = sigma_of st.epoch in
-            Hashtbl.iter
-              (fun oseq payload ->
-                incr resubmits;
-                Transport.send net ~src:node ~dst
-                  (Request { origin = node; oseq; payload }))
-              st.pending;
-            schedule_resubmit node ~delay:resubmit_every
+    if
+      st.syncing && (not st.retry_scheduled)
+      && st.sync_attempts < max_sync_attempts
+    then begin
+      st.retry_scheduled <- true;
+      st.sync_attempts <- st.sync_attempts + 1;
+      Engine.schedule engine ~delay:sync_retry_every (fun () ->
+          st.retry_scheduled <- false;
+          if st.syncing then begin
+            for peer = 0 to n - 1 do
+              if
+                peer <> node
+                && (not (Hashtbl.mem st.acked peer))
+                && not (Detector.suspects det ~observer:node ~subject:peer)
+              then begin
+                Hashtbl.replace st.awaiting peer ();
+                Transport.send net ~src:node ~dst:peer
+                  (Sync_req { epoch = st.epoch })
+              end
+            done;
+            maybe_finish node
           end)
     end
   in
-  let on_boundary node epoch =
+  let start_sync node =
+    let st = states.(node) in
+    st.serving <- false;
+    Hashtbl.reset st.awaiting;
+    Hashtbl.reset st.acked;
+    Hashtbl.reset st.merged;
+    Hashtbl.iter (fun pos stamp -> Hashtbl.replace st.merged pos stamp) st.seen;
+    st.sync_high <- Hashtbl.fold (fun pos _ hi -> max hi (pos + 1)) st.seen 0;
+    for peer = 0 to n - 1 do
+      if peer <> node && not (Detector.suspects det ~observer:node ~subject:peer)
+      then Hashtbl.replace st.awaiting peer ()
+    done;
+    Hashtbl.iter
+      (fun peer () ->
+        Transport.send net ~src:node ~dst:peer (Sync_req { epoch = st.epoch }))
+      st.awaiting;
+    maybe_finish node
+  in
+  (* The highest epoch this node knows actually formed: it stamped a
+     position or closed.  Epoch numbers themselves are no evidence —
+     elections race through epochs that never form — and a close must
+     anchor its coverage at a formed epoch or stale messages from the
+     last formed one are left uncovered forever. *)
+  let last_formed st =
+    let f = Hashtbl.fold (fun e _ acc -> max acc e) st.closes 0 in
+    Hashtbl.fold (fun _ (e, _, _) acc -> max acc e) st.seen f
+  in
+  (* Elect when this node is the smallest id it does not suspect and
+     the current epoch belongs to someone else: claim the smallest
+     owned epoch above the current one.  Racing candidates therefore
+     claim distinct epochs and the lowest-id candidate the lowest. *)
+  let try_elect node =
+    let st = states.(node) in
+    if
+      (not st.syncing)
+      && Detector.candidate det ~observer:node = node
+      && sigma st.epoch <> node
+    then begin
+      let rec next e = if sigma e = node then e else next (e + 1) in
+      let e = next (st.epoch + 1) in
+      st.sync_prev <- last_formed st;
+      st.epoch <- e;
+      st.syncing <- true;
+      st.sync_attempts <- 0;
+      start_sync node
+    end
+  in
+  (* Move to a higher epoch learned from the wire: stop serving (and
+     abandon any own election it outbids), then reconsider leadership
+     — a restarted low id reclaims the sequencer role from here. *)
+  let adopt node epoch =
     let st = states.(node) in
     st.epoch <- epoch;
-    if node = 0 then incr epochs;
-    let boundary, seq = views.(epoch) in
-    if seq = node then
-      if epoch = 0 then st.serving <- true else start_sync node epoch boundary
-    else st.serving <- false;
+    st.serving <- false;
+    st.syncing <- false;
     if Hashtbl.length st.pending > 0 then begin
       st.resubmit_attempts <- 0;
       schedule_resubmit node ~delay:resubmit_after
-    end
+    end;
+    try_elect node
   in
+  Detector.on_change det (fun ~observer ~subject ~suspected ->
+      let st = states.(observer) in
+      if suspected then begin
+        if st.syncing && Hashtbl.mem st.awaiting subject then begin
+          Hashtbl.remove st.awaiting subject;
+          maybe_finish observer
+        end;
+        try_elect observer
+      end
+      else begin
+        if
+          st.syncing
+          && (not (Hashtbl.mem st.acked subject))
+          && not (Hashtbl.mem st.awaiting subject)
+        then begin
+          Hashtbl.replace st.awaiting subject ();
+          Transport.send net ~src:observer ~dst:subject
+            (Sync_req { epoch = st.epoch })
+        end;
+        try_elect observer
+      end);
   for node = 0 to n - 1 do
-    Array.iteri
-      (fun epoch (t, _) ->
-        if epoch = 0 then on_boundary node 0
-        else Engine.at engine ~time:t (fun () -> on_boundary node epoch))
-      views;
     Transport.set_handler net node (fun src msg ->
         let st = states.(node) in
         match msg with
         | Request { origin; oseq; payload } ->
           (* Stale routing (sequencer changed while in flight) is
-             dropped; the origin resubmits against the new epoch. *)
-          if sigma_of st.epoch = node then
+             dropped; the origin resubmits against the new epoch.  A
+             syncing candidate buffers and stamps after takeover. *)
+          if sigma st.epoch = node then
             if not (Hashtbl.mem st.stamped.(origin) oseq) then begin
               if oseq >= st.cursors.(origin) then
                 Hashtbl.replace st.requests.(origin) oseq payload;
               if st.serving then stamp_loop node origin
             end
         | Ordered { epoch; pos; origin; oseq; payload } ->
-          if epoch >= st.epoch then accept node ~pos ~origin ~oseq payload
-          else ignore (resolve_stale node ~epoch ~pos ~origin ~oseq payload)
+          if epoch > st.epoch then adopt node epoch;
+          if epoch >= st.epoch then accept node ~epoch ~pos ~origin ~oseq payload
+          else resolve_stale node ~epoch ~pos ~origin ~oseq payload
         | Sync_req { epoch } ->
-          let held =
-            Hashtbl.fold
-              (fun pos (origin, oseq) acc -> (pos, origin, oseq) :: acc)
-              st.seen []
-          in
-          let high =
-            Hashtbl.fold (fun pos _ hi -> max hi (pos + 1)) st.seen 0
-          in
-          Transport.send net ~src:node ~dst:src
-            (Sync_ack { epoch; node; held; high })
+          if epoch > st.epoch then adopt node epoch;
+          if epoch = st.epoch then begin
+            let held =
+              Hashtbl.fold
+                (fun pos (e, origin, oseq) acc -> (pos, e, origin, oseq) :: acc)
+                st.seen []
+            in
+            let high =
+              Hashtbl.fold (fun pos _ hi -> max hi (pos + 1)) st.seen 0
+            in
+            Transport.send net ~src:node ~dst:src
+              (Sync_ack { epoch; node; held; high })
+          end
         | Sync_ack { epoch; node = peer; held; high } ->
-          if epoch = st.epoch && Hashtbl.mem st.awaiting peer then begin
+          if epoch = st.epoch && st.syncing && Hashtbl.mem st.awaiting peer
+          then begin
             Hashtbl.remove st.awaiting peer;
+            Hashtbl.replace st.acked peer ();
             List.iter
-              (fun (pos, origin, oseq) ->
-                if not (Hashtbl.mem st.merged pos) then
-                  Hashtbl.replace st.merged pos (origin, oseq))
+              (fun (pos, e, origin, oseq) ->
+                match Hashtbl.find_opt st.merged pos with
+                | Some (e0, _, _) when e0 >= e -> ()
+                | _ -> Hashtbl.replace st.merged pos (e, origin, oseq))
               held;
             st.sync_high <- max st.sync_high high;
-            if Hashtbl.length st.awaiting = 0 && not st.serving then
-              finish_sync node
+            maybe_finish node
           end
-        | New_epoch { epoch; base; holes } ->
-          learn_close node ~epoch ~base ~holes)
+        | New_epoch { epoch; prev; base; holes } ->
+          if epoch > st.epoch then adopt node epoch;
+          learn_close node ~epoch ~prev ~base ~holes)
   done;
   {
     Rbcast.name = "ha-sequencer";
@@ -341,7 +517,7 @@ let create ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
         let oseq = st.next_oseq in
         st.next_oseq <- oseq + 1;
         Hashtbl.replace st.pending oseq payload;
-        Transport.send net ~src ~dst:(sigma_of st.epoch)
+        Transport.send net ~src ~dst:(sigma st.epoch)
           (Request { origin = src; oseq; payload });
         schedule_resubmit src ~delay:(resubmit_after + resubmit_every));
     messages_sent = (fun () -> Transport.messages_sent net);
@@ -353,7 +529,9 @@ let create ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
           holes = !holes_total;
           fenced = !fenced_total;
           resubmits = !resubmits;
+          retracted = !retracted_total;
         });
+    detector_stats = (fun () -> Some (Detector.stats det));
   }
 
 let factory : 'p Rbcast.factory = create

@@ -1,24 +1,38 @@
-(** Sequencer atomic broadcast with crash failover.
+(** Sequencer atomic broadcast with suspicion-driven crash failover.
 
-    Extends the fixed-sequencer protocol with {e epochs}: the
-    sequencer of epoch [e] is the lowest node id alive at the epoch's
-    boundary instant, boundaries being exactly the crash/restart
-    instants of the fault plan at which that rule changes its answer
-    (the plan acts as a perfect failure detector, so every node
-    switches epoch deterministically at the same virtual time).
+    Extends the fixed-sequencer protocol with {e epochs} owned by a
+    rotating coordinator: epoch [e]'s sequencer is node [e mod n].  A
+    node elects a new epoch when an in-band failure detector
+    ({!Mmc_sim.Detector} — heartbeats, timeouts, incarnation numbers)
+    leaves it the smallest id it does not suspect while the current
+    epoch belongs to someone else; it claims the smallest epoch it
+    owns above its current one, so racing candidates take distinct
+    epochs, lowest-id-wins falls out of the numbering, and adoption is
+    highest-epoch-wins.  Nothing reads the fault plan — suspicion (and
+    hence failover) is driven purely by message silence, and a falsely
+    suspected live sequencer is fenced by the epoch numbers, not
+    assumed dead.
 
-    On takeover the new sequencer freezes, polls the live nodes for
-    the positions they have seen ([Sync_req]/[Sync_ack]), and computes
-    [base] — one past the highest position seen anywhere live — plus
-    the {e holes}: positions below [base] that no live node holds.  It
-    announces [New_epoch {base; holes}], resumes stamping at [base],
-    and rebuilds its per-origin duplicate-suppression state from the
-    merged acks.  Receivers fence the old epoch against that close:
-    a stale [Ordered] is accepted iff its position is below the base
-    of the {e immediately} following epoch and not a hole; holes are
-    delivered as [None] no-ops so position sequences stay contiguous.
-    Clients re-send unacknowledged requests to the new sequencer with
-    backoff ({!Rbcast.stats}[.resubmits]).
+    On takeover the candidate freezes, polls the peers it does not
+    suspect for their durable position sets ([Sync_req]/[Sync_ack]),
+    and forms the epoch only once a {e majority} (itself included) has
+    answered — capped timer retries plus revival on unsuspicion keep
+    the election live across partitions without unbounded traffic.
+    It computes [base] — one past the highest position in the merged
+    quorum — and the {e holes}: positions below [base] the quorum does
+    not hold.  [New_epoch {prev; base; holes}] closes every epoch in
+    [(prev, e)]; receivers fence stale [Ordered] messages against the
+    covering close, deliver holes as {!Rbcast.Hole}, and withdraw
+    orphaned older-epoch stamps at/above [base] with {!Rbcast.Retract}
+    before they are restamped.  Clients re-send unacknowledged
+    requests to the new sequencer with backoff
+    ({!Rbcast.stats}[.resubmits]).
+
+    By quorum intersection, a position acknowledged by a majority of
+    replicas (the store's stable-delivery rule) is present in every
+    takeover sync merge, so it is never fenced or renumbered — this is
+    what makes quorum-stable delivery safe, and what optimistic
+    delivery forgoes (DESIGN.md §12).
 
     Positions are global and strictly monotone across epochs, so the
     recorded synchronization order remains a single total order over

@@ -7,55 +7,65 @@ type stats = {
   holes : int;
   fenced : int;
   resubmits : int;
+  retracted : int;
 }
 
-let zero_stats = { epochs = 0; syncs = 0; holes = 0; fenced = 0; resubmits = 0 }
+let zero_stats =
+  { epochs = 0; syncs = 0; holes = 0; fenced = 0; resubmits = 0; retracted = 0 }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "epochs %d, syncs %d, holes %d, fenced %d, resubmits %d" s.epochs
-    s.syncs s.holes s.fenced s.resubmits
+  Fmt.pf ppf "epochs %d, syncs %d, holes %d, fenced %d, resubmits %d, retracted %d"
+    s.epochs s.syncs s.holes s.fenced s.resubmits s.retracted
+
+type 'p delivery = Payload of 'p | Hole | Retract
 
 type 'p t = {
   name : string;
   broadcast : src:int -> 'p -> unit;
   messages_sent : unit -> int;
   stats : unit -> stats;
+  detector_stats : unit -> Mmc_sim.Detector.stats option;
 }
 
 let broadcast t ~src payload = t.broadcast ~src payload
 let messages_sent t = t.messages_sent ()
 let name t = t.name
 let stats t = t.stats ()
+let detector_stats t = t.detector_stats ()
 
 type 'p factory =
   ?duplicate:float ->
   ?fault:Mmc_sim.Fault.t ->
   ?reliable:Mmc_sim.Reliable.config ->
+  ?detector:Mmc_sim.Detector.config ->
   Mmc_sim.Engine.t ->
   n:int ->
   latency:Mmc_sim.Latency.t ->
   rng:Mmc_sim.Rng.t ->
-  deliver:(node:int -> origin:int -> pos:int -> 'p option -> unit) ->
+  deliver:(node:int -> origin:int -> pos:int -> 'p delivery -> unit) ->
   'p t
 
 (* Adapt a plain atomic broadcast: its per-node delivery order is the
    total order, so the delivery count at each node IS the global
    position.  The numbering must survive wipe-crashes along with the
    underlying implementation's ordering state (a persistent-logical-
-   clock discipline); only the store's object state is volatile. *)
+   clock discipline); only the store's object state is volatile.
+   Positions are final on delivery — no holes, no retractions, no
+   failure detector. *)
 let of_abcast (f : 'p Abcast.factory) : 'p factory =
- fun ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver ->
+ fun ?duplicate ?fault ?reliable ?detector:_ engine ~n ~latency ~rng ~deliver ->
   let counts = Array.make n 0 in
   let ab =
     f ?duplicate ?fault ?reliable engine ~n ~latency ~rng
       ~deliver:(fun ~node ~origin payload ->
         let pos = counts.(node) in
         counts.(node) <- pos + 1;
-        deliver ~node ~origin ~pos (Some payload))
+        deliver ~node ~origin ~pos (Payload payload))
   in
   {
     name = Abcast.name ab ^ "+pos";
     broadcast = (fun ~src payload -> Abcast.broadcast ab ~src payload);
     messages_sent = (fun () -> Abcast.messages_sent ab);
     stats = (fun () -> zero_stats);
+    detector_stats = (fun () -> None);
   }

@@ -7,52 +7,78 @@
     replica asks peers for "everything from position [H]", and a
     sequencer epoch change can fence a position off as a {e hole}
     that every replica skips.  A recoverable broadcast therefore
-    delivers [(pos, payload option)] — [None] marks a hole — with
-    exactly-once-per-position discipline but {e no ordering
-    guarantee}: positions may arrive out of order (catch-up, fencing,
-    retransmission) and the store sequences them with its own cursor.
+    delivers [(pos, delivery)] with exactly-once-per-{e current}-
+    stamping discipline but {e no ordering guarantee}: positions may
+    arrive out of order (catch-up, fencing, retransmission) and the
+    store sequences them with its own cursor.
+
+    Deliveries are three-valued.  [Payload p] assigns [p] to the
+    position.  [Hole] fences the position off — every replica skips
+    it.  [Retract] withdraws an earlier [Payload]/[Hole] delivery for
+    the position: an epoch change can orphan a stamp that was never
+    quorum-stable (the new sequencer renumbers from its sync base), in
+    which case the position is first retracted and later re-delivered
+    under its new stamping.  A store that applies optimistically may
+    have consumed the retracted stamp already — that is exactly the
+    §12 anomaly; a quorum-stable store never applies a retractable
+    position.
 
     Two implementations: {!Ha_sequencer} (epoch-numbered sequencers
-    with deterministic failover) and {!of_abcast} over the Lamport
-    broadcast (whose intrinsic delivery order provides positions). *)
+    with suspicion-driven failover) and {!of_abcast} over the Lamport
+    broadcast (whose intrinsic delivery order provides positions;
+    holes and retractions never occur). *)
 
 type stats = {
-  epochs : int;  (** view changes executed *)
+  epochs : int;  (** epoch changes completed (takeovers that formed) *)
   syncs : int;  (** takeover sync rounds completed *)
   holes : int;  (** positions fenced as holes at epoch changes *)
   fenced : int;  (** stale sequencer messages discarded *)
   resubmits : int;  (** client requests re-sent to a new epoch *)
+  retracted : int;  (** orphaned stamps withdrawn at epoch changes *)
 }
 
 val zero_stats : stats
 val pp_stats : Format.formatter -> stats -> unit
+
+type 'p delivery =
+  | Payload of 'p  (** the position's (current) stamped payload *)
+  | Hole  (** position fenced at an epoch change — skip it *)
+  | Retract  (** withdraw this position's earlier delivery *)
 
 type 'p t = {
   name : string;
   broadcast : src:int -> 'p -> unit;
   messages_sent : unit -> int;
   stats : unit -> stats;
+  detector_stats : unit -> Mmc_sim.Detector.stats option;
+      (** failure-detector counters when the implementation runs one *)
 }
 
 val broadcast : 'p t -> src:int -> 'p -> unit
 val messages_sent : 'p t -> int
 val name : 'p t -> string
 val stats : 'p t -> stats
+val detector_stats : 'p t -> Mmc_sim.Detector.stats option
 
-(** [deliver ~node ~origin ~pos payload] is invoked at most once per
-    [(node, pos)]; [payload = None] is a hole the store must skip.
-    Positions can arrive in any order. *)
+(** [deliver ~node ~origin ~pos d] is invoked at most once per
+    [(node, pos)] {e per stamping}: a position is re-delivered only
+    after an intervening [Retract] (or to override a stale stamp with
+    [Hole]).  [origin] is [-1] for [Hole]/[Retract].  Positions can
+    arrive in any order.  [detector] configures the failure detector
+    of implementations that elect (ignored by the rest). *)
 type 'p factory =
   ?duplicate:float ->
   ?fault:Mmc_sim.Fault.t ->
   ?reliable:Mmc_sim.Reliable.config ->
+  ?detector:Mmc_sim.Detector.config ->
   Mmc_sim.Engine.t ->
   n:int ->
   latency:Mmc_sim.Latency.t ->
   rng:Mmc_sim.Rng.t ->
-  deliver:(node:int -> origin:int -> pos:int -> 'p option -> unit) ->
+  deliver:(node:int -> origin:int -> pos:int -> 'p delivery -> unit) ->
   'p t
 
 (** Lift a plain atomic broadcast by numbering each node's delivery
-    sequence (positions arrive in order, holes never occur). *)
+    sequence (positions arrive in order; holes and retractions never
+    occur). *)
 val of_abcast : 'p Abcast.factory -> 'p factory

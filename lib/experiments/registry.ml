@@ -121,6 +121,15 @@ let all : entry list =
             ~schedule_names:[ "seq"; "seq+flw" ] ());
     };
     {
+      id = "R4";
+      description = "failure detection: suspicion timeout x loss rate";
+      run = (fun () -> Exp_recovery.r4 ());
+      quick =
+        (fun () ->
+          Exp_recovery.r4 ~timeouts:[ 60; 200 ] ~drops:[ 0.0; 0.2 ] ~seeds:2
+            ~ops:8 ());
+    };
+    {
       id = "S1";
       description = "sharding: shard count x cross-shard ratio";
       run = (fun () -> Exp_shard.s1 ());

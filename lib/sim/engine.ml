@@ -7,7 +7,7 @@
     atomicity granularity the paper's protocol actions (A1)–(A6)
     assume. *)
 
-type event = { time : int; seq : int; action : unit -> unit }
+type event = { time : int; seq : int; daemon : bool; action : unit -> unit }
 
 let compare_event a b =
   match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
@@ -16,6 +16,7 @@ type t = {
   mutable now : int;
   mutable next_seq : int;
   mutable executed : int;
+  mutable live : int;  (** non-daemon events still queued *)
   queue : event Heap.t;
 }
 
@@ -24,9 +25,10 @@ let create () =
     now = 0;
     next_seq = 0;
     executed = 0;
+    live = 0;
     queue =
       Heap.create ~compare:compare_event
-        ~dummy:{ time = 0; seq = 0; action = ignore };
+        ~dummy:{ time = 0; seq = 0; daemon = false; action = ignore };
   }
 
 let now t = t.now
@@ -34,41 +36,51 @@ let now t = t.now
 (** Number of events executed so far. *)
 let executed t = t.executed
 
-(** Schedule [action] to run [delay >= 0] time units from now. *)
-let schedule t ~delay action =
+(** Schedule [action] to run [delay >= 0] time units from now.  A
+    [daemon] event (heartbeat ticks, background probes) never keeps the
+    run alive: {!run} stops once only daemon events remain, the way a
+    process exits once only daemon threads are left. *)
+let schedule ?(daemon = false) t ~delay action =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  Heap.push t.queue { time = t.now + delay; seq = t.next_seq; action };
-  t.next_seq <- t.next_seq + 1
+  Heap.push t.queue { time = t.now + delay; seq = t.next_seq; daemon; action };
+  t.next_seq <- t.next_seq + 1;
+  if not daemon then t.live <- t.live + 1
 
 (** Schedule at the current time (after already-pending events at this
     time). *)
-let schedule_now t action = schedule t ~delay:0 action
+let schedule_now ?daemon t action = schedule ?daemon t ~delay:0 action
 
 (** Schedule at absolute virtual time [time], clamped to now — the
     natural form for plan-driven events (crash wipes, restarts, view
     changes) whose instants are known at creation time. *)
-let at t ~time action = schedule t ~delay:(max 0 (time - t.now)) action
+let at ?daemon t ~time action =
+  schedule ?daemon t ~delay:(max 0 (time - t.now)) action
 
 exception Stop
 
-(** Run until the queue drains, [max_events] events have executed, or
-    virtual time would exceed [until].  An event may raise {!Stop} to
-    end the run early. *)
+(** Run until no non-daemon events remain, the queue drains,
+    [max_events] events have executed, or virtual time would exceed
+    [until].  Daemon events scheduled before the quiescence point still
+    execute in time order; those after it are abandoned.  An event may
+    raise {!Stop} to end the run early. *)
 let run ?(max_events = max_int) ?(until = max_int) t =
   let continue = ref true in
   while !continue do
-    match Heap.peek t.queue with
-    | None -> continue := false
-    | Some ev ->
-      if ev.time > until || t.executed >= max_events then continue := false
-      else begin
-        ignore (Heap.pop t.queue);
-        t.now <- ev.time;
-        t.executed <- t.executed + 1;
-        match ev.action () with
-        | () -> ()
-        | exception Stop -> continue := false
-      end
+    if t.live = 0 then continue := false
+    else
+      match Heap.peek t.queue with
+      | None -> continue := false
+      | Some ev ->
+        if ev.time > until || t.executed >= max_events then continue := false
+        else begin
+          ignore (Heap.pop t.queue);
+          if not ev.daemon then t.live <- t.live - 1;
+          t.now <- ev.time;
+          t.executed <- t.executed + 1;
+          match ev.action () with
+          | () -> ()
+          | exception Stop -> continue := false
+        end
   done
 
 let pending t = Heap.length t.queue

@@ -14,20 +14,24 @@ val now : t -> int
 (** Events executed so far. *)
 val executed : t -> int
 
-(** Schedule an action [delay >= 0] time units from now. *)
-val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** Schedule an action [delay >= 0] time units from now.  A
+    [daemon] event (default false) never keeps the run alive — {!run}
+    stops once only daemon events remain.  Perpetual background
+    activity (failure-detector heartbeats) schedules as daemon so the
+    simulation still quiesces. *)
+val schedule : ?daemon:bool -> t -> delay:int -> (unit -> unit) -> unit
 
 (** Schedule at the current time (after pending same-time events). *)
-val schedule_now : t -> (unit -> unit) -> unit
+val schedule_now : ?daemon:bool -> t -> (unit -> unit) -> unit
 
 (** Schedule at absolute virtual time [time] (clamped to now). *)
-val at : t -> time:int -> (unit -> unit) -> unit
+val at : ?daemon:bool -> t -> time:int -> (unit -> unit) -> unit
 
 (** An event may raise this to end the run early. *)
 exception Stop
 
-(** Run until the queue drains, [max_events] executed, or time would
-    pass [until]. *)
+(** Run until no non-daemon events remain, the queue drains,
+    [max_events] executed, or time would pass [until]. *)
 val run : ?max_events:int -> ?until:int -> t -> unit
 
 (** Events still queued. *)

@@ -79,6 +79,41 @@ let pp_plan ppf p =
 
 let wipes p = List.filter (fun c -> c.wipe) p.crashes
 
+(* Deterministic random plan for chaos runs.  Every window closes well
+   before the ~1200-tick horizon the drivers use, so connectivity (and
+   hence convergence) is always eventually restored; crash nodes are
+   distinct so a single replica is never wiped twice in one plan. *)
+let fuzz ~rng ~n =
+  let drop = if Rng.bernoulli rng ~p:0.7 then Rng.float rng *. 0.25 else 0.0 in
+  let spike_prob, spike_delay =
+    if Rng.bernoulli rng ~p:0.4 then
+      (0.05 +. (Rng.float rng *. 0.1), Rng.int_range rng ~lo:20 ~hi:80)
+    else (0.0, 0)
+  in
+  let partitions =
+    if n >= 2 && Rng.bernoulli rng ~p:0.4 then begin
+      let from_ = Rng.int_range rng ~lo:50 ~hi:400 in
+      let until = from_ + Rng.int_range rng ~lo:100 ~hi:400 in
+      let size = Rng.int_range rng ~lo:1 ~hi:(n - 1) in
+      let nodes = Array.init n (fun i -> i) in
+      Rng.shuffle rng nodes;
+      let island = List.sort compare (Array.to_list (Array.sub nodes 0 size)) in
+      [ { from_; until; island } ]
+    end
+    else []
+  in
+  let crashes =
+    let k = min n (Rng.int_range rng ~lo:0 ~hi:2) in
+    let nodes = Array.init n (fun i -> i) in
+    Rng.shuffle rng nodes;
+    List.init k (fun i ->
+        let at = Rng.int_range rng ~lo:60 ~hi:700 in
+        let back = at + Rng.int_range rng ~lo:120 ~hi:500 in
+        let wipe = Rng.bernoulli rng ~p:0.7 in
+        { node = nodes.(i); at; back; wipe })
+  in
+  { drop; link_drop = []; spike_prob; spike_delay; partitions; crashes }
+
 let up_in_plan p ~now ~node =
   not (List.exists (fun c -> c.node = node && c.at <= now && now < c.back) p.crashes)
 

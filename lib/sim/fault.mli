@@ -58,6 +58,14 @@ val pp_plan : Format.formatter -> plan -> unit
 (** The wipe-crashes of a plan. *)
 val wipes : plan -> crash list
 
+(** Deterministic random fault plan for chaos testing, drawn entirely
+    from [rng]: a loss rate (70% of plans, up to 0.25), an optional
+    latency-spike regime, up to one timed partition and up to two
+    crash windows on distinct nodes (wipes preferred, 70%).  All
+    windows close by tick ~1200, so connectivity is always eventually
+    restored and a run can converge.  Same [rng] stream, same plan. *)
+val fuzz : rng:Rng.t -> n:int -> plan
+
 (** Static liveness: is [node] up at [now] under this plan?  Usable
     without an injector — recovery wiring and the failover sequencer
     derive their deterministic failure-detector view from the plan. *)

@@ -6,14 +6,29 @@
     checkpoint) before the event ends, keyed by its global broadcast
     position from the recoverable broadcast ({!Mmc_broadcast.Rbcast}).
     A wipe-crash destroys a replica's volatile state — object copies,
-    version vector, delivery cursor and reorder buffer; on restart the
-    replica reloads its latest checkpoint, replays the WAL suffix, and
-    runs anti-entropy catch-up ({!Mmc_recovery.Catchup}) against its
-    peers for the positions delivered while it was down.  A durable
-    per-replica responded set makes responses exactly-once across
-    replay, and client-library state (continuations, request numbers)
-    lives outside the replica, so a recovered origin still answers the
-    invocations it lost.
+    version vector, delivery cursor, reorder buffer and stability
+    bookkeeping; on restart the replica reloads its latest checkpoint,
+    replays the WAL suffix, and runs anti-entropy catch-up
+    ({!Mmc_recovery.Catchup}) against its peers for the positions
+    delivered while it was down.  A durable per-replica responded set
+    makes responses exactly-once across replay, and client-library
+    state (continuations, request numbers) lives outside the replica,
+    so a recovered origin still answers the invocations it lost.
+
+    Delivery is {e quorum-stable} by default: a position delivered by
+    the broadcast is buffered and acknowledged to all replicas on a
+    stability wire, and applied to object state only once a majority
+    (self included) has acknowledged its exact stamping
+    [(pos, origin, oseq)].  By quorum intersection a majority-acked
+    stamping is present in every sequencer takeover sync, so it is
+    never fenced or renumbered — the DESIGN.md §12 optimistic-delivery
+    anomaly becomes impossible rather than merely detected.  Positions
+    ingested from a peer's WAL (catch-up) or replayed from our own are
+    already applied somewhere, hence stable by construction and marked
+    [forced].  [Optimistic] mode applies on delivery, skipping acks —
+    kept for comparison; under wipe-crashes across epoch changes it
+    can diverge (a retraction may arrive after the stamp was applied),
+    which the convergence oracle detects.
 
     Queries stay communication-free: they read the local prefix state,
     which is always a legal m-s.c. snapshot, so a freshly replayed
@@ -25,6 +40,17 @@ open Mmc_sim
 open Mmc_broadcast
 open Mmc_recovery
 
+type mode = Optimistic | Stable
+
+let pp_mode ppf = function
+  | Optimistic -> Fmt.string ppf "optimistic"
+  | Stable -> Fmt.string ppf "stable"
+
+let mode_of_string = function
+  | "optimistic" -> Some Optimistic
+  | "stable" -> Some Stable
+  | _ -> None
+
 type payload = {
   origin : int;
   oseq : int;  (** per-origin invocation number (responded-set key) *)
@@ -35,30 +61,44 @@ type payload = {
 type snap = { sxs : Value.t array; stss : int array }
 
 type handle = {
+  mode : mode;
   cursors : unit -> int array;
   converged : unit -> bool;
   log_stats : unit -> Rlog.stats array;
   broadcast_stats : unit -> Rbcast.stats;
+  detector_stats : unit -> Detector.stats option;
   pulls : unit -> int;
   pushes : unit -> int;
   entries_pushed : unit -> int;
   snapshots_pushed : unit -> int;
   recoveries : unit -> int;
+  stability_acks : unit -> int;
 }
 
 let retry_every = 15
 let poll_budget = 200
 
-let create ?fault ?reliable ?(policy = Rlog.default_policy) ?sink engine ~n
-    ~n_objects ~latency ~rng ~abcast_impl ~recorder : Store.t =
+let create ?fault ?reliable ?detector ?(mode = Stable)
+    ?(policy = Rlog.default_policy) ?sink engine ~n ~n_objects ~latency ~rng
+    ~abcast_impl ~recorder : Store.t =
   Rlog.validate_policy policy;
   let plan = match fault with Some f -> Fault.plan f | None -> Fault.none in
   let up node now = Fault.up_in_plan plan ~now ~node in
+  let quorum = (n / 2) + 1 in
   (* Volatile replica state — destroyed by a wipe-crash. *)
   let xs = Array.init n (fun _ -> Array.make n_objects Value.initial) in
   let tss = Array.init n (fun _ -> Array.make n_objects 0) in
   let cursors = Array.make n 0 in
   let pending : (int, int * payload option) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 16)
+  in
+  (* Stability bookkeeping (volatile): per exact stamping, the set of
+     replicas that acknowledged it; [forced] positions are stable by
+     provenance (peer WAL or own replay — applied somewhere already). *)
+  let ackers : (int * int * int, (int, unit) Hashtbl.t) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 16)
+  in
+  let forced : (int, unit) Hashtbl.t array =
     Array.init n (fun _ -> Hashtbl.create 16)
   in
   let ready = Array.make n true in
@@ -75,6 +115,15 @@ let create ?fault ?reliable ?(policy = Rlog.default_policy) ?sink engine ~n
   let recoveries = ref 0 in
   let snapshot_of node =
     { sxs = Array.copy xs.(node); stss = Array.copy tss.(node) }
+  in
+  let purge_stability node pos =
+    Hashtbl.remove forced.(node) pos;
+    let dead =
+      Hashtbl.fold
+        (fun ((p, _, _) as key) _ acc -> if p = pos then key :: acc else acc)
+        ackers.(node) []
+    in
+    List.iter (Hashtbl.remove ackers.(node)) dead
   in
   let apply_one node ~replay ~pos ~origin (p : payload option) =
     (match p with
@@ -103,32 +152,86 @@ let create ?fault ?reliable ?(policy = Rlog.default_policy) ?sink engine ~n
         | None -> ()
       end);
     cursors.(node) <- pos + 1;
+    purge_stability node pos;
     if not replay then
       Rlog.log rlogs.(node)
         { Wal.pos; origin; payload = p }
         ~snapshot:(fun () -> snapshot_of node)
+  in
+  (* Is the position at the head of [node]'s sequence safe to apply?
+     Holes are quorum-backed upstream (a formed epoch declared them);
+     payloads need a majority ack of their exact stamping unless their
+     provenance already proves stability. *)
+  let stable_head node pos p =
+    mode = Optimistic
+    ||
+    match p with
+    | None -> true
+    | Some lp ->
+      Hashtbl.mem forced.(node) pos
+      || (match Hashtbl.find_opt ackers.(node) (pos, lp.origin, lp.oseq) with
+         | Some s -> Hashtbl.length s >= quorum
+         | None -> false)
   in
   let rec drain node =
     match Hashtbl.find_opt pending.(node) cursors.(node) with
     | None -> ()
     | Some (origin, p) ->
       let pos = cursors.(node) in
-      Hashtbl.remove pending.(node) pos;
-      apply_one node ~replay:false ~pos ~origin p;
-      drain node
+      if stable_head node pos p then begin
+        Hashtbl.remove pending.(node) pos;
+        apply_one node ~replay:false ~pos ~origin p;
+        drain node
+      end
+  in
+  (* The stability wire: reliable fan-out of [(pos, origin, oseq)]
+     acknowledgements, sharing the engine/latency/fault stack with the
+     broadcast's transport. *)
+  let stab_net : (int * int * int) Transport.t =
+    Transport.create ?fault ?config:reliable engine ~n ~latency
+      ~rng:(Rng.split rng)
+  in
+  (* Handlers are registered below, once the gap-polling machinery
+     they fall back on exists. *)
+  (* First local delivery of a stamping: record our own ack and tell
+     everyone else. *)
+  let announce node ~pos (lp : payload) =
+    let key = (pos, lp.origin, lp.oseq) in
+    let set =
+      match Hashtbl.find_opt ackers.(node) key with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 4 in
+        Hashtbl.replace ackers.(node) key s;
+        s
+    in
+    if not (Hashtbl.mem set node) then begin
+      Hashtbl.replace set node ();
+      for dst = 0 to n - 1 do
+        if dst <> node then Transport.send stab_net ~src:node ~dst key
+      done
+    end
   in
   (* Anti-entropy: the catch-up transport shares the engine, latency
      model and fault injector with the broadcast's transport. *)
   let targets = Array.make n 0 in
   let recovering = Array.make n false in
   let catchup = ref None in
-  let ingest node ~pos ~origin p =
-    if pos = cursors.(node) then begin
-      apply_one node ~replay:false ~pos ~origin p;
+  let ingest ?(proven = false) node ~pos ~origin p =
+    if pos >= cursors.(node) then begin
+      if proven then Hashtbl.replace forced.(node) pos ();
+      Hashtbl.replace pending.(node) pos (origin, p);
+      (match (p, mode) with
+      | Some lp, Stable when not proven -> announce node ~pos lp
+      | _ -> ());
       drain node
     end
-    else if pos > cursors.(node) then
-      Hashtbl.replace pending.(node) pos (origin, p)
+  in
+  let retract node ~pos =
+    if pos >= cursors.(node) then begin
+      Hashtbl.remove pending.(node) pos;
+      Hashtbl.remove forced.(node) pos
+    end
   in
   let serve ~node ~from =
     let rl = rlogs.(node) in
@@ -159,7 +262,9 @@ let create ?fault ?reliable ?(policy = Rlog.default_policy) ?sink engine ~n
     | _ -> ());
     List.iter
       (fun (e : payload Wal.entry) ->
-        ingest node ~pos:e.Wal.pos ~origin:e.Wal.origin e.Wal.payload)
+        (* a peer's WAL entry was applied there, hence quorum-stable *)
+        ingest ~proven:true node ~pos:e.Wal.pos ~origin:e.Wal.origin
+          e.Wal.payload)
       entries;
     drain node
   in
@@ -191,14 +296,46 @@ let create ?fault ?reliable ?(policy = Rlog.default_policy) ?sink engine ~n
           else if not behind then recovering.(node) <- false)
     end
   in
-  let ingest node ~pos ~origin p =
-    ingest node ~pos ~origin p;
+  let ingest ?proven node ~pos ~origin p =
+    ingest ?proven node ~pos ~origin p;
     if Hashtbl.length pending.(node) > 0 then arm_poll node
   in
+  for node = 0 to n - 1 do
+    Transport.set_handler stab_net node (fun src key ->
+        let pos, _, _ = key in
+        if pos >= cursors.(node) then begin
+          let set =
+            match Hashtbl.find_opt ackers.(node) key with
+            | Some s -> s
+            | None ->
+              let s = Hashtbl.create 4 in
+              Hashtbl.replace ackers.(node) key s;
+              s
+          in
+          Hashtbl.replace set src ();
+          if pos = cursors.(node) then drain node;
+          (* A peer acknowledged a position we do not hold: the
+             broadcast's delivery to us may be gone for good (lost in
+             an epoch no close we will ever learn covers) — treat the
+             ack as proof the position exists and fall back to
+             anti-entropy.  The poll is a no-op if the delivery makes
+             it here first. *)
+          if pos >= cursors.(node) && not (Hashtbl.mem pending.(node) pos)
+          then begin
+            targets.(node) <- max targets.(node) (pos + 1);
+            arm_poll node
+          end
+        end)
+  done;
   let rbcast =
-    (Select.recoverable abcast_impl) ?fault ?reliable engine ~n ~latency
+    (Select.recoverable abcast_impl) ?fault ?reliable ?detector engine ~n
+      ~latency
       ~rng:(Rng.split rng)
-      ~deliver:(fun ~node ~origin ~pos p -> ingest node ~pos ~origin p)
+      ~deliver:(fun ~node ~origin ~pos d ->
+        match d with
+        | Rbcast.Payload p -> ingest node ~pos ~origin (Some p)
+        | Rbcast.Hole -> ingest node ~pos ~origin None
+        | Rbcast.Retract -> retract node ~pos)
   in
   catchup :=
     Some
@@ -217,7 +354,9 @@ let create ?fault ?reliable ?(policy = Rlog.default_policy) ?sink engine ~n
           xs.(c.node) <- Array.make n_objects Value.initial;
           tss.(c.node) <- Array.make n_objects 0;
           cursors.(c.node) <- 0;
-          Hashtbl.reset pending.(c.node));
+          Hashtbl.reset pending.(c.node);
+          Hashtbl.reset ackers.(c.node);
+          Hashtbl.reset forced.(c.node));
       Engine.at engine ~time:c.back (fun () ->
           let snap, replay = Rlog.recover rlogs.(c.node) in
           (match snap with
@@ -278,6 +417,7 @@ let create ?fault ?reliable ?(policy = Rlog.default_policy) ?sink engine ~n
   | Some f ->
     f
       {
+        mode;
         cursors = (fun () -> Array.copy cursors);
         converged =
           (fun () ->
@@ -286,6 +426,7 @@ let create ?fault ?reliable ?(policy = Rlog.default_policy) ?sink engine ~n
             && Array.for_all (fun t -> t = tss.(0)) tss);
         log_stats = (fun () -> Array.map Rlog.stats rlogs);
         broadcast_stats = (fun () -> Rbcast.stats rbcast);
+        detector_stats = (fun () -> Rbcast.detector_stats rbcast);
         pulls = (fun () -> Catchup.pulls (Option.get !catchup));
         pushes = (fun () -> Catchup.pushes (Option.get !catchup));
         entries_pushed =
@@ -293,6 +434,7 @@ let create ?fault ?reliable ?(policy = Rlog.default_policy) ?sink engine ~n
         snapshots_pushed =
           (fun () -> Catchup.snapshots_pushed (Option.get !catchup));
         recoveries = (fun () -> !recoveries);
+        stability_acks = (fun () -> Transport.messages_sent stab_net);
       });
   {
     Store.name = "rmsc";
@@ -300,5 +442,6 @@ let create ?fault ?reliable ?(policy = Rlog.default_policy) ?sink engine ~n
     messages_sent =
       (fun () ->
         Rbcast.messages_sent rbcast
-        + Catchup.messages_sent (Option.get !catchup));
+        + Catchup.messages_sent (Option.get !catchup)
+        + Transport.messages_sent stab_net);
   }

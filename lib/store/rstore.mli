@@ -1,31 +1,52 @@
 (** Recoverable m-sequential-consistency store: the Figure 4 protocol
     over {!Mmc_broadcast.Rbcast} with write-ahead logging, periodic
-    checkpoints, wipe-crash restart (checkpoint load + WAL replay) and
-    anti-entropy catch-up.  See the implementation header for the
-    durability model. *)
+    checkpoints, wipe-crash restart (checkpoint load + WAL replay),
+    anti-entropy catch-up and quorum-stable delivery.  See the
+    implementation header for the durability and stability model. *)
 
 open Mmc_recovery
+
+(** When to apply a delivered position to object state.  [Stable]
+    (the default) waits for a majority of replicas to acknowledge the
+    exact stamping, which by quorum intersection with the sequencer's
+    takeover sync makes applied positions immune to fencing and
+    renumbering.  [Optimistic] applies on delivery — cheaper, but a
+    wipe-crash across an epoch change can make replicas diverge (the
+    DESIGN.md §12 anomaly), which the convergence oracle detects. *)
+type mode = Optimistic | Stable
+
+val pp_mode : Format.formatter -> mode -> unit
+val mode_of_string : string -> mode option
 
 (** Introspection over the recovery machinery, for verification:
     [converged] is true when every replica holds the same cursor,
     object copies and version vector. *)
 type handle = {
+  mode : mode;
   cursors : unit -> int array;
   converged : unit -> bool;
   log_stats : unit -> Rlog.stats array;
   broadcast_stats : unit -> Mmc_broadcast.Rbcast.stats;
+  detector_stats : unit -> Mmc_sim.Detector.stats option;
+      (** failure-detector counters when the broadcast runs one *)
   pulls : unit -> int;
   pushes : unit -> int;
   entries_pushed : unit -> int;
   snapshots_pushed : unit -> int;
   recoveries : unit -> int;  (** wipe-crash restarts completed *)
+  stability_acks : unit -> int;
+      (** packets on the stability wire (0 in [Optimistic] mode) *)
 }
 
 (** [sink] receives the store's {!handle} at creation (the store
-    interface itself stays uniform across kinds). *)
+    interface itself stays uniform across kinds).  [detector] tunes
+    the broadcast's failure detector; [mode] picks the delivery rule
+    (default [Stable]). *)
 val create :
   ?fault:Mmc_sim.Fault.t ->
   ?reliable:Mmc_sim.Reliable.config ->
+  ?detector:Mmc_sim.Detector.config ->
+  ?mode:mode ->
   ?policy:Rlog.policy ->
   ?sink:(handle -> unit) ->
   Mmc_sim.Engine.t ->

@@ -30,6 +30,13 @@ type config = {
           and catch-up transports of the msc/mlin/rmsc stores *)
   recovery : Mmc_recovery.Rlog.policy;
       (** WAL checkpoint/gap-poll policy of the [Rmsc] store *)
+  delivery : Rstore.mode;
+      (** the [Rmsc] store's delivery rule: quorum-stable (default)
+          or optimistic (the pre-stability behaviour, kept for
+          comparison) *)
+  detector : Detector.config option;
+      (** failure-detector tuning for the [Rmsc] broadcast ([None] =
+          {!Mmc_sim.Detector.default_config}) *)
 }
 
 let default_config =
@@ -46,6 +53,8 @@ let default_config =
     fault = Fault.none;
     reliable = None;
     recovery = Mmc_recovery.Rlog.default_policy;
+    delivery = Rstore.Stable;
+    detector = None;
   }
 
 type result = {
@@ -79,8 +88,9 @@ let make_store ?fault ?sink cfg engine ~rng ~recorder =
       ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
       ~abcast_impl:cfg.abcast_impl ~recorder
   | Store.Rmsc ->
-    Rstore.create ?fault ?reliable:cfg.reliable ~policy:cfg.recovery ?sink
-      engine ~n:cfg.n_procs ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
+    Rstore.create ?fault ?reliable:cfg.reliable ?detector:cfg.detector
+      ~mode:cfg.delivery ~policy:cfg.recovery ?sink engine ~n:cfg.n_procs
+      ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
       ~abcast_impl:cfg.abcast_impl ~recorder
   | Store.Central ->
     Central_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects

@@ -25,6 +25,12 @@ type config = {
           stores *)
   recovery : Mmc_recovery.Rlog.policy;
       (** WAL checkpoint/gap-poll policy of the [Rmsc] store *)
+  delivery : Rstore.mode;
+      (** the [Rmsc] store's delivery rule: quorum-stable (default)
+          or optimistic (kept for comparison) *)
+  detector : Mmc_sim.Detector.config option;
+      (** failure-detector tuning for the [Rmsc] broadcast ([None] =
+          {!Mmc_sim.Detector.default_config}) *)
 }
 
 val default_config : config

@@ -1,0 +1,125 @@
+(* The DESIGN.md §12 optimistic-delivery anomaly as a pinned
+   regression, plus a small deterministic chaos sweep.
+
+   The schedule: five replicas, a partition isolates {0,1} during
+   [150,500), and node 1 wipe-crashes inside the island at 250.  The
+   majority side elects a new epoch and keeps stamping; under
+   optimistic delivery the minority applies positions that the epoch
+   change later fences, and the replicas end in divergent states.
+   Under quorum-stable delivery the same schedule cannot apply an
+   unstable position, so the run converges and the stitched history
+   stays Theorem-7 admissible. *)
+
+open Mmc_core
+open Mmc_sim
+
+let anomaly_plan =
+  {
+    Fault.none with
+    Fault.partitions = [ { Fault.from_ = 150; until = 500; island = [ 0; 1 ] } ];
+    Fault.crashes = [ Fault.crash ~wipe:true ~node:1 ~at:250 ~back:550 () ];
+  }
+
+let run ~seed ~delivery ~plan =
+  let spec = { Mmc_workload.Spec.default with n_objects = 8 } in
+  let cfg =
+    {
+      Mmc_store.Runner.default_config with
+      n_procs = 5;
+      n_objects = 8;
+      ops_per_proc = 10;
+      kind = Mmc_store.Store.Rmsc;
+      latency = Latency.Uniform (5, 15);
+      fault = plan;
+      delivery;
+    }
+  in
+  Mmc_store.Runner.run ~seed cfg ~workload:(Mmc_workload.Generator.mixed spec)
+
+let admissible res =
+  match Mmc_store.Runner.check_trace res ~flavour:History.Msc with
+  | Check_constrained.Admissible _ -> true
+  | _ -> false
+
+let handle (res : Mmc_store.Runner.result) =
+  match res.Mmc_store.Runner.recovery with
+  | Some h -> h
+  | None -> Alcotest.fail "recovery handle missing"
+
+(* Optimistic delivery: the run either ends with divergent replica
+   states or blows up mid-run when the recorder sees two writers of
+   the same version — both are the anomaly. *)
+let test_optimistic_diverges () =
+  match run ~seed:3 ~delivery:Mmc_store.Rstore.Optimistic ~plan:anomaly_plan with
+  | exception _ -> ()
+  | res ->
+    let h = handle res in
+    Alcotest.(check bool)
+      "optimistic delivery diverges under the §12 schedule" false
+      (h.Mmc_store.Rstore.converged ())
+
+let test_stable_converges () =
+  let res = run ~seed:3 ~delivery:Mmc_store.Rstore.Stable ~plan:anomaly_plan in
+  let h = handle res in
+  Alcotest.(check bool) "replicas converged" true
+    (h.Mmc_store.Rstore.converged ());
+  Alcotest.(check bool) "stitched history admissible" true (admissible res);
+  Alcotest.(check int) "every client finished" (5 * 10)
+    res.Mmc_store.Runner.completed
+
+(* A short deterministic fuzz sweep in stable mode: every random plan
+   must satisfy the three recovery oracles.  The CLI smoke run
+   ([mmc chaos --plans 25]) covers more seeds; this keeps a handful
+   under dune runtest so a regression fails close to home. *)
+let test_fuzz_stable () =
+  for seed = 1 to 8 do
+    let plan = Fault.fuzz ~rng:(Rng.create seed) ~n:4 in
+    let spec = { Mmc_workload.Spec.default with n_objects = 8 } in
+    let cfg =
+      {
+        Mmc_store.Runner.default_config with
+        n_procs = 4;
+        n_objects = 8;
+        ops_per_proc = 10;
+        kind = Mmc_store.Store.Rmsc;
+        latency = Latency.Uniform (5, 15);
+        fault = plan;
+        delivery = Mmc_store.Rstore.Stable;
+      }
+    in
+    let res =
+      Mmc_store.Runner.run ~seed cfg
+        ~workload:(Mmc_workload.Generator.mixed spec)
+    in
+    let ctx = Fmt.str "(fuzz seed %d: %a)" seed Fault.pp_plan plan in
+    let h = handle res in
+    Alcotest.(check bool)
+      (Fmt.str "replicas converged %s" ctx)
+      true
+      (h.Mmc_store.Rstore.converged ());
+    Alcotest.(check bool)
+      (Fmt.str "stitched history admissible %s" ctx)
+      true (admissible res);
+    Alcotest.(check int)
+      (Fmt.str "every client finished %s" ctx)
+      (4 * 10) res.Mmc_store.Runner.completed;
+    Alcotest.(check int)
+      (Fmt.str "every wipe recovered %s" ctx)
+      (List.length (Fault.wipes plan))
+      ((handle res).Mmc_store.Rstore.recoveries ())
+  done
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "section-12 anomaly",
+        [
+          Alcotest.test_case "optimistic delivery diverges" `Quick
+            test_optimistic_diverges;
+          Alcotest.test_case "stable delivery converges" `Quick
+            test_stable_converges;
+        ] );
+      ( "fuzz",
+        [ Alcotest.test_case "stable mode survives random plans" `Quick
+            test_fuzz_stable ] );
+    ]
