@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci smoke shard-smoke par-smoke recover-smoke chaos-smoke experiments bench-json clean
+.PHONY: all build test check ci smoke shard-smoke par-smoke recover-smoke chaos-smoke bench-smoke bench-diff experiments bench-json clean
 
 all: build
 
@@ -17,11 +17,27 @@ test:
 check: build test
 
 # Mirror of .github/workflows/ci.yml: build, full test suite, the
-# recovery smoke and the bench smoke over the core and shard groups.
-ci: build test par-smoke recover-smoke chaos-smoke
+# recovery smoke and the bench smoke (reduced sizes, compared against
+# the committed trajectory in warn mode — CI runners are too noisy
+# for a hard perf gate, but a broken bench or a failed built-in
+# metric assertion still fails the job via the bench exit code).
+ci: build test par-smoke recover-smoke chaos-smoke bench-smoke
+
+# Reduced-size bench pass over the core and parallel groups with
+# metric assertions active, written to a scratch JSON and diffed
+# against the committed BENCH_core.json in warn-only mode.
+bench-smoke: build
 	$(DUNE) build bench/main.exe
-	$(DUNE) exec bench/main.exe -- --only core
-	$(DUNE) exec bench/main.exe -- --only shard
+	$(DUNE) exec bench/main.exe -- --quick --only core --only parallel \
+	  --domains 1 --domains 2 --json /tmp/bench-smoke.json \
+	  --compare BENCH_core.json --compare-warn
+
+# Hard perf gate for local use: re-run the core group at full size
+# and fail (exit 3) on any >25% regression against the committed
+# trajectory, or (exit 4) on a failed built-in metric assertion.
+bench-diff: build
+	$(DUNE) exec bench/main.exe -- --only core \
+	  --json /tmp/bench-diff.json --compare BENCH_core.json
 
 # Stand-alone fault smoke: lossy plan with a partition and a crash
 # window; exits non-zero unless the trace passes the Theorem-7 check.

@@ -26,6 +26,7 @@
                    wall-clock speedup-vs-domains metrics
 
    Usage: main.exe [--only GROUP]... [--json FILE] [--seed S] [--domains D]...
+                   [--compare OLD.json] [--compare-warn] [--quick]
      --only GROUP   run the named group(s) only (repeatable, e.g.
                     `--only core --only shard`), skip the experiment
                     tables
@@ -35,7 +36,17 @@
      --seed S       base PRNG seed for every generated input (default 1,
                     which reproduces the recorded BENCH_core.json runs)
      --domains D    domain count for the `parallel` group (repeatable;
-                    default 1 2 4), each D becomes a -dD test variant *)
+                    default 1 2 4), each D becomes a -dD test variant
+     --compare OLD  diff this run against a previously recorded JSON
+                    trajectory: print old/new/ratio for every key in
+                    both, and exit 3 if any `mmc/core/*` estimate
+                    regressed by more than 25% (`make bench-diff`)
+     --compare-warn with --compare, report regressions but exit 0 (for
+                    CI machines whose perf differs from the recorded
+                    host)
+     --quick        smoke mode: reduced input sizes, short bechamel
+                    quota and few metric repeats — checks that the
+                    harness runs, not the numbers (CI `bench-smoke`) *)
 
 open Bechamel
 open Toolkit
@@ -48,12 +59,16 @@ let group_names =
   [ "T1"; "T2"; "T7"; "core"; "protocol"; "P4"; "P5"; "figures"; "shard";
     "recovery"; "chaos"; "parallel" ]
 
-let only, json_file, cli_seed, cli_domains =
+let only, json_file, cli_seed, cli_domains, compare_file, compare_warn, cli_quick
+    =
   let only = ref [] and json = ref None in
   let seed = ref 1 and domains = ref [] in
+  let compare_file = ref None and compare_warn = ref false in
+  let quick = ref false in
   let usage code =
     Fmt.epr
-      "usage: %s [--only GROUP]... [--json FILE] [--seed S] [--domains D]...@.  \
+      "usage: %s [--only GROUP]... [--json FILE] [--seed S] [--domains D]... \
+       [--compare OLD.json] [--compare-warn] [--quick]@.  \
        groups: %s@."
       Sys.argv.(0)
       (String.concat " " group_names);
@@ -89,6 +104,15 @@ let only, json_file, cli_seed, cli_domains =
       end;
       domains := !domains @ [ d ];
       parse rest
+    | "--compare" :: f :: rest ->
+      compare_file := Some f;
+      parse rest
+    | "--compare-warn" :: rest ->
+      compare_warn := true;
+      parse rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
     | ("--help" | "-h") :: _ -> usage 0
     | arg :: _ ->
       Fmt.epr "unknown argument %S@." arg;
@@ -98,7 +122,18 @@ let only, json_file, cli_seed, cli_domains =
   ( !only,
     !json,
     !seed,
-    match !domains with [] -> [ 1; 2; 4 ] | ds -> ds )
+    (match !domains with [] -> [ 1; 2; 4 ] | ds -> ds),
+    !compare_file,
+    !compare_warn,
+    !quick )
+
+(* Assertions the metric passes make about this run (the parallel-
+   overhead guard, batched-vs-unbatched verdict equality, the arena
+   allocation win): collected here, reported and turned into a
+   non-zero exit at the end so one failure doesn't hide the rest. *)
+let hard_failures : string list ref = ref []
+
+let fail_check fmt = Fmt.kstr (fun s -> hard_failures := !hard_failures @ [ s ]) fmt
 
 (* Every input generator below derives its seed from the CLI's
    [--seed] through this offset; the default 1 reproduces the
@@ -184,14 +219,22 @@ let bench_t2 =
 
 (* Large-history kernels behind Theorem 7: the word-packed-relation
    perf-trajectory set.  Only here, not in runtest — a full n = 400
-   check is milliseconds, not test material. *)
+   check is milliseconds, not test material.  [--quick] drops the top
+   size; the metric passes below target the largest size present, so
+   the smoke run exercises the same code on a smaller input. *)
+let core_sizes = if cli_quick then [ 50; 100; 200 ] else [ 50; 100; 200; 400 ]
+
 let core_inputs =
   List.map
     (fun n ->
       let h = consistent n ((n * 7) + soff) in
       let base = ww_base h in
       (n, h, base, Relation.transitive_closure base))
-    [ 50; 100; 200; 400 ]
+    core_sizes
+
+let core_top =
+  let n, _, base, _ = List.nth core_inputs (List.length core_inputs - 1) in
+  (n, base)
 
 let bench_core =
   Test.make_grouped ~name:"core"
@@ -210,6 +253,43 @@ let bench_core =
              (Staged.stage (fun () -> ignore (Relation.transitive_closure base)));
          ])
        core_inputs)
+
+(* Allocation bill of the top closure kernel, with and without the
+   relation arena, recorded with --json when the core group runs.  The
+   arena replaces the per-call copy (n*ws words, the dominant
+   allocation) with a free-list hit, so steady-state bytes/call must
+   drop by at least 2x — asserted on the full-size run, where the
+   closure copy dwarfs the constant-size result record. *)
+let core_metrics () =
+  let n, base = core_top in
+  let reps = if cli_quick then 10 else 40 in
+  let bytes_per_call f =
+    f ();
+    (* warm-up: fills the arena free list / triggers any lazy init *)
+    let a0 = Gc.allocated_bytes () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Gc.allocated_bytes () -. a0) /. float_of_int reps
+  in
+  let plain = bytes_per_call (fun () -> ignore (Relation.transitive_closure base)) in
+  let arena = Relation.Arena.create () in
+  let arenaed =
+    bytes_per_call (fun () ->
+        let c = Relation.transitive_closure ~arena base in
+        Relation.recycle arena c)
+  in
+  let ratio = plain /. Float.max 1. arenaed in
+  if (not cli_quick) && ratio < 2. then
+    fail_check
+      "closure-%d: arena reduces allocation only %.2fx (plain %.0f B/call, \
+       arena %.0f B/call); the >= 2x claim does not hold"
+      n ratio plain arenaed;
+  [
+    (Fmt.str "metrics/core/closure-%d/alloc-bytes-plain" n, plain);
+    (Fmt.str "metrics/core/closure-%d/alloc-bytes-arena" n, arenaed);
+    (Fmt.str "metrics/core/closure-%d/alloc-reduction" n, ratio);
+  ]
 
 let bench_t7 =
   Test.make ~name:"T7-corpus"
@@ -252,7 +332,7 @@ let bench_broadcast =
                 ignore
                   (Mmc_experiments.Exp_broadcast.measure ~impl ~n:4 ~k:10
                      ~latency:(Mmc_sim.Latency.Uniform (5, 15))
-                     ~seed:(3 + soff)))))
+                     ~seed:(3 + soff) ()))))
        [
          ("sequencer", Mmc_broadcast.Abcast.Sequencer_impl);
          ("lamport", Mmc_broadcast.Abcast.Lamport_impl);
@@ -287,24 +367,28 @@ let shard_counts = [ 1; 2; 4; 8 ]
 let shard_spec =
   { Mmc_workload.Spec.default with n_objects = 32; read_ratio = 0.5 }
 
-let shard_cfg ~ops =
+let shard_cfg ?(batch = Mmc_broadcast.Batch.unbatched) ~ops () =
   {
     Mmc_store.Runner.default_config with
     n_procs = 6;
     n_objects = 32;
     ops_per_proc = ops;
+    batch;
   }
 
-let run_sharded ~n_shards ~ops () =
+let run_sharded ?batch ?(spec = shard_spec) ~n_shards ~ops () =
   let placement = Mmc_shard.Placement.hash ~n_shards ~n_objects:32 in
-  Mmc_shard.Shard_runner.run ~seed:(11 + soff) ~placement (shard_cfg ~ops)
-    ~workload:(Mmc_workload.Generator.sharded placement shard_spec)
+  Mmc_shard.Shard_runner.run ~seed:(11 + soff) ~placement
+    (shard_cfg ?batch ~ops ())
+    ~workload:(Mmc_workload.Generator.sharded placement spec)
+
+let shard_ops = if cli_quick then 40 else 100
 
 (* A larger single-shard-workload trace per shard count, built once:
    the verification input.  Same total size at every S, so the
    per-shard closure cost (~(n/S)^3 each) is the only variable. *)
 let shard_inputs =
-  List.map (fun s -> (s, run_sharded ~n_shards:s ~ops:100 ())) shard_counts
+  List.map (fun s -> (s, run_sharded ~n_shards:s ~ops:shard_ops ())) shard_counts
 
 let bench_shard =
   Test.make_grouped ~name:"shard"
@@ -330,10 +414,62 @@ let bench_shard =
    on a single-shard workload grows with S while messages/op and
    latency stay honest about the partitioning price). *)
 let shard_metrics () =
+  (* The batched counterpart of every unbatched run: same seed, same
+     workload, size-8 batches flushed every 120 units.  Batching
+     reframes the wire traffic, so msgs-per-op drops; the per-shard
+     Theorem-7 verdicts must not move at all and are asserted equal to
+     the unbatched run's.  The stitched (cross-shard) verdict is only
+     recorded: the two runs are different executions, and composition
+     anomalies are a legitimate property of a run, not of the checker
+     — batching widens the window in which a client can see one shard
+     fresh and another stale, so anomalies get likelier, which is
+     exactly the kind of honesty this metric set exists for. *)
+  let b8 = Mmc_broadcast.Batch.make ~size:8 ~flush_every:120 () in
+  let verdicts r =
+    let c = Mmc_shard.Shard_runner.check ~oracle:false r ~flavour:History.Msc in
+    ( Mmc_shard.Check_sharded.all_shards_admissible c,
+      Mmc_shard.Check_sharded.admissible c )
+  in
+  let msgs_per_op r =
+    float_of_int r.Mmc_shard.Shard_runner.messages
+    /. float_of_int (max 1 r.Mmc_shard.Shard_runner.completed)
+  in
+  let check_pair ~what s res res_b =
+    let v_plain = verdicts res and v_b = verdicts res_b in
+    if fst v_plain <> fst v_b then
+      fail_check
+        "shard S%d (%s): batched (size 8) per-shard Theorem-7 verdicts \
+         differ from unbatched (all-shards admissible: %b vs %b)"
+        s what (fst v_plain) (fst v_b);
+    ( (if fst v_plain = fst v_b then 1. else 0.),
+      if snd v_plain = snd v_b then 1. else 0. )
+  in
+  (* Uniform object selection caps what batching can do at high shard
+     counts: 6 closed-loop clients leave ~1 update in flight per shard
+     at S8, so batches rarely exceed 2.  A Zipf-skewed workload
+     (hot objects, as real traffic is) concentrates updates and lets
+     the batch actually fill — the skewed pair below is the
+     apples-to-apples demonstration, both runs on the same workload. *)
+  let skewed = { shard_spec with Mmc_workload.Spec.skew = 2.5 } in
+  let s8_skew_metrics =
+    let res_u = run_sharded ~spec:skewed ~n_shards:8 ~ops:shard_ops () in
+    let res_b = run_sharded ~batch:b8 ~spec:skewed ~n_shards:8 ~ops:shard_ops () in
+    let per_shard_eq, stitched_eq = check_pair ~what:"skew" 8 res_u res_b in
+    let m_b = msgs_per_op res_b in
+    if (not cli_quick) && m_b >= 2. then
+      fail_check
+        "shard S8 (skew 1.5): batched msgs-per-op %.2f, target < 2.0" m_b;
+    [
+      ("metrics/shard/S8/msgs-per-op-skew", msgs_per_op res_u);
+      ("metrics/shard/S8/msgs-per-op-b8-skew", m_b);
+      ("metrics/shard/S8/verdict-equal-b8-skew", per_shard_eq);
+      ("metrics/shard/S8/stitched-equal-b8-skew", stitched_eq);
+    ]
+  in
   List.concat_map
     (fun (s, res) ->
       let completed = res.Mmc_shard.Shard_runner.completed in
-      let verify_runs = 20 in
+      let verify_runs = if cli_quick then 5 else 20 in
       let t0 = Sys.time () in
       for _ = 1 to verify_runs do
         ignore
@@ -342,10 +478,21 @@ let shard_metrics () =
       done;
       let dt = (Sys.time () -. t0) /. float_of_int verify_runs in
       let u = res.Mmc_shard.Shard_runner.update_latency in
+      let res_b8 = run_sharded ~batch:b8 ~n_shards:s ~ops:shard_ops () in
+      let per_shard_eq, stitched_eq = check_pair ~what:"uniform" s res res_b8 in
+      let m_plain = msgs_per_op res and m_b8 = msgs_per_op res_b8 in
+      (* Batching must pay on the wire at every shard count, even where
+         the closed loop keeps batches small. *)
+      if (not cli_quick) && m_b8 > 0.85 *. m_plain then
+        fail_check
+          "shard S%d: batched msgs-per-op %.2f saves less than 15%% over \
+           unbatched %.2f"
+          s m_b8 m_plain;
       [
-        ( Fmt.str "metrics/shard/S%d/msgs-per-op" s,
-          float_of_int res.Mmc_shard.Shard_runner.messages
-          /. float_of_int (max 1 completed) );
+        (Fmt.str "metrics/shard/S%d/msgs-per-op" s, m_plain);
+        (Fmt.str "metrics/shard/S%d/msgs-per-op-b8" s, m_b8);
+        (Fmt.str "metrics/shard/S%d/verdict-equal-b8" s, per_shard_eq);
+        (Fmt.str "metrics/shard/S%d/stitched-equal-b8" s, stitched_eq);
         (Fmt.str "metrics/shard/S%d/update-p50" s, float_of_int u.Mmc_sim.Stats.p50);
         (Fmt.str "metrics/shard/S%d/update-p95" s, float_of_int u.Mmc_sim.Stats.p95);
         (Fmt.str "metrics/shard/S%d/update-p99" s, float_of_int u.Mmc_sim.Stats.p99);
@@ -353,6 +500,7 @@ let shard_metrics () =
           float_of_int completed /. dt );
       ])
     shard_inputs
+  @ s8_skew_metrics
 
 (* --- crash recovery: the `recovery` group --- *)
 
@@ -417,10 +565,10 @@ let recovery_metrics () =
   List.concat_map
     (fun (name, impl, crashes, checkpoint_every) ->
       let run () = run_recovery ~impl ~crashes ~checkpoint_every () in
-      let ms_run = wall_ms 10 (fun () -> ignore (run ())) in
+      let ms_run = wall_ms (if cli_quick then 3 else 10)(fun () -> ignore (run ())) in
       let res = run () in
       let ms_verify =
-        wall_ms 10 (fun () ->
+        wall_ms (if cli_quick then 3 else 10)(fun () ->
             ignore
               (Mmc_store.Runner.check_trace res ~flavour:History.Msc))
       in
@@ -499,7 +647,7 @@ let chaos_metrics () =
   List.concat_map
     (fun (name, delivery, crashes) ->
       let run () = run_chaos ~delivery ~crashes () in
-      let ms_run = wall_ms 10 (fun () -> try ignore (run ()) with _ -> ()) in
+      let ms_run = wall_ms (if cli_quick then 3 else 10)(fun () -> try ignore (run ()) with _ -> ()) in
       match run () with
       | exception _ ->
         [
@@ -551,7 +699,8 @@ let shard8 = List.assoc 8 shard_inputs
 let bench_parallel =
   let h600, base600 = par600 in
   let h400, b400 =
-    let _, h, b, _ = List.find (fun (n, _, _, _) -> n = 400) core_inputs in
+    let top, _ = core_top in
+    let _, h, b, _ = List.find (fun (n, _, _, _) -> n = top) core_inputs in
     (h, b)
   in
   Test.make_grouped ~name:"parallel"
@@ -559,7 +708,7 @@ let bench_parallel =
        (fun (d, pool) ->
          [
            Test.make
-             ~name:(Fmt.str "closure-400-d%d" d)
+             ~name:(Fmt.str "closure-%d-d%d" (fst core_top) d)
              (Staged.stage (fun () ->
                   ignore (Relation.transitive_closure ~pool b400)));
            Test.make
@@ -567,7 +716,7 @@ let bench_parallel =
              (Staged.stage (fun () ->
                   ignore (Relation.transitive_closure ~pool base600)));
            Test.make
-             ~name:(Fmt.str "theorem7-ww-400-d%d" d)
+             ~name:(Fmt.str "theorem7-ww-%d-d%d" (fst core_top) d)
              (Staged.stage (fun () ->
                   ignore
                     (Check_constrained.check_relation ~pool h400 b400
@@ -606,34 +755,115 @@ let parallel_metrics () =
     done;
     (Unix.gettimeofday () -. t0) *. 1_000. /. float_of_int repeats
   in
+  let reps = if cli_quick then 5 else 20 in
+  (* Calibrate the parallel cutover on the largest pool before timing
+     anything: the speedup kernels below then run under the installed
+     threshold, exactly as a calibrated production run would.  -1 in
+     the JSON means max_int — the parallel path never wins here. *)
+  let big_pool = List.fold_left (fun _acc (_, p) -> Some p) None par_pools in
+  let cutover =
+    match big_pool with
+    | None -> max_int
+    | Some pool ->
+      if cli_quick then begin
+        let c =
+          Mmc_parallel.Par_closure.calibrate ~sizes:[ 64; 96; 128 ] ~pool ()
+        in
+        Relation.set_par_cutover c;
+        c
+      end
+      else Relation.calibrate ~pool ()
+  in
+  Fmt.pr "parallel: calibrated cutover = %s@."
+    (if cutover = max_int then "max_int (parallel never wins)"
+     else string_of_int cutover);
   let _, base600 = par600 in
+  (* Wave count of one forced parallel closure: the chunked scheme
+     synchronizes twice per 32-pivot chunk, so the counter delta pins
+     the O(n / chunk) claim (2 * ceil(n/32) waves; 0 when the pool has
+     a single worker and the run degrades to sequential). *)
+  let waves_metric =
+    match big_pool with
+    | None -> []
+    | Some pool ->
+      Mmc_parallel.Par_closure.reset_waves ();
+      ignore (Relation.transitive_closure ~pool ~cutover:1 base600);
+      [
+        ( "metrics/parallel/closure-600/waves",
+          float_of_int (Mmc_parallel.Par_closure.waves ()) );
+      ]
+  in
+  (* Parallel-overhead guard on the top core closure: with the pivot
+     chunking, a multi-worker closure of a matrix this size must stay
+     within 1.5x of the 1-worker wall time even where parallelism does
+     not pay.  The cutover is forced to 1 so the parallel path really
+     runs.  On boxes without enough cores the guard only logs. *)
+  let n_top, b_top = core_top in
+  let seq_ms_top =
+    wall_ms reps (fun () -> ignore (Relation.transitive_closure b_top))
+  in
+  let guard_metrics =
+    List.concat_map
+      (fun (d, pool) ->
+        if d < 2 then []
+        else begin
+          let ms =
+            wall_ms reps (fun () ->
+                ignore (Relation.transitive_closure ~pool ~cutover:1 b_top))
+          in
+          let ratio = ms /. Float.max 1e-9 seq_ms_top in
+          if ratio > 1.5 then begin
+            if Domain.recommended_domain_count () >= 4 then
+              fail_check
+                "closure-%d: %d-domain parallel closure is %.2fx the \
+                 sequential wall time (limit 1.5x)"
+                n_top d ratio
+            else
+              Fmt.pr
+                "closure-%d: d%d/seq ratio %.2f exceeds 1.5 (log only: %d \
+                 recommended domains)@."
+                n_top d ratio
+                (Domain.recommended_domain_count ())
+          end;
+          [
+            (Fmt.str "metrics/parallel/closure-%d/ms-d%d-forced" n_top d, ms);
+            (Fmt.str "metrics/parallel/closure-%d/overhead-d%d" n_top d, ratio);
+          ]
+        end)
+      par_pools
+  in
   let kernels =
     [
       ( "closure-600",
-        20,
+        reps,
         fun pool ->
           ignore (Relation.transitive_closure ?pool base600) );
       ( "verify-S8",
-        20,
+        reps,
         fun pool ->
           ignore
             (Mmc_shard.Check_sharded.check_shards ?pool
                shard8.Mmc_shard.Shard_runner.recorders ~flavour:History.Msc) );
     ]
   in
-  List.concat_map
-    (fun (name, repeats, kernel) ->
-      let seq_ms = wall_ms repeats (fun () -> kernel None) in
-      (Fmt.str "metrics/parallel/%s/ms-seq" name, seq_ms)
-      :: List.concat_map
-           (fun (d, pool) ->
-             let ms = wall_ms repeats (fun () -> kernel (Some pool)) in
-             [
-               (Fmt.str "metrics/parallel/%s/ms-d%d" name d, ms);
-               (Fmt.str "metrics/parallel/%s/speedup-d%d" name d, seq_ms /. ms);
-             ])
-           par_pools)
-    kernels
+  ( "metrics/parallel/calibrated-cutover",
+    if cutover = max_int then -1. else float_of_int cutover )
+  :: waves_metric
+  @ (Fmt.str "metrics/parallel/closure-%d/ms-seq-top" n_top, seq_ms_top)
+     :: guard_metrics
+  @ List.concat_map
+      (fun (name, repeats, kernel) ->
+        let seq_ms = wall_ms repeats (fun () -> kernel None) in
+        (Fmt.str "metrics/parallel/%s/ms-seq" name, seq_ms)
+        :: List.concat_map
+             (fun (d, pool) ->
+               let ms = wall_ms repeats (fun () -> kernel (Some pool)) in
+               [
+                 (Fmt.str "metrics/parallel/%s/ms-d%d" name d, ms);
+                 (Fmt.str "metrics/parallel/%s/speedup-d%d" name d, seq_ms /. ms);
+               ])
+             par_pools)
+      kernels
 
 let groups =
   [
@@ -663,7 +893,9 @@ let benchmark () =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    if cli_quick then
+      Benchmark.cfg ~limit:300 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
   in
   let raw = Benchmark.all cfg instances all_tests in
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
@@ -684,21 +916,18 @@ let baselines =
     ("baseline/byte-matrix/closure-400", 46_486_143.);
   ]
 
-let write_json file rows =
+(* the shard / core / parallel metrics ride along whenever their
+   group ran; computed once, shared by --json and --compare *)
+let collect_metrics () =
+  let ran g = only = [] || List.mem g only in
+  (if ran "core" then core_metrics () else [])
+  @ (if ran "shard" then shard_metrics () else [])
+  @ (if ran "recovery" then recovery_metrics () else [])
+  @ (if ran "chaos" then chaos_metrics () else [])
+  @ if ran "parallel" then parallel_metrics () else []
+
+let write_json file entries =
   let oc = open_out file in
-  (* the shard / parallel metrics ride along whenever their group ran *)
-  let metrics =
-    (if only = [] || List.mem "shard" only then shard_metrics () else [])
-    @ (if only = [] || List.mem "recovery" only then recovery_metrics ()
-       else [])
-    @ (if only = [] || List.mem "chaos" only then chaos_metrics () else [])
-    @ if only = [] || List.mem "parallel" only then parallel_metrics () else []
-  in
-  let entries =
-    baselines
-    @ List.filter_map (fun (n, e) -> Option.map (fun e -> (n, e)) e) rows
-    @ metrics
-  in
   Printf.fprintf oc "{\n";
   List.iteri
     (fun i (name, est) ->
@@ -708,6 +937,93 @@ let write_json file rows =
   Printf.fprintf oc "}\n";
   close_out oc;
   Fmt.pr "wrote %s (%d entries, ns/run)@." file (List.length entries)
+
+(* --- trajectory diff (--compare): old-vs-new over a recorded JSON --- *)
+
+(* Reads exactly the flat `"name": float` object [write_json] emits;
+   anything that doesn't parse as such a line is skipped. *)
+let read_json_entries file =
+  let ic = open_in file in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line '"' with
+       | None -> ()
+       | Some i -> (
+         match String.index_from_opt line (i + 1) '"' with
+         | None -> ()
+         | Some j -> (
+           let name = String.sub line (i + 1) (j - i - 1) in
+           let rest =
+             String.trim (String.sub line (j + 1) (String.length line - j - 1))
+           in
+           if String.length rest > 1 && rest.[0] = ':' then
+             let v = String.trim (String.sub rest 1 (String.length rest - 1)) in
+             let v =
+               if String.length v > 0 && v.[String.length v - 1] = ',' then
+                 String.sub v 0 (String.length v - 1)
+               else v
+             in
+             match float_of_string_opt v with
+             | Some x -> entries := (name, x) :: !entries
+             | None -> ()))
+     done
+   with End_of_file -> close_in ic);
+  List.rev !entries
+
+(* Gate: only the `mmc/core/*` kernel estimates are regression-fatal —
+   they are the perf trajectory this repo pins; metrics and the other
+   groups print for the record but carry machine-specific noise. *)
+let regression_limit = 1.25
+
+let compare_against old_file entries =
+  match read_json_entries old_file with
+  | [] ->
+    Fmt.epr "bench-diff: no entries parsed from %s@." old_file;
+    exit 2
+  | old ->
+    let common =
+      List.filter_map
+        (fun (name, now) ->
+          if String.length name >= 9 && String.sub name 0 9 = "baseline/" then
+            None
+          else
+            Option.map (fun before -> (name, before, now))
+              (List.assoc_opt name old))
+        entries
+    in
+    Fmt.pr "@.=== bench-diff vs %s (%d shared keys) ===@." old_file
+      (List.length common);
+    Fmt.pr "%-48s %14s %14s %8s@." "key" "old" "new" "ratio";
+    List.iter
+      (fun (name, before, now) ->
+        Fmt.pr "%-48s %14.1f %14.1f %8.3f%s@." name before now
+          (now /. Float.max 1e-9 before)
+          (if now > regression_limit *. before then "  <-- slower" else ""))
+      common;
+    let regressions =
+      List.filter
+        (fun (name, before, now) ->
+          String.length name >= 9
+          && String.sub name 0 9 = "mmc/core/"
+          && now > regression_limit *. before)
+        common
+    in
+    if regressions = [] then
+      Fmt.pr "bench-diff: no core regression beyond %.0f%%@."
+        ((regression_limit -. 1.) *. 100.)
+    else begin
+      Fmt.pr "bench-diff: %d core kernel(s) regressed beyond %.0f%%:@."
+        (List.length regressions)
+        ((regression_limit -. 1.) *. 100.);
+      List.iter
+        (fun (name, before, now) ->
+          Fmt.pr "  %s: %.1f -> %.1f (%.2fx)@." name before now (now /. before))
+        regressions;
+      if compare_warn then Fmt.pr "bench-diff: --compare-warn, not failing@."
+      else exit 3
+    end
 
 let () =
   Fmt.pr "=== Bechamel micro-benchmarks (one group per experiment) ===@.";
@@ -735,7 +1051,19 @@ let () =
         | Some est -> Fmt.pr "%-40s %12.1f ns/run@." name est
         | None -> Fmt.pr "%-40s (no estimate)@." name)
       rows;
-  Option.iter (fun file -> write_json file rows) json_file;
+  if json_file <> None || compare_file <> None then begin
+    let entries =
+      baselines
+      @ List.filter_map (fun (n, e) -> Option.map (fun e -> (n, e)) e) rows
+      @ collect_metrics ()
+    in
+    Option.iter (fun file -> write_json file entries) json_file;
+    if !hard_failures <> [] then begin
+      List.iter (fun f -> Fmt.epr "bench: FAILED check: %s@." f) !hard_failures;
+      exit 4
+    end;
+    Option.iter (fun old_file -> compare_against old_file entries) compare_file
+  end;
   if only = [] then begin
     Fmt.pr "@.=== Experiment tables (simulated-time metrics) ===@.";
     List.iter

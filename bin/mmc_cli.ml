@@ -89,6 +89,44 @@ let with_domains domains f =
   else
     Mmc_parallel.Pool.with_pool ~num_domains:domains (fun pool -> f (Some pool))
 
+(* --batch / --flush-every / --fanout: broadcast-layer batching and
+   tree dissemination, shared by every command that runs a store. *)
+let batch_term =
+  let size =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"K"
+          ~doc:
+            "Sequencer-side batching: one ordered wire message carries up to \
+             $(docv) stamped updates (default 1 = unbatched).  Batching \
+             changes only the wire framing, never the delivered order.")
+  in
+  let flush_every =
+    Arg.(
+      value & opt int 0
+      & info [ "flush-every" ] ~docv:"D"
+          ~doc:
+            "Flush a partial batch $(docv) time units after its first entry \
+             (default 0 = at the end of the current simulation instant).")
+  in
+  let fanout =
+    Arg.(
+      value & opt int 0
+      & info [ "fanout" ] ~docv:"F"
+          ~doc:
+            "Disseminate ordered messages along a complete $(docv)-ary tree \
+             rooted at the stamping node instead of a flat fan-out (default \
+             0 = flat); for the lamport broadcast this also replaces the \
+             all-to-all acknowledgements with a convergecast.")
+  in
+  let make size flush_every fanout =
+    try Mmc_broadcast.Batch.make ~size ~flush_every ~fanout ()
+    with Invalid_argument msg ->
+      Fmt.epr "mmc: %s@." msg;
+      exit 124
+  in
+  Term.(const make $ size $ flush_every $ fanout)
+
 (* --- simulate --- *)
 
 let require_positive ~cmd pairs =
@@ -99,7 +137,8 @@ let require_positive ~cmd pairs =
         exit 124))
     pairs
 
-let simulate kind procs objects ops read_ratio abcast latency seed check save =
+let simulate kind procs objects ops read_ratio abcast latency seed batch check
+    save =
   require_positive ~cmd:"simulate"
     [ ("--procs", procs); ("--objects", objects); ("--ops", ops) ];
   let spec =
@@ -114,6 +153,7 @@ let simulate kind procs objects ops read_ratio abcast latency seed check save =
       kind;
       abcast_impl = abcast;
       latency;
+      batch;
     }
   in
   let res =
@@ -214,7 +254,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a protocol simulation")
     Term.(
       const simulate $ kind $ procs $ objects $ ops $ read_ratio $ abcast
-      $ latency $ seed $ check $ save)
+      $ latency $ seed $ batch_term $ check $ save)
 
 (* --- check --- *)
 
@@ -552,7 +592,7 @@ let pp_detector_stats ppf (s : Mmc_sim.Detector.stats) =
     s.Mmc_sim.Detector.suspicions s.Mmc_sim.Detector.false_suspicions
     s.Mmc_sim.Detector.refutations s.Mmc_sim.Detector.doubts
 
-let faults kind procs objects ops abcast latency seed plan rto max_rto
+let faults kind procs objects ops abcast latency seed batch plan rto max_rto
     max_retries save domains =
   (* the converter validates the plan in isolation; node ids can only
      be range-checked against --procs here *)
@@ -572,6 +612,7 @@ let faults kind procs objects ops abcast latency seed plan rto max_rto
       latency;
       fault = plan;
       reliable = reliable_overrides rto max_rto max_retries;
+      batch;
     }
   in
   let res =
@@ -687,13 +728,14 @@ let faults_cmd =
           (Theorem-7 admissibility as a fault-tolerance oracle)")
     Term.(
       const faults $ kind $ procs $ objects $ ops $ abcast $ latency $ seed
-      $ plan $ rto_arg "faults" $ max_rto_arg $ max_retries_arg $ save
-      $ domains)
+      $ batch_term $ plan $ rto_arg "faults" $ max_rto_arg $ max_retries_arg
+      $ save $ domains)
 
 (* --- recover --- *)
 
-let recover procs objects ops abcast latency seed plan checkpoint_every rto
-    max_rto max_retries delivery heartbeat_every suspect_after save domains =
+let recover procs objects ops abcast latency seed batch plan checkpoint_every
+    rto max_rto max_retries delivery heartbeat_every suspect_after save domains
+    =
   require_positive ~cmd:"recover"
     [
       ("--procs", procs);
@@ -726,6 +768,7 @@ let recover procs objects ops abcast latency seed plan checkpoint_every rto
         { Mmc_recovery.Rlog.default_policy with checkpoint_every };
       delivery;
       detector = detector_overrides ~cmd:"recover" heartbeat_every suspect_after;
+      batch;
     }
   in
   let res =
@@ -897,15 +940,15 @@ let recover_cmd =
               replicas did not converge.";
          ])
     Term.(
-      const recover $ procs $ objects $ ops $ abcast $ latency $ seed $ plan
-      $ checkpoint_every $ rto_arg "recover" $ max_rto_arg $ max_retries_arg
-      $ delivery_arg $ heartbeat_every_arg $ suspect_after_arg $ save
-      $ domains)
+      const recover $ procs $ objects $ ops $ abcast $ latency $ seed
+      $ batch_term $ plan $ checkpoint_every $ rto_arg "recover" $ max_rto_arg
+      $ max_retries_arg $ delivery_arg $ heartbeat_every_arg
+      $ suspect_after_arg $ save $ domains)
 
 (* --- chaos --- *)
 
-let chaos procs objects ops abcast latency seed plans delivery heartbeat_every
-    suspect_after verbose domains =
+let chaos procs objects ops abcast latency seed batch plans delivery
+    heartbeat_every suspect_after verbose domains =
   require_positive ~cmd:"chaos"
     [
       ("--procs", procs);
@@ -935,6 +978,7 @@ let chaos procs objects ops abcast latency seed plans delivery heartbeat_every
             fault = plan;
             delivery;
             detector;
+            batch;
           }
         in
         match
@@ -1093,9 +1137,9 @@ let chaos_cmd =
               diverged, 1 when only other oracle failures occurred.";
          ])
     Term.(
-      const chaos $ procs $ objects $ ops $ abcast $ latency $ seed $ plans
-      $ delivery_arg $ heartbeat_every_arg $ suspect_after_arg $ verbose
-      $ domains)
+      const chaos $ procs $ objects $ ops $ abcast $ latency $ seed
+      $ batch_term $ plans $ delivery_arg $ heartbeat_every_arg
+      $ suspect_after_arg $ verbose $ domains)
 
 (* --- shard --- *)
 
@@ -1112,7 +1156,7 @@ let placement_conv =
   Arg.conv (parse, pp)
 
 let shard n_shards kind procs objects ops cross read_ratio skew abcast latency
-    seed plan placement save domains =
+    seed batch plan placement save domains =
   require_positive ~cmd:"shard"
     [
       ("--shards", n_shards);
@@ -1147,6 +1191,7 @@ let shard n_shards kind procs objects ops cross read_ratio skew abcast latency
       abcast_impl = abcast;
       latency;
       fault = plan;
+      batch;
     }
   in
   let res =
@@ -1284,8 +1329,8 @@ let shard_cmd =
          ])
     Term.(
       const shard $ n_shards $ kind $ procs $ objects $ ops $ cross
-      $ read_ratio $ skew $ abcast $ latency $ seed $ plan $ placement $ save
-      $ domains)
+      $ read_ratio $ skew $ abcast $ latency $ seed $ batch_term $ plan
+      $ placement $ save $ domains)
 
 (* --- experiments --- *)
 

@@ -29,11 +29,15 @@ let name t = t.name
     duplicates and still deliver exactly once in total order.  [fault]
     attaches a fault injector: the implementation then runs over the
     reliable ack/retransmit transport and keeps its guarantees over
-    message loss, partitions and crash/recovery windows. *)
+    message loss, partitions and crash/recovery windows.  [batch]
+    configures sequencer-side batching and tree dissemination
+    ({!Batch}); the default {!Batch.unbatched} reproduces the
+    pre-batching wire behaviour. *)
 type 'p factory =
   ?duplicate:float ->
   ?fault:Mmc_sim.Fault.t ->
   ?reliable:Mmc_sim.Reliable.config ->
+  ?batch:Batch.t ->
   Mmc_sim.Engine.t ->
   n:int ->
   latency:Mmc_sim.Latency.t ->

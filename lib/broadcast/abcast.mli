@@ -21,11 +21,15 @@ val name : 'p t -> string
     duplicates and still deliver exactly once.  [fault] attaches a
     fault injector: the implementation then runs over the reliable
     ack/retransmit transport and keeps its guarantees over message
-    loss, partitions and crash/recovery windows. *)
+    loss, partitions and crash/recovery windows.  [batch] configures
+    sequencer-side batching and tree dissemination ({!Batch}); the
+    default {!Batch.unbatched} reproduces the pre-batching wire
+    behaviour. *)
 type 'p factory =
   ?duplicate:float ->
   ?fault:Mmc_sim.Fault.t ->
   ?reliable:Mmc_sim.Reliable.config ->
+  ?batch:Batch.t ->
   Mmc_sim.Engine.t ->
   n:int ->
   latency:Mmc_sim.Latency.t ->

@@ -1,0 +1,72 @@
+(** Batching and dissemination knobs for the broadcast layer.
+
+    [size] and [flush_every] control sequencer-side batching: stamped
+    updates are queued and one [Ordered] wire message carries up to
+    [size] of them; a partial batch is flushed [flush_every] time
+    units after its first entry ([0] = at the end of the current
+    simulation instant).  Batching changes only the message framing —
+    sequence numbers are assigned on request arrival, before queueing
+    — so the delivered total order is exactly the unbatched one.
+
+    [fanout] selects tree dissemination: [0] keeps the flat fan-out
+    ([send_all] from the stamping node), [f >= 1] disseminates along a
+    complete [f]-ary tree rooted at the stamping node (the sequencer,
+    or the origin for the decentralized broadcast), each receiver
+    forwarding to its children.  The tree reduces the root's egress
+    from [n - 1] to [f] messages per batch and, for the decentralized
+    broadcast, replaces the all-to-all acknowledgement storm with a
+    convergecast up the same tree (see {!Lamport}). *)
+
+type t = {
+  size : int;  (** max updates per [Ordered] wire message (>= 1) *)
+  flush_every : int;
+      (** flush a partial batch this long after its first entry;
+          [0] = at the end of the current simulation instant *)
+  fanout : int;  (** [0] = flat [send_all]; [f >= 1] = [f]-ary tree *)
+}
+
+let unbatched = { size = 1; flush_every = 0; fanout = 0 }
+
+let make ?(size = 1) ?(flush_every = 0) ?(fanout = 0) () =
+  if size < 1 then invalid_arg "Batch.make: size must be >= 1";
+  if flush_every < 0 then invalid_arg "Batch.make: flush_every must be >= 0";
+  if fanout < 0 then invalid_arg "Batch.make: fanout must be >= 0";
+  { size; flush_every; fanout }
+
+(** No batching and no tree: the wire behaviour (message counts,
+    timing) is the pre-batching one. *)
+let is_trivial b = b.size <= 1 && b.fanout <= 0
+
+let pp ppf b =
+  Fmt.pf ppf "batch(size %d, flush %d, fanout %d)" b.size b.flush_every
+    b.fanout
+
+(* The tree is the complete [fanout]-ary tree over ranks
+   [0 .. n - 1], rank 0 = [root], node of rank [r] =
+   [(root + r) mod n].  Rotating by the root keeps one static shape
+   per (n, fanout) while letting any node be the root (the
+   decentralized broadcast roots each message at its origin). *)
+
+let rank ~n ~root node = (node - root + n) mod n
+
+let of_rank ~n ~root r = (root + r) mod n
+
+(** Children of [node] in the [fanout]-ary tree rooted at [root]. *)
+let children ~fanout ~n ~root ~node =
+  if fanout <= 0 then invalid_arg "Batch.children: fanout must be >= 1";
+  let r = rank ~n ~root node in
+  let rec collect i acc =
+    if i > fanout then List.rev acc
+    else
+      let c = (r * fanout) + i in
+      if c >= n then List.rev acc
+      else collect (i + 1) (of_rank ~n ~root c :: acc)
+  in
+  collect 1 []
+
+(** Parent of [node] ([<> root]) in the tree rooted at [root]. *)
+let parent ~fanout ~n ~root ~node =
+  if fanout <= 0 then invalid_arg "Batch.parent: fanout must be >= 1";
+  let r = rank ~n ~root node in
+  if r = 0 then invalid_arg "Batch.parent: the root has no parent";
+  of_rank ~n ~root ((r - 1) / fanout)

@@ -1,0 +1,34 @@
+(** Batching and dissemination knobs for the broadcast layer.
+
+    [size]/[flush_every] batch sequencer stamps into shared [Ordered]
+    wire messages (framing only — sequence numbers are assigned on
+    request arrival, so the delivered total order is exactly the
+    unbatched one); [fanout] replaces the flat fan-out with a
+    complete [fanout]-ary dissemination tree rooted at the stamping
+    node. *)
+
+type t = {
+  size : int;  (** max updates per [Ordered] wire message (>= 1) *)
+  flush_every : int;
+      (** flush a partial batch this long after its first entry;
+          [0] = at the end of the current simulation instant *)
+  fanout : int;  (** [0] = flat [send_all]; [f >= 1] = [f]-ary tree *)
+}
+
+(** [size = 1], [flush_every = 0], [fanout = 0]: the wire behaviour
+    (message counts, timing) is the pre-batching one. *)
+val unbatched : t
+
+(** Raises [Invalid_argument] on [size < 1] or negative knobs. *)
+val make : ?size:int -> ?flush_every:int -> ?fanout:int -> unit -> t
+
+val is_trivial : t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Children of [node] in the complete [fanout]-ary tree over
+    [0 .. n - 1] rooted at [root] (rank [r] maps to node
+    [(root + r) mod n]).  Raises on [fanout < 1]. *)
+val children : fanout:int -> n:int -> root:int -> node:int -> int list
+
+(** Parent of [node <> root] in the same tree.  Raises on the root. *)
+val parent : fanout:int -> n:int -> root:int -> node:int -> int

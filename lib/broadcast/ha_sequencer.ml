@@ -57,7 +57,9 @@ open Mmc_sim
 
 type 'p msg =
   | Request of { origin : int; oseq : int; payload : 'p }
-  | Ordered of { epoch : int; pos : int; origin : int; oseq : int; payload : 'p }
+  | Ordered of { epoch : int; items : (int * int * int * 'p) list }
+      (** stamped [(pos, origin, oseq, payload)] items sharing the
+          stamping epoch — one wire message per flushed batch *)
   | Sync_req of { epoch : int }
   | Sync_ack of {
       epoch : int;
@@ -95,6 +97,11 @@ type 'p node_state = {
   cursors : int array;
   mutable serving : bool;
   mutable next_pos : int;
+  (* --- outgoing stamp batch (sequencer side, volatile) --- *)
+  mutable obatch : (int * int * int * 'p) list;  (** newest first *)
+  mutable obatch_len : int;
+  mutable obatch_epoch : int;  (** stamping epoch of the queued items *)
+  mutable oflush_scheduled : bool;
   (* --- candidate sync state (volatile) --- *)
   mutable syncing : bool;
   mutable sync_prev : int;  (** epoch held when this election started *)
@@ -112,8 +119,8 @@ let max_resubmit = 50
 let sync_retry_every = 80
 let max_sync_attempts = 50
 
-let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
-    ~deliver : 'p Rbcast.t =
+let create ?duplicate ?fault ?reliable ?(batch = Batch.unbatched) ?detector
+    engine ~n ~latency ~rng ~deliver : 'p Rbcast.t =
   let net =
     Transport.create ?duplicate ?fault ?config:reliable engine ~n ~latency ~rng
   in
@@ -122,6 +129,15 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
       ~rng:(Rng.split rng)
   in
   let sigma epoch = epoch mod n in
+  (* Event tracing for protocol debugging, gated on [HA_DEBUG]
+     (formatting is skipped entirely when the variable is unset). *)
+  let ha_debug = Sys.getenv_opt "HA_DEBUG" <> None in
+  let dbg fmt =
+    if ha_debug then
+      Fmt.kstr (fun s -> Fmt.epr "[ha %d] %s@." (Engine.now engine) s) fmt
+    else Format.ifprintf Format.err_formatter fmt
+  in
+  ignore dbg;
   let quorum = (n / 2) + 1 in
   let epochs = ref 0
   and syncs = ref 0
@@ -146,6 +162,10 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
           cursors = Array.make n 0;
           serving = node = 0;
           next_pos = 0;
+          obatch = [];
+          obatch_len = 0;
+          obatch_epoch = 0;
+          oflush_scheduled = false;
           syncing = false;
           sync_prev = 0;
           awaiting = Hashtbl.create 8;
@@ -164,6 +184,8 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
       st.resubmit_scheduled <- true;
       Engine.schedule engine ~delay (fun () ->
           st.resubmit_scheduled <- false;
+          if Hashtbl.length st.pending > 0 && st.resubmit_attempts >= max_resubmit
+          then dbg "node %d resubmit GIVE-UP (%d pending)" node (Hashtbl.length st.pending);
           if
             Hashtbl.length st.pending > 0
             && st.resubmit_attempts < max_resubmit
@@ -187,7 +209,19 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
      still waiting on it). *)
   let withdraw node ~pos ~origin ~oseq =
     let st = states.(node) in
+    dbg "node %d withdraws pos %d (%d,%d)" node pos origin oseq;
     Hashtbl.remove st.seen pos;
+    (* A withdrawal landing while this node's own takeover sync is
+       open must also fence the [merged] snapshot (taken from [seen]
+       at election start): otherwise [finish_sync] rebuilds [stamped]
+       from an entry whose stamp was just retracted, and the origin's
+       resubmissions bounce off "already stamped" forever while no
+       position carries the payload. *)
+    (if st.syncing then
+       match Hashtbl.find_opt st.merged pos with
+       | Some (_, o0, q0) when o0 = origin && q0 = oseq ->
+         Hashtbl.remove st.merged pos
+       | _ -> ());
     incr retracted_total;
     deliver ~node ~origin:(-1) ~pos Rbcast.Retract;
     if origin = node && not (Hashtbl.mem st.pending oseq) then begin
@@ -286,6 +320,69 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
         limbo
     end
   in
+  let node_up node =
+    match fault with
+    | None -> true
+    | Some f -> Fault.node_up f ~now:(Engine.now engine) ~node
+  in
+  (* Flush the outgoing stamp batch as one [Ordered] wire message.
+     The message carries the epoch the items were stamped under
+     ([obatch_epoch], not the possibly-since-advanced [st.epoch]):
+     queued stamps survive an epoch change on the wire exactly as
+     eagerly-sent ones would, to be fenced or accepted by the close
+     protocol like any other in-flight message.
+
+     A flush timer firing while the node is down must NOT transmit:
+     the queue is volatile state the crash destroyed.  Handing it to
+     the reliable channel here would resurrect it after the restart —
+     retransmissions would push wiped-epoch stamps into the new
+     world, the owner's [seen] would claim positions whose payload no
+     quorum member holds, and the next takeover sync would merge them
+     as non-holes every replica then waits on forever.  Discarding
+     matches the unbatched wire, where the same stamps would have
+     been dropped at send time ([Crashed_src]); the origins resubmit
+     against the next epoch. *)
+  let flush_batch node =
+    let st = states.(node) in
+    if st.obatch_len > 0 then
+      if not (node_up node) then begin
+        dbg "node %d DISCARDS %d queued items epoch %d (down)" node
+          st.obatch_len st.obatch_epoch;
+        st.obatch <- [];
+        st.obatch_len <- 0
+      end
+      else begin
+        dbg "node %d flush %d items epoch %d" node st.obatch_len st.obatch_epoch;
+        let items = List.rev st.obatch in
+        let epoch = st.obatch_epoch in
+        st.obatch <- [];
+        st.obatch_len <- 0;
+        Transport.send_all net ~src:node (Ordered { epoch; items })
+      end
+  in
+  let schedule_oflush node =
+    let st = states.(node) in
+    if not st.oflush_scheduled then begin
+      st.oflush_scheduled <- true;
+      let fire () =
+        st.oflush_scheduled <- false;
+        flush_batch node
+      in
+      if batch.Batch.flush_every <= 0 then Engine.schedule_now engine fire
+      else Engine.schedule engine ~delay:batch.Batch.flush_every fire
+    end
+  in
+  let enqueue_stamp node ~pos ~origin ~oseq payload =
+    let st = states.(node) in
+    (* A stale queue from a previous epoch should have been flushed at
+       the transition; flush defensively rather than mix epochs. *)
+    if st.obatch_len > 0 && st.obatch_epoch <> st.epoch then flush_batch node;
+    if st.obatch_len = 0 then st.obatch_epoch <- st.epoch;
+    st.obatch <- (pos, origin, oseq, payload) :: st.obatch;
+    st.obatch_len <- st.obatch_len + 1;
+    if st.obatch_len >= batch.Batch.size then flush_batch node
+    else schedule_oflush node
+  in
   (* Sequencer: stamp origin's requests in oseq order, skipping oseqs
      already stamped (learned from the takeover sync). *)
   let rec stamp_loop node origin =
@@ -306,8 +403,7 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
           st.cursors.(origin) <- c + 1;
           let pos = st.next_pos in
           st.next_pos <- pos + 1;
-          Transport.send_all net ~src:node
-            (Ordered { epoch = st.epoch; pos; origin; oseq = c; payload });
+          enqueue_stamp node ~pos ~origin ~oseq:c payload;
           stamp_loop node origin
   in
   let finish_sync node =
@@ -333,6 +429,8 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
       st.cursors.(o) <- !c
     done;
     st.next_pos <- base;
+    dbg "node %d forms epoch %d base %d holes %d" node st.epoch base
+      (List.length holes);
     st.serving <- true;
     incr syncs;
     incr epochs;
@@ -379,6 +477,10 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
   in
   let start_sync node =
     let st = states.(node) in
+    (* Queued stamps must not die with the epoch: push them onto the
+       wire (under their stamping epoch) before the takeover begins —
+       the pinned batch regression test exercises exactly this. *)
+    flush_batch node;
     st.serving <- false;
     Hashtbl.reset st.awaiting;
     Hashtbl.reset st.acked;
@@ -418,6 +520,7 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
       let rec next e = if sigma e = node then e else next (e + 1) in
       let e = next (st.epoch + 1) in
       st.sync_prev <- last_formed st;
+      dbg "node %d elects epoch %d" node e;
       st.epoch <- e;
       st.syncing <- true;
       st.sync_attempts <- 0;
@@ -429,6 +532,9 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
      — a restarted low id reclaims the sequencer role from here. *)
   let adopt node epoch =
     let st = states.(node) in
+    dbg "node %d adopt epoch %d (was %d, pending %d)" node epoch st.epoch
+      (Hashtbl.length st.pending);
+    flush_batch node;
     st.epoch <- epoch;
     st.serving <- false;
     st.syncing <- false;
@@ -459,6 +565,48 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
         end;
         try_elect observer
       end);
+  (* Crash edges, straight from the fault plan (the injector below the
+     transport makes the down window itself; here we model what the
+     crash does to this layer's volatile state).  Going down destroys
+     the queued stamp batch — stamps that never reached the wire die
+     with the process.  Coming back, a node that still believes it
+     owns the current epoch must not resume serving: it may have been
+     deposed in absentia, and stamping on its stale state would mint
+     positions no quorum member holds — ghosts the next takeover sync
+     would merge as non-holes that every replica then awaits forever.
+     It rejoins by claiming its next owned epoch through a fresh
+     quorum sync ([merged] rebuilt from live peers, not its own
+     possibly-superseded [seen]); non-owners just resubmit and relearn
+     the epoch from the wire. *)
+  (match fault with
+  | None -> ()
+  | Some f ->
+    List.iter
+      (fun (c : Fault.crash) ->
+        Engine.at engine ~time:c.at (fun () ->
+            let st = states.(c.node) in
+            st.obatch <- [];
+            st.obatch_len <- 0);
+        Engine.at engine ~time:c.back (fun () ->
+            let st = states.(c.node) in
+            if sigma st.epoch = c.node then begin
+              dbg "node %d rejoins after crash (held epoch %d)" c.node
+                st.epoch;
+              st.serving <- false;
+              st.syncing <- false;
+              let rec next e = if sigma e = c.node then e else next (e + 1) in
+              let e = next (st.epoch + 1) in
+              st.sync_prev <- last_formed st;
+              st.epoch <- e;
+              st.syncing <- true;
+              st.sync_attempts <- 0;
+              start_sync c.node
+            end;
+            if Hashtbl.length st.pending > 0 then begin
+              st.resubmit_attempts <- 0;
+              schedule_resubmit c.node ~delay:resubmit_after
+            end))
+      (Fault.plan f).Fault.crashes);
   for node = 0 to n - 1 do
     Transport.set_handler net node (fun src msg ->
         let st = states.(node) in
@@ -470,13 +618,21 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
           if sigma st.epoch = node then
             if not (Hashtbl.mem st.stamped.(origin) oseq) then begin
               if oseq >= st.cursors.(origin) then
-                Hashtbl.replace st.requests.(origin) oseq payload;
+                Hashtbl.replace st.requests.(origin) oseq payload
+              else
+                dbg "node %d IGNORES request (%d,%d): cursor %d" node origin
+                  oseq st.cursors.(origin);
               if st.serving then stamp_loop node origin
             end
-        | Ordered { epoch; pos; origin; oseq; payload } ->
+            else dbg "node %d skips stamped request (%d,%d)" node origin oseq
+        | Ordered { epoch; items } ->
           if epoch > st.epoch then adopt node epoch;
-          if epoch >= st.epoch then accept node ~epoch ~pos ~origin ~oseq payload
-          else resolve_stale node ~epoch ~pos ~origin ~oseq payload
+          List.iter
+            (fun (pos, origin, oseq, payload) ->
+              if epoch >= st.epoch then
+                accept node ~epoch ~pos ~origin ~oseq payload
+              else resolve_stale node ~epoch ~pos ~origin ~oseq payload)
+            items
         | Sync_req { epoch } ->
           if epoch > st.epoch then adopt node epoch;
           if epoch = st.epoch then begin
@@ -517,6 +673,8 @@ let create ?duplicate ?fault ?reliable ?detector engine ~n ~latency ~rng
         let oseq = st.next_oseq in
         st.next_oseq <- oseq + 1;
         Hashtbl.replace st.pending oseq payload;
+        dbg "node %d bcast oseq %d -> seq %d (epoch %d)" src oseq
+          (sigma st.epoch) st.epoch;
         Transport.send net ~src ~dst:(sigma st.epoch)
           (Request { origin = src; oseq; payload });
         schedule_resubmit src ~delay:(resubmit_after + resubmit_every));

@@ -36,7 +36,18 @@
 
     Positions are global and strictly monotone across epochs, so the
     recorded synchronization order remains a single total order over
-    the whole crash-spanning history. *)
+    the whole crash-spanning history.
+
+    Batching ({!Batch}): the serving sequencer queues stamped items
+    and one [Ordered] wire message carries up to [Batch.size] of them
+    (flushed after [Batch.flush_every] when partial).  Positions are
+    assigned at stamping time, so batching never reorders, and the
+    queue is flushed {e before} any epoch transition (election start,
+    higher-epoch adoption) under the items' stamping epoch — queued
+    stamps are never silently dropped; in flight they are fenced or
+    accepted by the close protocol like any eagerly-sent message.
+    [Batch.fanout] is ignored: failover sync polls peers directly, so
+    dissemination stays flat here. *)
 
 val create : 'p Rbcast.factory
 val factory : 'p Rbcast.factory

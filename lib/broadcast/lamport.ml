@@ -1,13 +1,33 @@
-(** Decentralized atomic broadcast via Lamport clocks (ISIS style).
+(** Decentralized atomic broadcast via Lamport clocks.
 
-    Every broadcast is timestamped with the sender's Lamport clock and
-    sent to all nodes over FIFO channels; receivers acknowledge to all.
-    A pending message is delivered once it is the minimum pending
-    (timestamp, origin) pair and a message with a larger timestamp has
-    been heard from {e every} node — with FIFO channels and monotone
-    clocks nothing earlier can still arrive.  1 message hop before
-    stability, O(n^2) transport messages per broadcast: the classical
-    trade-off against the sequencer (ablated in experiment P4). *)
+    Flat mode (the classical ISIS-style scheme, [Batch.fanout = 0]):
+    every broadcast is timestamped with the sender's Lamport clock and
+    sent to all nodes over FIFO channels; receivers acknowledge to
+    all.  A pending message is delivered once it is the minimum
+    pending (timestamp, origin) pair and a message with a larger
+    timestamp has been heard from {e every} node — with FIFO channels
+    and monotone clocks nothing earlier can still arrive.  1 message
+    hop before stability, n + n² transport messages per broadcast: the
+    classical trade-off against the sequencer (ablated in P4).
+
+    Tree mode ([Batch.fanout >= 1]): the all-to-all acknowledgement
+    storm is replaced by a two-phase timestamp agreement over the
+    complete [fanout]-ary tree rooted at each message's origin
+    (Skeen's algorithm shaped as a convergecast).  [TData] flows down
+    the tree; every node proposes [(clock+1, node)] and each subtree
+    sends {e one} aggregated [TPropose] (the subtree maximum) up to
+    its parent; the origin fixes the final timestamp as the global
+    maximum and floods [TFinal] back down.  A node delivers its
+    minimum-timestamp pending message once that message is final: a
+    proposal only ever grows to its final value, and any message not
+    yet seen will be proposed above every final timestamp already
+    learned (the clock absorbs each [TFinal]), so every node delivers
+    in the total order of final timestamps.  3(n-1) transport messages
+    per broadcast — the n² acknowledgement term is gone — at the cost
+    of one extra phase of tree depth before stability.  Plain
+    (non-FIFO) transport suffices: the agreement carries explicit
+    timestamps, and loss is masked by the reliable ack/retransmit
+    layer under a fault plan. *)
 
 open Mmc_sim
 
@@ -28,7 +48,7 @@ type 'p node_state = {
   last_heard : int array;  (** highest clock value heard from each node *)
 }
 
-let create ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
+let create_flat ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
     'p Abcast.t =
   let chan =
     Fifo_channel.create ?duplicate ?fault ?config:reliable engine ~n ~latency
@@ -88,5 +108,176 @@ let create ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver :
           (Data { lc = st.clock; origin = src; payload }));
     messages_sent = (fun () -> Fifo_channel.messages_sent chan);
   }
+
+(* --- tree mode --- *)
+
+(* Message ids are (origin, per-origin sequence); timestamps are
+   (clock, proposer) pairs, unique because each node's proposals use a
+   strictly increasing clock. *)
+type 'p tmsg =
+  | TData of { origin : int; oseq : int; payload : 'p }
+  | TPropose of { origin : int; oseq : int; ts : int * int }
+      (** aggregated subtree maximum, convergecast to the parent *)
+  | TFinal of { origin : int; oseq : int; ts : int * int }
+
+type 'p tentry = {
+  payload : 'p;
+  mutable ts : int * int;  (** current (proposed or final) timestamp *)
+  mutable final : bool;
+  mutable waiting : int list;  (** children whose subtree proposal is due *)
+}
+
+module Tpending = Set.Make (struct
+  type t = (int * int) * (int * int) (* (timestamp, (origin, oseq)) *)
+
+  let compare = compare
+end)
+
+let create_tree ?duplicate ?fault ?reliable ~fanout engine ~n ~latency ~rng
+    ~deliver : 'p Abcast.t =
+  let net =
+    Transport.create ?duplicate ?fault ?config:reliable engine ~n ~latency ~rng
+  in
+  let clocks = Array.make n 0 in
+  let entries : (int * int, 'p tentry) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 16)
+  in
+  (* Ordered index over each node's pending entries, keyed by current
+     timestamp; re-keyed when the timestamp grows. *)
+  let queues = Array.make n Tpending.empty in
+  (* A [TFinal] can overtake its own [TData] on the unordered wire:
+     park it until the payload arrives. *)
+  let early_final : (int * int, int * int) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 4)
+  in
+  (* Ids already delivered, so an at-least-once duplicate of [TData]
+     cannot resurrect a consumed entry. *)
+  let consumed : (int * int, unit) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 16)
+  in
+  let oseqs = Array.make n 0 in
+  let tick node lc = clocks.(node) <- max clocks.(node) lc in
+  let try_deliver node =
+    let rec loop () =
+      match Tpending.min_elt_opt queues.(node) with
+      | Some (ts, id) when (Hashtbl.find entries.(node) id).final ->
+        queues.(node) <- Tpending.remove (ts, id) queues.(node);
+        let e = Hashtbl.find entries.(node) id in
+        Hashtbl.remove entries.(node) id;
+        Hashtbl.replace consumed.(node) id ();
+        deliver ~node ~origin:(fst id) e.payload;
+        loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
+  let rekey node id e ts =
+    if ts > e.ts then begin
+      queues.(node) <- Tpending.add (ts, id) (Tpending.remove (e.ts, id) queues.(node));
+      e.ts <- ts
+    end
+  in
+  let finalize node id ts =
+    if not (Hashtbl.mem consumed.(node) id) then
+      match Hashtbl.find_opt entries.(node) id with
+      | None -> Hashtbl.replace early_final.(node) id ts
+      | Some e ->
+        if not e.final then begin
+          rekey node id e ts;
+          e.final <- true;
+          try_deliver node
+        end
+  in
+  (* Every due subtree reported: the origin fixes the final timestamp
+     and floods it down; an inner node sends its aggregate up. *)
+  let settle node id e =
+    if e.waiting = [] && not e.final then
+      let origin = fst id in
+      if node = origin then begin
+        List.iter
+          (fun child ->
+            Transport.send net ~src:node ~dst:child
+              (TFinal { origin; oseq = snd id; ts = e.ts }))
+          (Batch.children ~fanout ~n ~root:origin ~node);
+        finalize node id e.ts
+      end
+      else
+        Transport.send net ~src:node
+          ~dst:(Batch.parent ~fanout ~n ~root:origin ~node)
+          (TPropose { origin; oseq = snd id; ts = e.ts })
+  in
+  let ingest node ~origin ~oseq payload =
+    let id = (origin, oseq) in
+    if
+      (not (Hashtbl.mem entries.(node) id))
+      && not (Hashtbl.mem consumed.(node) id)
+    then begin
+      clocks.(node) <- clocks.(node) + 1;
+      let children = Batch.children ~fanout ~n ~root:origin ~node in
+      List.iter
+        (fun child ->
+          Transport.send net ~src:node ~dst:child
+            (TData { origin; oseq; payload }))
+        children;
+      let e =
+        {
+          payload;
+          ts = (clocks.(node), node);
+          final = false;
+          waiting = children;
+        }
+      in
+      Hashtbl.replace entries.(node) id e;
+      queues.(node) <- Tpending.add (e.ts, id) queues.(node);
+      match Hashtbl.find_opt early_final.(node) id with
+      | Some ts ->
+        Hashtbl.remove early_final.(node) id;
+        tick node (fst ts);
+        finalize node id ts
+      | None -> settle node id e
+    end
+  in
+  for node = 0 to n - 1 do
+    Transport.set_handler net node (fun src msg ->
+        match msg with
+        | TData { origin; oseq; payload } -> ingest node ~origin ~oseq payload
+        | TPropose { origin; oseq; ts } -> (
+          tick node (fst ts);
+          match Hashtbl.find_opt entries.(node) (origin, oseq) with
+          | None -> ()
+          | Some e ->
+            if List.mem src e.waiting then begin
+              e.waiting <- List.filter (fun c -> c <> src) e.waiting;
+              rekey node (origin, oseq) e ts;
+              settle node (origin, oseq) e
+            end)
+        | TFinal { origin; oseq; ts } ->
+          tick node (fst ts);
+          (match Hashtbl.find_opt entries.(node) (origin, oseq) with
+          | Some e when e.final -> () (* duplicate: already forwarded *)
+          | _ ->
+            List.iter
+              (fun child ->
+                Transport.send net ~src:node ~dst:child
+                  (TFinal { origin; oseq; ts }))
+              (Batch.children ~fanout ~n ~root:origin ~node));
+          finalize node (origin, oseq) ts)
+  done;
+  {
+    Abcast.name = "lamport-tree";
+    broadcast =
+      (fun ~src payload ->
+        let oseq = oseqs.(src) in
+        oseqs.(src) <- oseq + 1;
+        ingest src ~origin:src ~oseq payload);
+    messages_sent = (fun () -> Transport.messages_sent net);
+  }
+
+let create ?duplicate ?fault ?reliable ?(batch = Batch.unbatched) engine ~n
+    ~latency ~rng ~deliver : 'p Abcast.t =
+  if batch.Batch.fanout > 0 then
+    create_tree ?duplicate ?fault ?reliable ~fanout:batch.Batch.fanout engine
+      ~n ~latency ~rng ~deliver
+  else create_flat ?duplicate ?fault ?reliable engine ~n ~latency ~rng ~deliver
 
 let factory : 'p Abcast.factory = create

@@ -1,8 +1,18 @@
-(** Decentralized atomic broadcast via Lamport clocks (ISIS style):
-    timestamped data to all over FIFO channels, all-to-all
-    acknowledgements; deliver the minimum pending (timestamp, origin)
-    once a larger timestamp has been heard from every node.
-    1 data hop plus stability wait, n + n² messages per broadcast. *)
+(** Decentralized atomic broadcast via Lamport clocks.
+
+    Flat mode ([Batch.fanout = 0], ISIS style): timestamped data to
+    all over FIFO channels, all-to-all acknowledgements; deliver the
+    minimum pending (timestamp, origin) once a larger timestamp has
+    been heard from every node.  1 data hop plus stability wait,
+    n + n² messages per broadcast.
+
+    Tree mode ([Batch.fanout >= 1]): two-phase timestamp agreement
+    (Skeen's algorithm) over the [fanout]-ary tree rooted at each
+    message's origin — data down, one aggregated proposal per subtree
+    up, the final (maximum) timestamp down.  3(n-1) messages per
+    broadcast, no n² term; delivery order is the total order of final
+    timestamps.  [Batch.size]/[flush_every] do not apply (senders are
+    decentralized; there is no stamping queue to batch). *)
 
 val create : 'p Abcast.factory
 

@@ -37,6 +37,7 @@ type 'p factory =
   ?duplicate:float ->
   ?fault:Mmc_sim.Fault.t ->
   ?reliable:Mmc_sim.Reliable.config ->
+  ?batch:Batch.t ->
   ?detector:Mmc_sim.Detector.config ->
   Mmc_sim.Engine.t ->
   n:int ->
@@ -53,10 +54,11 @@ type 'p factory =
    Positions are final on delivery — no holes, no retractions, no
    failure detector. *)
 let of_abcast (f : 'p Abcast.factory) : 'p factory =
- fun ?duplicate ?fault ?reliable ?detector:_ engine ~n ~latency ~rng ~deliver ->
+ fun ?duplicate ?fault ?reliable ?batch ?detector:_ engine ~n ~latency ~rng
+     ~deliver ->
   let counts = Array.make n 0 in
   let ab =
-    f ?duplicate ?fault ?reliable engine ~n ~latency ~rng
+    f ?duplicate ?fault ?reliable ?batch engine ~n ~latency ~rng
       ~deliver:(fun ~node ~origin payload ->
         let pos = counts.(node) in
         counts.(node) <- pos + 1;

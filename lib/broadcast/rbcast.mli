@@ -70,6 +70,7 @@ type 'p factory =
   ?duplicate:float ->
   ?fault:Mmc_sim.Fault.t ->
   ?reliable:Mmc_sim.Reliable.config ->
+  ?batch:Batch.t ->
   ?detector:Mmc_sim.Detector.config ->
   Mmc_sim.Engine.t ->
   n:int ->

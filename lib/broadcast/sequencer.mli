@@ -1,6 +1,11 @@
 (** Fixed-sequencer atomic broadcast: node 0 stamps global sequence
     numbers and fans out; receivers buffer out-of-order numbers.
-    2 hops end to end, n+1 transport messages per broadcast. *)
+    2 hops end to end, n+1 transport messages per broadcast unbatched.
+    With a {!Batch} configuration one [Ordered] wire message carries
+    up to [Batch.size] stamped updates (sequence numbers are assigned
+    on request arrival, so the total order is exactly the unbatched
+    one) and [Batch.fanout >= 1] disseminates each batch down a tree
+    rooted at the sequencer instead of a flat [send_all]. *)
 
 val sequencer_node : int
 

@@ -35,7 +35,7 @@ let pp_result ppf = function
     via {!Relation.add_edge_closed} as a trace grows. *)
 exception Violation of Legality.triple
 
-let check_closed h closed kind =
+let check_closed ?arena h closed kind =
   if not (Relation.is_irreflexive closed) then Cyclic
   else if not (Constraints.satisfies h closed kind) then Constraint_violated
   else begin
@@ -58,16 +58,21 @@ let check_closed h closed kind =
       !fresh
     with
     | exception Violation t -> Not_legal t
-    | fresh -> (
-      let ext = Relation.closure_with closed fresh in
+    | fresh ->
+      let ext = Relation.closure_with ?arena closed fresh in
       (* [ext] is transitively closed, so the witness order is read
          off row cardinalities instead of a Kahn sort.  Witness
          validity (Theorem 7 / Lemma 5) is exercised by the test
          suite's [Sequential.validate] properties, not re-checked on
          every call. *)
-      match Relation.topo_sort_closed ext with
-      | None -> Extended_cyclic
-      | Some order -> Admissible order)
+      let verdict =
+        match Relation.topo_sort_closed ext with
+        | None -> Extended_cyclic
+        | Some order -> Admissible order
+      in
+      (* The witness is a bare permutation: [ext] is dead here. *)
+      Option.iter (fun a -> Relation.recycle a ext) arena;
+      verdict
   end
 
 (** [check_relation h base kind] — decide admissibility of [h] with
@@ -76,13 +81,16 @@ let check_closed h closed kind =
     not trusted.  Used directly when the synchronization order (e.g.
     the atomic-broadcast order) is supplied as extra edges beyond a
     standard flavour. *)
-let check_relation ?pool h base kind =
-  check_closed h (Relation.transitive_closure ?pool base) kind
+let check_relation ?pool ?arena h base kind =
+  let closed = Relation.transitive_closure ?pool ?arena base in
+  let verdict = check_closed ?arena h closed kind in
+  Option.iter (fun a -> Relation.recycle a closed) arena;
+  verdict
 
 (** [check h flavour kind] — {!check_relation} over the base relation
     of the given consistency condition. *)
-let check ?pool h flavour kind =
-  check_relation ?pool h (History.base_relation h flavour) kind
+let check ?pool ?arena h flavour kind =
+  check_relation ?pool ?arena h (History.base_relation h flavour) kind
 
 (** Incrementally closed relation for checking a growing trace: edges
     stream in (process order, reads-from, synchronization order...) as
@@ -104,5 +112,7 @@ module Incremental = struct
 
   let is_acyclic t = Relation.is_irreflexive t.closed
 
-  let check t h kind = check_closed h t.closed kind
+  (* [t.closed] stays owned by [t]; only the extension intermediate
+     goes through the arena. *)
+  let check ?arena t h kind = check_closed ?arena h t.closed kind
 end

@@ -16,17 +16,29 @@ val pp_result : Format.formatter -> result -> unit
 (** [check_closed h closed kind] — like {!check_relation} over an
     already transitively closed relation; a cyclic [~H] is recognized
     by reflexive entries of the closure.  Entry point for callers that
-    maintain the closure themselves (e.g. {!Incremental}). *)
-val check_closed : History.t -> Relation.t -> Constraints.kind -> result
+    maintain the closure themselves (e.g. {!Incremental}).  With
+    [~arena] the [~rw]-extension intermediate is acquired from and
+    recycled into the arena ({!Relation.Arena}); [closed] itself is
+    never recycled. *)
+val check_closed :
+  ?arena:Relation.Arena.arena ->
+  History.t ->
+  Relation.t ->
+  Constraints.kind ->
+  result
 
 (** [check_relation h base kind] — decide admissibility with respect to
     the (not necessarily closed) relation [base], verifying constraint
     [kind] first.  Use when the synchronization order (e.g. the atomic
     broadcast order) is supplied as extra edges.  [~pool] parallelizes
     the up-front Warshall closure ({!Relation.transitive_closure});
-    the verdict is identical with or without it. *)
+    the verdict is identical with or without it.  [~arena] recycles
+    the closure intermediates (both the closed copy and the
+    [~rw]-extension), cutting the check's allocations to near zero
+    after warm-up. *)
 val check_relation :
   ?pool:Mmc_parallel.Pool.t ->
+  ?arena:Relation.Arena.arena ->
   History.t ->
   Relation.t ->
   Constraints.kind ->
@@ -36,6 +48,7 @@ val check_relation :
     consistency condition. *)
 val check :
   ?pool:Mmc_parallel.Pool.t ->
+  ?arena:Relation.Arena.arena ->
   History.t ->
   History.flavour ->
   Constraints.kind ->
@@ -59,6 +72,8 @@ module Incremental : sig
 
   val is_acyclic : t -> bool
 
-  (** {!check_closed} on the maintained closure. *)
-  val check : t -> History.t -> Constraints.kind -> result
+  (** {!check_closed} on the maintained closure (which stays owned by
+      [t] — only the extension intermediate goes through [~arena]). *)
+  val check :
+    ?arena:Relation.Arena.arena -> t -> History.t -> Constraints.kind -> result
 end

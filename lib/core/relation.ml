@@ -62,23 +62,56 @@ let of_edges n edges =
   add_edges t edges;
   t
 
+(* [union]/[subset] stream the whole word array once; 4-way unrolling
+   keeps four independent loads in flight per iteration instead of one
+   load-op-store chain. *)
 let union a b =
   if a.n <> b.n then invalid_arg "Relation.union: size mismatch";
   let t = copy a in
-  for k = 0 to Array.length b.bits - 1 do
-    Array.unsafe_set t.bits k
-      (Array.unsafe_get t.bits k lor Array.unsafe_get b.bits k)
+  let len = Array.length b.bits in
+  let x = t.bits and y = b.bits in
+  let k = ref 0 in
+  while !k + 4 <= len do
+    let k0 = !k in
+    Array.unsafe_set x k0 (Array.unsafe_get x k0 lor Array.unsafe_get y k0);
+    Array.unsafe_set x (k0 + 1)
+      (Array.unsafe_get x (k0 + 1) lor Array.unsafe_get y (k0 + 1));
+    Array.unsafe_set x (k0 + 2)
+      (Array.unsafe_get x (k0 + 2) lor Array.unsafe_get y (k0 + 2));
+    Array.unsafe_set x (k0 + 3)
+      (Array.unsafe_get x (k0 + 3) lor Array.unsafe_get y (k0 + 3));
+    k := k0 + 4
+  done;
+  while !k < len do
+    Array.unsafe_set x !k (Array.unsafe_get x !k lor Array.unsafe_get y !k);
+    incr k
   done;
   t
 
 let subset a b =
   if a.n <> b.n then invalid_arg "Relation.subset: size mismatch";
   let len = Array.length a.bits in
+  let x = a.bits and y = b.bits in
   let ok = ref true in
   let k = ref 0 in
+  while !ok && !k + 4 <= len do
+    let k0 = !k in
+    let d0 = Array.unsafe_get x k0 land lnot (Array.unsafe_get y k0) in
+    let d1 =
+      Array.unsafe_get x (k0 + 1) land lnot (Array.unsafe_get y (k0 + 1))
+    in
+    let d2 =
+      Array.unsafe_get x (k0 + 2) land lnot (Array.unsafe_get y (k0 + 2))
+    in
+    let d3 =
+      Array.unsafe_get x (k0 + 3) land lnot (Array.unsafe_get y (k0 + 3))
+    in
+    if d0 lor d1 lor d2 lor d3 <> 0 then ok := false;
+    k := k0 + 4
+  done;
   while !ok && !k < len do
-    if Array.unsafe_get a.bits !k land lnot (Array.unsafe_get b.bits !k) <> 0
-    then ok := false;
+    if Array.unsafe_get x !k land lnot (Array.unsafe_get y !k) <> 0 then
+      ok := false;
     incr k
   done;
   !ok
@@ -148,44 +181,145 @@ let predecessors t j =
   List.rev !acc
 
 (* Below this size the sequential closure wins even with domains to
-   spare: one pivot's band work is ~n/D rows of n/63 words, far less
-   than a barrier rendezvous, and there are n barriers.  Benchmarked
-   around n = 128 on the bench machine (see DESIGN.md par.11). *)
+   spare: one pivot chunk's stolen work is a handful of row blocks,
+   less than two barrier rendezvous.  [par_cutover] is the historical
+   default (benchmarked around n = 128, see DESIGN.md par.11); the
+   effective threshold is mutable so {!calibrate} can replace the
+   guess with a measurement on the running machine. *)
 let par_cutover = 128
+
+let effective_cutover = ref par_cutover
+
+let current_cutover () = !effective_cutover
+
+let set_par_cutover n =
+  if n < 1 then invalid_arg "Relation.set_par_cutover: cutover must be >= 1";
+  effective_cutover := n
+
+let calibrate ~pool () =
+  let c = Mmc_parallel.Par_closure.calibrate ~pool () in
+  effective_cutover := c;
+  c
+
+(** Reusable word-array scratch for closure intermediates.  The
+    checkers copy a relation per closure (and per [closure_with]);
+    those copies die immediately after the verdict, so an arena keeps
+    free lists of word arrays keyed by length: [acquire] pops and
+    blits instead of allocating, {!recycle} pushes a dead relation's
+    words back.  Single-domain only — callers that fan a check out
+    over a pool keep the arena on the submitting domain (the pool
+    workers only write {e into} an already-acquired array, which is
+    fine). *)
+module Arena = struct
+  type arena = {
+    free : (int, int array Stack.t) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () = { free = Hashtbl.create 8; hits = 0; misses = 0 }
+  let hits a = a.hits
+  let misses a = a.misses
+
+  let acquire a len =
+    match Hashtbl.find_opt a.free len with
+    | Some s when not (Stack.is_empty s) ->
+      a.hits <- a.hits + 1;
+      Stack.pop s
+    | _ ->
+      a.misses <- a.misses + 1;
+      Array.make len 0
+
+  let release a words =
+    let len = Array.length words in
+    let s =
+      match Hashtbl.find_opt a.free len with
+      | Some s -> s
+      | None ->
+        let s = Stack.create () in
+        Hashtbl.replace a.free len s;
+        s
+    in
+    Stack.push words s
+end
+
+(* Arena-aware copy: the blit covers the full acquired length (free
+   lists are keyed by exact length), so stale bits never leak. *)
+let copy_via arena t =
+  match arena with
+  | None -> copy t
+  | Some a ->
+    let len = Array.length t.bits in
+    let words = Arena.acquire a len in
+    Array.blit t.bits 0 words 0 len;
+    { t with bits = words }
+
+let recycle a t = Arena.release a t.bits
 
 (* In-place Warshall transitive closure; the inner loop is a word-wise
    row OR, so the whole closure costs O(n^2 . n/63) word operations.
-   With [~pool] (and at least [cutover] nodes) the rows are blocked
-   over the pool's domains, one contiguous band each per pivot
-   iteration ({!Mmc_parallel.Par_closure}); the result is bit-for-bit
-   the sequential closure. *)
-let transitive_closure_inplace ?pool ?(cutover = par_cutover) t =
+   With [~pool] (and at least [cutover] nodes — default the calibrated
+   {!current_cutover}) the pivots go through the chunked work-stealing
+   scheme ({!Mmc_parallel.Par_closure}); the result is bit-for-bit the
+   sequential closure.  Sequentially, wide matrices (rows over 16
+   words, i.e. n > ~1000) are processed in 16-word column tiles so the
+   pivot row's tile stays cache-hot across the whole row sweep; the
+   absorption bit is fixed within a pivot, so tiling reorders only the
+   word writes, never the result. *)
+let seq_closure_tile = 16
+
+let transitive_closure_inplace ?pool ?cutover t =
+  let cutover = match cutover with Some c -> c | None -> !effective_cutover in
   match pool with
   | Some pool when Mmc_parallel.Pool.size pool > 1 && t.n >= cutover ->
     Mmc_parallel.Par_closure.closure_inplace pool ~n:t.n ~ws:t.ws ~bpw t.bits
   | _ ->
     let n = t.n and ws = t.ws in
     let bits = t.bits in
-    for k = 0 to n - 1 do
-      let row_k = k * ws in
-      let kw = k / bpw and kb = k mod bpw in
-      for i = 0 to n - 1 do
-        if
-          i <> k
-          && (Array.unsafe_get bits ((i * ws) + kw) lsr kb) land 1 = 1
-        then begin
-          let row_i = i * ws in
-          for w = 0 to ws - 1 do
-            Array.unsafe_set bits (row_i + w)
-              (Array.unsafe_get bits (row_i + w)
-              lor Array.unsafe_get bits (row_k + w))
-          done
-        end
+    if ws <= seq_closure_tile then
+      for k = 0 to n - 1 do
+        let row_k = k * ws in
+        let kw = k / bpw and kb = k mod bpw in
+        for i = 0 to n - 1 do
+          if
+            i <> k
+            && (Array.unsafe_get bits ((i * ws) + kw) lsr kb) land 1 = 1
+          then begin
+            let row_i = i * ws in
+            for w = 0 to ws - 1 do
+              Array.unsafe_set bits (row_i + w)
+                (Array.unsafe_get bits (row_i + w)
+                lor Array.unsafe_get bits (row_k + w))
+            done
+          end
+        done
       done
-    done
+    else
+      for k = 0 to n - 1 do
+        let row_k = k * ws in
+        let kw = k / bpw and kb = k mod bpw in
+        let w0 = ref 0 in
+        while !w0 < ws do
+          let w1 = min ws (!w0 + seq_closure_tile) in
+          for i = 0 to n - 1 do
+            if
+              i <> k
+              && (Array.unsafe_get bits ((i * ws) + kw) lsr kb) land 1 = 1
+            then begin
+              let row_i = i * ws in
+              for w = !w0 to w1 - 1 do
+                Array.unsafe_set bits (row_i + w)
+                  (Array.unsafe_get bits (row_i + w)
+                  lor Array.unsafe_get bits (row_k + w))
+              done
+            end
+          done;
+          w0 := w1
+        done
+      done
 
-let transitive_closure ?pool ?cutover t =
-  let c = copy t in
+let transitive_closure ?pool ?cutover ?arena t =
+  let c = copy_via arena t in
   transitive_closure_inplace ?pool ?cutover c;
   c
 
@@ -237,8 +371,8 @@ let is_irreflexive t =
     cost O(1); up to n genuinely new edges are absorbed incrementally
     ({!add_edge_closed}, O(n^2/63) each); beyond that one batch
     Warshall pass is cheaper. *)
-let closure_with t edges =
-  let r = copy t in
+let closure_with ?arena t edges =
+  let r = copy_via arena t in
   if List.length edges <= t.n then
     List.iter (fun (i, j) -> add_edge_closed r i j) edges
   else begin

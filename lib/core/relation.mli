@@ -33,22 +33,65 @@ val iter_successors : t -> int -> (int -> unit) -> unit
 
 val iter_predecessors : t -> int -> (int -> unit) -> unit
 
-(** Node count below which {!transitive_closure} ignores [?pool] and
-    stays sequential (the barrier-per-pivot overhead of the parallel
-    scheme only amortizes on larger matrices). *)
+(** Default node count below which {!transitive_closure} ignores
+    [?pool] and stays sequential (the synchronization overhead of the
+    parallel scheme only amortizes on larger matrices).  This is the
+    historical benchmarked constant; the {e effective} threshold is
+    {!current_cutover}, which {!calibrate} replaces with a measurement
+    on the running machine. *)
 val par_cutover : int
+
+(** The effective parallel cutover (initially {!par_cutover}). *)
+val current_cutover : unit -> int
+
+(** Override the effective cutover ([max_int] disables the parallel
+    path entirely); must be [>= 1]. *)
+val set_par_cutover : int -> unit
+
+(** [calibrate ~pool ()] — measure the smallest size at which the
+    parallel closure beats the sequential one on this machine
+    ({!Mmc_parallel.Par_closure.calibrate}), install it as the
+    effective cutover, and return it ([max_int] when the parallel path
+    never wins, e.g. on a single-core container — the parallel path is
+    then never taken). *)
+val calibrate : pool:Mmc_parallel.Pool.t -> unit -> int
+
+(** Reusable scratch for closure intermediates: free lists of word
+    arrays keyed by exact length.  [transitive_closure] and
+    {!closure_with} with [~arena] acquire their copies from it; hand
+    dead results back with {!recycle}.  Recycling a relation that is
+    still referenced aliases its bits — callers own the discipline.
+    Single-domain: keep an arena on the domain that runs the check
+    (pool workers inside one closure only write into already-acquired
+    words, which is safe). *)
+module Arena : sig
+  type arena
+
+  val create : unit -> arena
+
+  (** Free-list reuses / fresh allocations since creation. *)
+  val hits : arena -> int
+
+  val misses : arena -> int
+end
+
+(** Return a dead relation's words to the arena. *)
+val recycle : Arena.arena -> t -> unit
 
 (** Warshall transitive closure (fresh copy; [_inplace] mutates).
     With [~pool] of two or more domains and at least [cutover]
-    (default {!par_cutover}) nodes, the pivot iterations are
-    row-blocked over the pool ({!Mmc_parallel.Par_closure}); the
-    result is bit-for-bit the sequential closure either way.  The
-    pool must be otherwise idle (see {!Mmc_parallel.Pool}). *)
-val transitive_closure : ?pool:Mmc_parallel.Pool.t -> ?cutover:int -> t -> t
+    (default {!current_cutover}) nodes, pivots go through the chunked
+    work-stealing scheme ({!Mmc_parallel.Par_closure}); the result is
+    bit-for-bit the sequential closure either way.  The pool must be
+    otherwise idle (see {!Mmc_parallel.Pool}).  With [~arena] the
+    fresh copy's words come from the arena's free lists. *)
+val transitive_closure :
+  ?pool:Mmc_parallel.Pool.t -> ?cutover:int -> ?arena:Arena.arena -> t -> t
 
 (** [closure_with t edges] — fresh closure of [t ∪ edges], [t] already
-    closed; incremental per edge when the new edges are few. *)
-val closure_with : t -> (int * int) list -> t
+    closed; incremental per edge when the new edges are few.  With
+    [~arena] the copy's words come from the arena. *)
+val closure_with : ?arena:Arena.arena -> t -> (int * int) list -> t
 
 val transitive_closure_inplace :
   ?pool:Mmc_parallel.Pool.t -> ?cutover:int -> t -> unit

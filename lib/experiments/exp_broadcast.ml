@@ -8,14 +8,14 @@ open Mmc_broadcast
 (* Broadcast [k] payloads from rotating senders; measure per-payload
    delivery completion time (send until delivered at every node) and
    transport messages. *)
-let measure ~impl ~n ~k ~latency ~seed =
+let measure ?batch ~impl ~n ~k ~latency ~seed () =
   let e = Engine.create () in
   let rng = Rng.create seed in
   let send_time = Hashtbl.create 16 in
   let deliveries = Hashtbl.create 16 in
   let completion = Stats.create () in
   let ab =
-    (Select.factory impl) e ~n ~latency ~rng
+    (Select.factory impl) ?batch e ~n ~latency ~rng
       ~deliver:(fun ~node:_ ~origin:_ payload ->
         let c = 1 + Option.value ~default:0 (Hashtbl.find_opt deliveries payload) in
         Hashtbl.replace deliveries payload c;
@@ -37,11 +37,11 @@ let p4 ?(sizes = [ 2; 4; 8; 16 ]) () =
       (fun n ->
         let seq_sum, seq_msgs =
           measure ~impl:Abcast.Sequencer_impl ~n ~k:30
-            ~latency:(Latency.Uniform (5, 15)) ~seed:3
+            ~latency:(Latency.Uniform (5, 15)) ~seed:3 ()
         in
         let lam_sum, lam_msgs =
           measure ~impl:Abcast.Lamport_impl ~n ~k:30
-            ~latency:(Latency.Uniform (5, 15)) ~seed:3
+            ~latency:(Latency.Uniform (5, 15)) ~seed:3 ()
         in
         [
           Table.i n;
@@ -73,5 +73,78 @@ let p4 ?(sizes = [ 2; 4; 8; 16 ]) () =
         "sequencer: 2 hops, n+1 messages; lamport: 1 hop + ack stability, \
          n+n^2 messages";
         "delivery completion measured until the last replica delivers";
+      ];
+  }
+
+(** Batching / dissemination sweep (B1): sequencer broadcast at n = 8,
+    batch size k with a 60-unit flush window, flat fan-out vs a binary
+    dissemination tree; plus the Lamport broadcast flat vs
+    convergecast tree for the same load.  Messages are per broadcast —
+    batching amortizes the [Ordered] fan-out over the batch, the tree
+    cuts the root's egress, and both pay for it in flush latency. *)
+let b1 ?(ks = [ 1; 2; 4; 8 ]) () =
+  let n = 8 in
+  let latency = Latency.Uniform (5, 15) in
+  let k_sends = 40 in
+  let rows =
+    List.map
+      (fun k ->
+        let batch flush_every fanout =
+          Batch.make ~size:k ~flush_every ~fanout ()
+        in
+        (* k = 1 keeps the legacy wire behaviour (no flush timer). *)
+        let flush = if k = 1 then 0 else 60 in
+        let flat_sum, flat_msgs =
+          measure ~batch:(batch flush 0) ~impl:Abcast.Sequencer_impl ~n
+            ~k:k_sends ~latency ~seed:3 ()
+        in
+        let tree_sum, tree_msgs =
+          measure ~batch:(batch flush 2) ~impl:Abcast.Sequencer_impl ~n
+            ~k:k_sends ~latency ~seed:3 ()
+        in
+        [
+          Table.i k;
+          Table.i flat_sum.Stats.p50;
+          Table.i flat_sum.Stats.p95;
+          Table.i flat_msgs;
+          Table.i tree_sum.Stats.p50;
+          Table.i tree_sum.Stats.p95;
+          Table.i tree_msgs;
+        ])
+      ks
+  in
+  let lam_row fanout =
+    let sum, msgs =
+      measure
+        ~batch:(Batch.make ~fanout ())
+        ~impl:Abcast.Lamport_impl ~n ~k:k_sends ~latency ~seed:3 ()
+    in
+    (sum, msgs)
+  in
+  let lam_flat, lam_flat_msgs = lam_row 0 in
+  let lam_tree, lam_tree_msgs = lam_row 2 in
+  {
+    Table.id = "B1";
+    title = "broadcast batching and dissemination: batch size x fan-out";
+    header =
+      [
+        "batch";
+        "flat p50";
+        "flat p95";
+        "flat msgs";
+        "tree p50";
+        "tree p95";
+        "tree msgs";
+      ];
+    rows;
+    notes =
+      [
+        "sequencer, n=8, 40 broadcasts, 60-unit flush window (batch>1); \
+         msgs are per broadcast";
+        Fmt.str
+          "lamport at same load: flat %d msgs/bcast p50 %d; convergecast \
+           tree (fanout 2) %d msgs/bcast p50 %d (3(n-1) = %d per bcast)"
+          lam_flat_msgs lam_flat.Stats.p50 lam_tree_msgs lam_tree.Stats.p50
+          (3 * (n - 1));
       ];
   }

@@ -52,6 +52,12 @@ let all : entry list =
       quick = (fun () -> Exp_broadcast.p4 ~sizes:[ 2; 4 ] ());
     };
     {
+      id = "B1";
+      description = "broadcast batching: batch size x fan-out sweep";
+      run = (fun () -> Exp_broadcast.b1 ());
+      quick = (fun () -> Exp_broadcast.b1 ~ks:[ 1; 8 ] ());
+    };
+    {
       id = "P5";
       description = "DCAS under contention";
       run = (fun () -> Exp_objects.p5 ());

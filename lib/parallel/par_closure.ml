@@ -1,11 +1,12 @@
-(** Row-blocked parallel Warshall closure (see the interface). *)
+(** Chunked work-stealing parallel Warshall closure (see the
+    interface). *)
 
-(* Cyclic barrier: the [parties] band workers rendezvous between
-   consecutive pivot iterations.  Phase-counting (rather than a
-   sense-reversing flag) keeps the wait condition trivially correct:
-   a worker waits until the phase it arrived in is over.  The mutex
-   hand-off doubles as the memory barrier that publishes every row
-   written in pivot [k] before any worker reads it as row [k+1]. *)
+(* Cyclic barrier: the workers rendezvous between phases.
+   Phase-counting (rather than a sense-reversing flag) keeps the wait
+   condition trivially correct: a worker waits until the phase it
+   arrived in is over.  The mutex hand-off doubles as the memory
+   barrier that publishes every row written in one phase before any
+   worker reads it in the next. *)
 type barrier = {
   m : Mutex.t;
   cv : Condition.t;
@@ -32,14 +33,33 @@ let barrier_wait b =
     done;
   Mutex.unlock b.m
 
-(* OR row [k] into every row of [lo, hi) whose bit [k] is set: one
-   pivot iteration restricted to a row band.  Mirrors the sequential
-   loop of [Mmc_core.Relation.transitive_closure_inplace]. *)
-let band_step bits ~ws ~bpw ~k ~lo ~hi =
+(* Pivots per chunk and rows per stolen block.  One chunk costs two
+   barrier waves regardless of how many pivots it carries, so the wave
+   count is 2 * ceil (n / chunk) instead of the n of the old
+   barrier-per-pivot scheme; 32-row blocks keep the steal counter cold
+   (one fetch-and-add per ~32 rows of work). *)
+let chunk = 32
+let block = 32
+
+(* Synchronization waves since start-up, across all parallel closures
+   (two per chunk); the bench reports it to pin the O(n / chunk)
+   claim. *)
+let waves_counter = Atomic.make 0
+let waves () = Atomic.get waves_counter
+let reset_waves () = Atomic.set waves_counter 0
+
+(* OR row [k] into every row of [lo, hi) \ [skip_lo, skip_hi) whose
+   bit [k] is set.  Mirrors the sequential inner loop of
+   [Mmc_core.Relation.transitive_closure_inplace]; the skip range
+   excludes the chunk's own rows, which phase 1 already closed (and
+   which phase 2 reads concurrently, so they must not be written). *)
+let band_step bits ~ws ~bpw ~k ~lo ~hi ~skip_lo ~skip_hi =
   let row_k = k * ws in
   let kw = k / bpw and kb = k mod bpw in
   for i = lo to hi - 1 do
-    if i <> k && (Array.unsafe_get bits ((i * ws) + kw) lsr kb) land 1 = 1
+    if
+      (i < skip_lo || i >= skip_hi)
+      && (Array.unsafe_get bits ((i * ws) + kw) lsr kb) land 1 = 1
     then begin
       let row_i = i * ws in
       for w = 0 to ws - 1 do
@@ -50,29 +70,121 @@ let band_step bits ~ws ~bpw ~k ~lo ~hi =
     end
   done
 
+let seq_closure bits ~n ~ws ~bpw =
+  for k = 0 to n - 1 do
+    band_step bits ~ws ~bpw ~k ~lo:0 ~hi:n ~skip_lo:k ~skip_hi:(k + 1)
+  done
+
+(* Two-phase chunked scheme.  For each pivot chunk K = [k0, k1):
+
+   Phase 1 (one worker): close the diagonal band — for k in K
+   ascending, OR row k into the rows of K whose bit k is set.  This is
+   exactly the sequential recurrence restricted to K's rows, so after
+   phase 1 every row in K has absorbed all of K's pivots.
+
+   Phase 2 (all workers, work-stealing): every row outside K absorbs
+   pivots k0..k1-1 ascending.  Rows are handed out in [block]-row
+   slices off a shared fetch-and-add counter, so load balances
+   dynamically (a worker that drew dense rows simply steals fewer
+   blocks) with one atomic per slice instead of a barrier per pivot.
+
+   Equality with the sequential closure: phase 2 reads pivot rows that
+   are *more* closed than at the corresponding point of the sequential
+   sweep (they already hold all of K), and every row's own absorption
+   order over pivots is the same ascending order, so the computed
+   matrix is sandwiched between the sequential intermediate states and
+   the true closure; both ends meet at the unique reachability closure
+   after the last chunk, hence the result is bit-for-bit the
+   sequential one. *)
 let closure_inplace pool ~n ~ws ~bpw bits =
   if Array.length bits < n * ws then
     invalid_arg "Par_closure.closure_inplace: bits shorter than n * ws";
-  let parties = min (Pool.size pool) n in
-  if parties <= 1 then
-    for k = 0 to n - 1 do
-      band_step bits ~ws ~bpw ~k ~lo:0 ~hi:n
-    done
+  let n_blocks = (n + block - 1) / block in
+  let parties = min (Pool.size pool) n_blocks in
+  if parties <= 1 then seq_closure bits ~n ~ws ~bpw
   else begin
+    let n_chunks = (n + chunk - 1) / chunk in
     let barrier = barrier_create parties in
-    (* Contiguous bands, sizes differing by at most one row. *)
-    let band d =
-      let base = n / parties and extra = n mod parties in
-      let lo = (d * base) + min d extra in
-      let hi = lo + base + if d < extra then 1 else 0 in
-      (lo, hi)
-    in
+    let next_block = Atomic.make 0 in
     List.init parties (fun d ->
         Pool.submit pool (fun () ->
-            let lo, hi = band d in
-            for k = 0 to n - 1 do
-              band_step bits ~ws ~bpw ~k ~lo ~hi;
+            for c = 0 to n_chunks - 1 do
+              let k0 = c * chunk in
+              let k1 = min n (k0 + chunk) in
+              if d = 0 then begin
+                for k = k0 to k1 - 1 do
+                  band_step bits ~ws ~bpw ~k ~lo:k0 ~hi:k1 ~skip_lo:k
+                    ~skip_hi:(k + 1)
+                done;
+                (* Safe to reset here: the counter is quiescent between
+                   the previous chunk's closing barrier and the next
+                   one. *)
+                Atomic.set next_block 0
+              end;
+              barrier_wait barrier;
+              let rec steal () =
+                let b = Atomic.fetch_and_add next_block 1 in
+                if b < n_blocks then begin
+                  let lo = b * block in
+                  let hi = min n (lo + block) in
+                  for k = k0 to k1 - 1 do
+                    band_step bits ~ws ~bpw ~k ~lo ~hi ~skip_lo:k0 ~skip_hi:k1
+                  done;
+                  steal ()
+                end
+              in
+              steal ();
               barrier_wait barrier
             done))
-    |> List.iter Pool.await
+    |> List.iter Pool.await;
+    ignore (Atomic.fetch_and_add waves_counter (2 * n_chunks))
+  end
+
+(* --- calibration --- *)
+
+(* Deterministic sparse random matrix in the packed representation:
+   [edges] random bits over an [n] x [n] matrix (duplicates are
+   harmless). *)
+let random_bits st ~n ~ws ~bpw ~edges =
+  let bits = Array.make (n * ws) 0 in
+  for _ = 1 to edges do
+    let i = Random.State.int st n and j = Random.State.int st n in
+    let k = (i * ws) + (j / bpw) in
+    bits.(k) <- bits.(k) lor (1 lsl (j mod bpw))
+  done;
+  bits
+
+let time_runs f =
+  (* Median of three: calibration runs amid domain start-up noise. *)
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let a = one () and b = one () and c = one () in
+  let m = max (min a b) (min (max a b) c) in
+  m
+
+let calibrate ?(sizes = [ 64; 96; 128; 192; 256; 384; 512 ]) ~pool () =
+  if Pool.size pool <= 1 then max_int
+  else begin
+    let bpw = 63 in
+    let st = Random.State.make [| 0x5eed |] in
+    let rec probe = function
+      | [] -> max_int
+      | n :: rest ->
+        let ws = (n + bpw - 1) / bpw in
+        (* ~4 edges per row: sparse like checker relations before
+           closure, dense after a few pivots. *)
+        let proto = random_bits st ~n ~ws ~bpw ~edges:(4 * n) in
+        let seq_s =
+          time_runs (fun () -> seq_closure (Array.copy proto) ~n ~ws ~bpw)
+        in
+        let par_s =
+          time_runs (fun () ->
+              closure_inplace pool ~n ~ws ~bpw (Array.copy proto))
+        in
+        if par_s < seq_s then n else probe rest
+    in
+    probe sizes
   end

@@ -1,4 +1,4 @@
-(** Row-blocked parallel Warshall transitive closure over a
+(** Chunked work-stealing parallel Warshall transitive closure over a
     word-packed bit matrix.
 
     The matrix is the raw representation of [Mmc_core.Relation.t]
@@ -6,18 +6,44 @@
     in the dependency order, so it works on the packed words directly:
     [n] rows of [ws] words, [bpw] adjacency bits per word, row-major.
 
-    Parallel scheme: each worker owns a contiguous band of rows.  For
-    every pivot [k], a worker ORs row [k] into the rows of its band
-    whose bit [k] is set; a barrier separates consecutive pivots.
-    Within one pivot iteration row [k] is only read (the [i = k] case
-    is the identity and skipped) and every other row is written by
-    exactly one worker, so the result is bit-for-bit the sequential
-    Warshall closure, independent of scheduling. *)
+    Parallel scheme: pivots are processed in chunks of 32.  For each
+    chunk, one worker first closes the diagonal band (the chunk's own
+    rows absorb the chunk's pivots in the exact sequential order); a
+    barrier publishes it; then every worker steals 32-row blocks off a
+    shared fetch-and-add counter and makes each stolen row (outside
+    the chunk) absorb the chunk's pivots in ascending order.  Two
+    barrier {e waves} per chunk — [2 * ceil (n / 32)] synchronizations
+    in total instead of the [n] of a barrier-per-pivot scheme — and
+    dynamic load balance at one atomic per ~32 rows of work.
+
+    The result is bit-for-bit the sequential Warshall closure: a
+    stolen row reads pivot rows that are at least as closed as at the
+    corresponding sequential step (never more than the true closure),
+    and absorbs pivots in the same ascending order, so the final
+    matrix is the unique reachability closure either way. *)
 
 (** [closure_inplace pool ~n ~ws ~bpw bits] — close the matrix in
-    place.  Runs on the calling domain when [Pool.size pool <= 1];
-    otherwise submits exactly [min (Pool.size pool) n] band workers
-    that rendezvous at a barrier per pivot, so the pool must be
-    otherwise idle (see {!Pool}'s nested-submission caveat). *)
+    place.  Runs on the calling domain when [Pool.size pool <= 1] (or
+    when [n] fits a single 32-row block); otherwise submits up to
+    [Pool.size pool] workers that rendezvous twice per pivot chunk, so
+    the pool must be otherwise idle (see {!Pool}'s nested-submission
+    caveat). *)
 val closure_inplace :
   Pool.t -> n:int -> ws:int -> bpw:int -> int array -> unit
+
+(** Barrier waves executed by parallel closures since start-up (two
+    per pivot chunk, summed over calls); {!reset_waves} zeroes the
+    counter.  The bench reports the delta to pin the O(n / chunk)
+    synchronization claim. *)
+val waves : unit -> int
+
+val reset_waves : unit -> unit
+
+(** [calibrate ~pool ()] — measure, on this machine and this pool, the
+    smallest relation size from [sizes] (default 64..512) at which the
+    parallel closure beats the sequential one on wall-clock time
+    (median of three runs on a random sparse matrix), or [max_int]
+    when it never does (e.g. a single-core container).  Intended to
+    seed [Mmc_core.Relation.set_par_cutover] instead of a hardcoded
+    threshold. *)
+val calibrate : ?sizes:int list -> pool:Pool.t -> unit -> int

@@ -92,15 +92,19 @@ let check_shards ?pool ?(kind = Constraints.WW) recorders ~flavour =
       recorders
     |> Array.map Mmc_parallel.Pool.await
 
-let check ?pool ?(oracle = true) ?(kind = Constraints.WW) placement recorders
-    ~flavour =
+let check ?pool ?arena ?(oracle = true) ?(kind = Constraints.WW) placement
+    recorders ~flavour =
   let per_shard = check_shards ?pool ~kind recorders ~flavour in
   let st = Shard_recorder.stitch placement recorders in
   let stitched = check_stitched ~kind st ~flavour in
   let batch =
+    (* The arena stays on this domain: only the batch oracle (which
+       runs here, fanning at most the closure rows over the pool) uses
+       it — the per-shard jobs above run whole on pool workers. *)
     if oracle then
       Some
-        (Check_constrained.check_relation ?pool st.Shard_recorder.history
+        (Check_constrained.check_relation ?pool ?arena
+           st.Shard_recorder.history
            (stitched_relation st ~flavour)
            kind)
     else None

@@ -96,9 +96,13 @@ val check_shards :
     per-shard checks out over the pool's domains and parallelizes the
     oracle's closure.  [~oracle:false] skips the O(n^3) batch
     cross-check (then [batch = None] and [agree] is vacuously true) —
-    for bench loops that only want the decomposed pipeline. *)
+    for bench loops that only want the decomposed pipeline.  [~arena]
+    recycles the oracle's closure intermediates
+    ({!Mmc_core.Relation.Arena}); it stays on the calling domain, so
+    it composes with [~pool]. *)
 val check :
   ?pool:Mmc_parallel.Pool.t ->
+  ?arena:Relation.Arena.arena ->
   ?oracle:bool ->
   ?kind:Constraints.kind ->
   Placement.t ->

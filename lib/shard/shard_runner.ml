@@ -87,5 +87,6 @@ let run ~seed ?placement (cfg : Runner.config) ~workload =
     recovery = Shard_store.recovery sharded;
   }
 
-let check ?pool ?oracle ?(kind = Constraints.WW) res ~flavour =
-  Check_sharded.check ?pool ?oracle ~kind res.placement res.recorders ~flavour
+let check ?pool ?arena ?oracle ?(kind = Constraints.WW) res ~flavour =
+  Check_sharded.check ?pool ?arena ?oracle ~kind res.placement res.recorders
+    ~flavour

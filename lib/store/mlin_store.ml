@@ -37,8 +37,8 @@ type pending_query = {
   q_k : Value.t -> unit;
 }
 
-let create ?fault ?reliable engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder :
-    Store.t =
+let create ?fault ?reliable ?batch engine ~n ~n_objects ~latency ~rng
+    ~abcast_impl ~recorder : Store.t =
   let xs = Array.init n (fun _ -> Array.make n_objects Value.initial) in
   let tss = Array.init n (fun _ -> Array.make n_objects 0) in
   let delivered = Array.make n 0 in
@@ -67,8 +67,8 @@ let create ?fault ?reliable engine ~n ~n_objects ~latency ~rng ~abcast_impl ~rec
     end
   in
   let abcast =
-    (Select.factory abcast_impl) ?fault ?reliable engine ~n ~latency ~rng:(Rng.split rng)
-      ~deliver
+    (Select.factory abcast_impl) ?fault ?reliable ?batch engine ~n ~latency
+      ~rng:(Rng.split rng) ~deliver
   in
   let qnet = Transport.create ?fault engine ~n ~latency ~rng:(Rng.split rng) in
   let pending : (int, pending_query) Hashtbl.t = Hashtbl.create 16 in

@@ -7,10 +7,14 @@
 
 (** [fault] attaches a fault injector: all of the protocol's traffic
     then runs over the reliable ack/retransmit transport and survives
-    message loss, partitions and crash/recovery windows. *)
+    message loss, partitions and crash/recovery windows.  [batch]
+    configures sequencer-side batching and tree dissemination in the
+    underlying broadcast ({!Mmc_broadcast.Batch}); it never changes
+    the delivered order, only the wire framing. *)
 val create :
   ?fault:Mmc_sim.Fault.t ->
   ?reliable:Mmc_sim.Reliable.config ->
+  ?batch:Mmc_broadcast.Batch.t ->
   Mmc_sim.Engine.t ->
   n:int ->
   n_objects:int ->

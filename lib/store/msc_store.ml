@@ -19,8 +19,8 @@ type payload = {
   k : Value.t -> unit;
 }
 
-let create ?fault ?reliable engine ~n ~n_objects ~latency ~rng ~abcast_impl ~recorder :
-    Store.t =
+let create ?fault ?reliable ?batch engine ~n ~n_objects ~latency ~rng
+    ~abcast_impl ~recorder : Store.t =
   let xs = Array.init n (fun _ -> Array.make n_objects Value.initial) in
   let tss = Array.init n (fun _ -> Array.make n_objects 0) in
   (* Per-node delivery counters: identical across nodes (total order),
@@ -51,8 +51,8 @@ let create ?fault ?reliable engine ~n ~n_objects ~latency ~rng ~abcast_impl ~rec
     end
   in
   let abcast =
-    (Select.factory abcast_impl) ?fault ?reliable engine ~n ~latency ~rng:(Rng.split rng)
-      ~deliver
+    (Select.factory abcast_impl) ?fault ?reliable ?batch engine ~n ~latency
+      ~rng:(Rng.split rng) ~deliver
   in
   let invoke ~proc (m : Prog.mprog) ~k =
     let now = Engine.now engine in

@@ -78,7 +78,7 @@ type handle = {
 let retry_every = 15
 let poll_budget = 200
 
-let create ?fault ?reliable ?detector ?(mode = Stable)
+let create ?fault ?reliable ?batch ?detector ?(mode = Stable)
     ?(policy = Rlog.default_policy) ?sink engine ~n ~n_objects ~latency ~rng
     ~abcast_impl ~recorder : Store.t =
   Rlog.validate_policy policy;
@@ -328,8 +328,8 @@ let create ?fault ?reliable ?detector ?(mode = Stable)
         end)
   done;
   let rbcast =
-    (Select.recoverable abcast_impl) ?fault ?reliable ?detector engine ~n
-      ~latency
+    (Select.recoverable abcast_impl) ?fault ?reliable ?batch ?detector engine
+      ~n ~latency
       ~rng:(Rng.split rng)
       ~deliver:(fun ~node ~origin ~pos d ->
         match d with

@@ -45,6 +45,7 @@ type handle = {
 val create :
   ?fault:Mmc_sim.Fault.t ->
   ?reliable:Mmc_sim.Reliable.config ->
+  ?batch:Mmc_broadcast.Batch.t ->
   ?detector:Mmc_sim.Detector.config ->
   ?mode:mode ->
   ?policy:Rlog.policy ->

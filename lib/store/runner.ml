@@ -37,6 +37,10 @@ type config = {
   detector : Detector.config option;
       (** failure-detector tuning for the [Rmsc] broadcast ([None] =
           {!Mmc_sim.Detector.default_config}) *)
+  batch : Batch.t;
+      (** broadcast batching / tree-dissemination knobs
+          ({!Mmc_broadcast.Batch.unbatched} by default); changes only
+          the wire framing, never the delivered order *)
 }
 
 let default_config =
@@ -55,6 +59,7 @@ let default_config =
     recovery = Mmc_recovery.Rlog.default_policy;
     delivery = Rstore.Stable;
     detector = None;
+    batch = Batch.unbatched;
   }
 
 type result = {
@@ -80,17 +85,17 @@ type result = {
 let make_store ?fault ?sink cfg engine ~rng ~recorder =
   match cfg.kind with
   | Store.Msc ->
-    Msc_store.create ?fault ?reliable:cfg.reliable engine ~n:cfg.n_procs
-      ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
+    Msc_store.create ?fault ?reliable:cfg.reliable ~batch:cfg.batch engine
+      ~n:cfg.n_procs ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
       ~abcast_impl:cfg.abcast_impl ~recorder
   | Store.Mlin ->
-    Mlin_store.create ?fault ?reliable:cfg.reliable engine ~n:cfg.n_procs
-      ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
+    Mlin_store.create ?fault ?reliable:cfg.reliable ~batch:cfg.batch engine
+      ~n:cfg.n_procs ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
       ~abcast_impl:cfg.abcast_impl ~recorder
   | Store.Rmsc ->
-    Rstore.create ?fault ?reliable:cfg.reliable ?detector:cfg.detector
-      ~mode:cfg.delivery ~policy:cfg.recovery ?sink engine ~n:cfg.n_procs
-      ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
+    Rstore.create ?fault ?reliable:cfg.reliable ~batch:cfg.batch
+      ?detector:cfg.detector ~mode:cfg.delivery ~policy:cfg.recovery ?sink
+      engine ~n:cfg.n_procs ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
       ~abcast_impl:cfg.abcast_impl ~recorder
   | Store.Central ->
     Central_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
@@ -117,7 +122,7 @@ let make_store ?fault ?sink cfg engine ~rng ~recorder =
     way a live verifier would follow a growing trace: edges already
     implied by the closure cost O(1), and the final check runs on the
     maintained closure without ever re-closing from scratch. *)
-let check_trace ?pool ?(kind = Constraints.WW) (res : result) ~flavour =
+let check_trace ?pool ?arena ?(kind = Constraints.WW) (res : result) ~flavour =
   let h = res.history in
   match pool with
   | Some _ ->
@@ -135,7 +140,7 @@ let check_trace ?pool ?(kind = Constraints.WW) (res : result) ~flavour =
       | [ _ ] | [] -> ()
     in
     link res.sync_order;
-    Check_constrained.check_relation ?pool h rel kind
+    Check_constrained.check_relation ?pool ?arena h rel kind
   | None ->
     let inc = Check_constrained.Incremental.create (History.n_mops h) in
     Check_constrained.Incremental.add_edges inc (History.base_edges h flavour);
@@ -146,7 +151,7 @@ let check_trace ?pool ?(kind = Constraints.WW) (res : result) ~flavour =
       | [ _ ] | [] -> ()
     in
     link res.sync_order;
-    Check_constrained.Incremental.check inc h kind
+    Check_constrained.Incremental.check ?arena inc h kind
 
 (** [run ~seed cfg ~workload] — [workload rng ~proc ~step] produces the
     [step]-th m-operation of client [proc]. *)

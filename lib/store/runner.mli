@@ -31,6 +31,10 @@ type config = {
   detector : Mmc_sim.Detector.config option;
       (** failure-detector tuning for the [Rmsc] broadcast ([None] =
           {!Mmc_sim.Detector.default_config}) *)
+  batch : Mmc_broadcast.Batch.t;
+      (** broadcast batching / tree-dissemination knobs
+          ({!Mmc_broadcast.Batch.unbatched} by default); changes only
+          the wire framing, never the delivered order *)
 }
 
 val default_config : config
@@ -75,6 +79,7 @@ val make_store :
     [test_incremental]). *)
 val check_trace :
   ?pool:Mmc_parallel.Pool.t ->
+  ?arena:Relation.Arena.arena ->
   ?kind:Constraints.kind ->
   result ->
   flavour:History.flavour ->

@@ -258,6 +258,45 @@ let test_runner_check_trace_pool () =
             seq par)
         [ 1; 2; 3 ])
 
+(* --- chunked-scheme synchronization accounting --- *)
+
+(* The work-stealing closure synchronizes twice per 32-pivot chunk:
+   the wave counter must grow by exactly 2 * ceil(n / 32) per parallel
+   run — the O(n / chunk) claim, down from the O(n) barriers of the
+   per-pivot scheme this replaced. *)
+let test_waves_per_closure () =
+  Mmc_parallel.Pool.with_pool ~num_domains:2 (fun pool ->
+      List.iter
+        (fun n ->
+          let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+          let r = Relation.of_edges n edges in
+          Mmc_parallel.Par_closure.reset_waves ();
+          let par = Relation.transitive_closure ~pool ~cutover:1 r in
+          Alcotest.(check int)
+            (Fmt.str "waves for n=%d" n)
+            (2 * ((n + 31) / 32))
+            (Mmc_parallel.Par_closure.waves ());
+          Alcotest.(check bool)
+            (Fmt.str "still equals sequential (n=%d)" n)
+            true
+            (Relation.equal (Relation.transitive_closure r) par))
+        [ 33; 64; 65; 100; 256 ])
+
+(* Calibration returns a sane threshold, installs it as the effective
+   cutover, and the override API validates its argument. *)
+let test_calibrate_installs_cutover () =
+  let before = Relation.current_cutover () in
+  Mmc_parallel.Pool.with_pool ~num_domains:2 (fun pool ->
+      let c = Relation.calibrate ~pool () in
+      Alcotest.(check bool) "calibrated threshold positive" true (c >= 1);
+      Alcotest.(check int) "installed as effective cutover" c
+        (Relation.current_cutover ()));
+  Relation.set_par_cutover before;
+  Alcotest.(check int) "restored" before (Relation.current_cutover ());
+  Alcotest.check_raises "cutover must be >= 1"
+    (Invalid_argument "Relation.set_par_cutover: cutover must be >= 1")
+    (fun () -> Relation.set_par_cutover 0)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -275,6 +314,10 @@ let () =
       ( "closure",
         [
           Alcotest.test_case "cutover boundary" `Quick test_cutover_boundary;
+          Alcotest.test_case "waves = 2*ceil(n/32)" `Quick
+            test_waves_per_closure;
+          Alcotest.test_case "calibrate installs cutover" `Quick
+            test_calibrate_installs_cutover;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [

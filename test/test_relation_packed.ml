@@ -270,6 +270,35 @@ let prop_bitset_key =
       in
       (mk xs = mk ys) = same_set)
 
+(* --- arena-recycled closures --- *)
+
+(* Closure through a shared arena must be bit-identical to the plain
+   path, across repeated acquire/recycle cycles (reuse is the point:
+   after the first round the words come off the free list, so stale
+   bits from the previous closure must never leak through). *)
+let prop_arena_closure =
+  let arena = Relation.Arena.create () in
+  QCheck.Test.make ~name:"arena closure = plain closure (reused arena)"
+    ~count:200 (arb (small @ boundary)) (fun (n, edges) ->
+      let r = Relation.of_edges n edges in
+      let plain = Relation.transitive_closure r in
+      let via = Relation.transitive_closure ~arena r in
+      let ok = Relation.equal plain via in
+      Relation.recycle arena via;
+      ok)
+
+let test_arena_reuses_words () =
+  let arena = Relation.Arena.create () in
+  let r = Relation.of_edges 80 (List.init 79 (fun i -> (i, i + 1))) in
+  for _ = 1 to 10 do
+    let c = Relation.transitive_closure ~arena r in
+    Relation.recycle arena c
+  done;
+  Alcotest.(check bool) "free list actually hit" true
+    (Relation.Arena.hits arena >= 9);
+  Alcotest.(check bool) "at most one miss per length" true
+    (Relation.Arena.misses arena <= 1)
+
 (* --- unit: exact word-boundary bits --- *)
 
 let test_boundary_bits () =
@@ -305,6 +334,7 @@ let () =
           Alcotest.test_case "word-boundary bits" `Quick test_boundary_bits;
           Alcotest.test_case "cycle via add_edge_closed" `Quick
             test_cycle_via_incremental;
+          Alcotest.test_case "arena reuses words" `Quick test_arena_reuses_words;
         ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest
@@ -316,6 +346,7 @@ let () =
             prop_add_edge_closed;
             prop_incremental_build;
             prop_closure_with;
+            prop_arena_closure;
             prop_topo_closed;
             prop_topo_agree;
             prop_total_on;
