@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci smoke shard-smoke par-smoke recover-smoke chaos-smoke bench-smoke bench-diff experiments bench-json clean
+.PHONY: all build test check ci smoke shard-smoke par-smoke recover-smoke chaos-smoke soak-smoke bench-smoke bench-diff experiments bench-json clean
 
 all: build
 
@@ -21,7 +21,7 @@ check: build test
 # the committed trajectory in warn mode — CI runners are too noisy
 # for a hard perf gate, but a broken bench or a failed built-in
 # metric assertion still fails the job via the bench exit code).
-ci: build test par-smoke recover-smoke chaos-smoke bench-smoke
+ci: build test par-smoke recover-smoke chaos-smoke soak-smoke bench-smoke
 
 # Reduced-size bench pass over the core and parallel groups with
 # metric assertions active, written to a scratch JSON and diffed
@@ -78,6 +78,23 @@ recover-smoke: build
 chaos-smoke: build
 	$(DUNE) exec bin/mmc_cli.exe -- chaos --plans 25 --seed 1
 
+# Streaming-verification smoke: an open-loop soak PASSes under the
+# windowed Theorem-7 checker (exit 0), a run with a seeded stale-read
+# corruption past op 1500 must FAIL (exit 1 — the exit code is
+# asserted, a PASS here is a checker bug), and the NDJSON pipeline
+# (generate --stream | check --stream) PASSes a
+# consistent-by-construction trace.
+soak-smoke: build
+	$(DUNE) exec bin/mmc_cli.exe -- soak --store msc --ops 4000 \
+	  --procs 4 --objects 12 --rate 3 --seed 7
+	$(DUNE) exec bin/mmc_cli.exe -- soak --store mlin --ops 4000 \
+	  --procs 4 --objects 12 --rate 3 --corrupt 1500 --seed 7; \
+	  test $$? -eq 1
+	$(DUNE) exec bin/mmc_cli.exe -- generate --family legal --mops 800 \
+	  --procs 4 --seed 9 --stream --out /tmp/soak-smoke.ndjson
+	$(DUNE) exec bin/mmc_cli.exe -- check --stream --window 64 \
+	  /tmp/soak-smoke.ndjson
+
 # Quick versions of every registered experiment table.
 experiments: build
 	$(DUNE) exec bin/mmc_cli.exe -- experiments all --quick
@@ -93,7 +110,7 @@ experiments: build
 # about.
 bench-json: build
 	$(DUNE) exec bench/main.exe -- --only core --only shard \
-	  --only recovery --only chaos --only parallel \
+	  --only stream --only recovery --only chaos --only parallel \
 	  --domains 1 --domains 2 --domains 4 --json BENCH_core.json
 
 clean:

@@ -19,6 +19,14 @@
                    messages/op, latency percentiles and
                    verified-ops-per-sec per shard count
 
+     stream/*      streaming verification: windowed Theorem-7 checker
+                   (two window sizes) vs the full-trace incremental
+                   check on one closed-loop trace; with --json also
+                   records one-shot soak metrics (throughput, p99,
+                   resident/recycled relation words, retired count)
+                   and asserts the flat-memory ceiling, the PASS
+                   verdict and the seeded-corruption FAIL
+
      parallel/*    multicore verification: row-blocked parallel
                    closure / Theorem-7 at n in {400,600} and the
                    per-shard fan-out at S = 8, one -dD variant per
@@ -57,7 +65,7 @@ open Mmc_core
 
 let group_names =
   [ "T1"; "T2"; "T7"; "core"; "protocol"; "P4"; "P5"; "figures"; "shard";
-    "recovery"; "chaos"; "parallel" ]
+    "stream"; "recovery"; "chaos"; "parallel" ]
 
 let only, json_file, cli_seed, cli_domains, compare_file, compare_warn, cli_quick
     =
@@ -502,6 +510,134 @@ let shard_metrics () =
     shard_inputs
   @ s8_skew_metrics
 
+(* --- streaming verification: the `stream` group --- *)
+
+(* One closed-loop msc trace, built once; the kernels compare the
+   windowed checker (feed + epoch checks + retirement, at two window
+   sizes) against the full-trace incremental check on the same
+   trace — the streaming overhead is the price of O(window) residency. *)
+
+let stream_spec =
+  { Mmc_workload.Spec.default with n_objects = 16; read_ratio = 0.5 }
+
+let stream_ops = if cli_quick then 50 else 150
+
+let stream_input =
+  Mmc_store.Runner.run
+    ~seed:(13 + soff)
+    {
+      Mmc_store.Runner.default_config with
+      n_procs = 4;
+      n_objects = 16;
+      ops_per_proc = stream_ops;
+    }
+    ~workload:(Mmc_workload.Generator.mixed stream_spec)
+
+let windowed_check window (res : Mmc_store.Runner.result) =
+  let wc =
+    Mmc_stream.Window_check.create ~window ~flavour:History.Msc
+      ~n_objects:(History.n_objects res.Mmc_store.Runner.history)
+      ()
+  in
+  Mmc_stream.Window_check.feed_history wc res.Mmc_store.Runner.history
+    ~sync_order:res.Mmc_store.Runner.sync_order;
+  Mmc_stream.Window_check.finish wc
+
+let bench_stream =
+  let n = stream_input.Mmc_store.Runner.completed in
+  Test.make_grouped ~name:"stream"
+    [
+      Test.make
+        ~name:(Fmt.str "windowed-%d-w128" n)
+        (Staged.stage (fun () -> ignore (windowed_check 128 stream_input)));
+      Test.make
+        ~name:(Fmt.str "windowed-%d-w512" n)
+        (Staged.stage (fun () -> ignore (windowed_check 512 stream_input)));
+      Test.make
+        ~name:(Fmt.str "full-%d" n)
+        (Staged.stage (fun () ->
+             ignore
+               (Mmc_store.Runner.check_trace stream_input
+                  ~flavour:History.Msc)));
+    ]
+
+(* One-shot soak metrics recorded next to the ns/run estimates: the
+   flat-memory claim as numbers (max resident closure words for a
+   window-256 checker must be O(window), asserted under a generous
+   ceiling), the verdict (asserted PASS — a failing soak is a checker
+   bug, not a slow run), and the seeded-corruption counterpart
+   (asserted FAIL — a passing corrupted soak is a worse one). *)
+let stream_metrics () =
+  let soak_ops = if cli_quick then 2_000 else 20_000 in
+  let cfg =
+    {
+      Mmc_stream.Soak.default_config with
+      runner =
+        {
+          Mmc_store.Runner.default_config with
+          n_procs = 4;
+          n_objects = 16;
+        };
+      rate = 3;
+      max_ops = soak_ops;
+      window = 256;
+    }
+  in
+  let r =
+    Mmc_stream.Soak.run ~seed:(11 + soff)
+      ~workload:(Mmc_workload.Generator.mixed stream_spec)
+      cfg
+  in
+  let m = r.Mmc_stream.Soak.wc in
+  let pass =
+    match r.Mmc_stream.Soak.verdict with
+    | Mmc_stream.Window_check.Pass -> true
+    | _ -> false
+  in
+  if not pass then
+    fail_check "stream soak (%d ops): windowed verdict is not PASS" soak_ops;
+  let resident = m.Mmc_stream.Window_check.max_resident_words in
+  if resident > 40_000 then
+    fail_check
+      "stream soak: %d resident relation words for window 256 (flat-memory \
+       claim: O(window), ceiling 40000)"
+      resident;
+  let corrupt_res =
+    Mmc_stream.Soak.run ~seed:(7 + soff)
+      ~workload:(Mmc_workload.Generator.mixed stream_spec)
+      {
+        cfg with
+        Mmc_stream.Soak.max_ops = 4_000;
+        corrupt = Some 1_500;
+        runner = { cfg.Mmc_stream.Soak.runner with kind = Mmc_store.Store.Mlin };
+      }
+  in
+  let corrupt_fail =
+    match corrupt_res.Mmc_stream.Soak.verdict with
+    | Mmc_stream.Window_check.Fail _ -> true
+    | _ -> false
+  in
+  if not corrupt_fail then
+    fail_check
+      "stream soak: seeded stale-read corruption did not FAIL the windowed \
+       checker";
+  [
+    ("metrics/stream/msc/ops", float_of_int r.Mmc_stream.Soak.completed);
+    ( "metrics/stream/msc/throughput-per-kt",
+      1000.
+      *. float_of_int r.Mmc_stream.Soak.completed
+      /. float_of_int (max 1 r.Mmc_stream.Soak.duration) );
+    ( "metrics/stream/msc/latency-p99",
+      r.Mmc_stream.Soak.latency.Mmc_sim.Stats.q99 );
+    ("metrics/stream/msc/resident-words", float_of_int resident);
+    ( "metrics/stream/msc/recycled-words",
+      float_of_int m.Mmc_stream.Window_check.recycled_words );
+    ("metrics/stream/msc/retired", float_of_int m.Mmc_stream.Window_check.retired);
+    ("metrics/stream/msc/max-live", float_of_int m.Mmc_stream.Window_check.max_live);
+    ("metrics/stream/msc/verdict-pass", if pass then 1. else 0.);
+    ("metrics/stream/mlin/corrupt-fail", if corrupt_fail then 1. else 0.);
+  ]
+
 (* --- crash recovery: the `recovery` group --- *)
 
 (* Full recoverable-store runs: crash-free (the WAL/checkpoint
@@ -876,6 +1012,7 @@ let groups =
     ("P5", bench_objects);
     ("figures", bench_figures);
     ("shard", bench_shard);
+    ("stream", bench_stream);
     ("recovery", bench_recovery);
     ("chaos", bench_chaos);
     ("parallel", bench_parallel);
@@ -922,6 +1059,7 @@ let collect_metrics () =
   let ran g = only = [] || List.mem g only in
   (if ran "core" then core_metrics () else [])
   @ (if ran "shard" then shard_metrics () else [])
+  @ (if ran "stream" then stream_metrics () else [])
   @ (if ran "recovery" then recovery_metrics () else [])
   @ (if ran "chaos" then chaos_metrics () else [])
   @ if ran "parallel" then parallel_metrics () else []

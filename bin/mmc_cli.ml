@@ -258,7 +258,119 @@ let simulate_cmd =
 
 (* --- check --- *)
 
-let check_history file flavour single =
+(* The rf-closed prefix of the first [k] m-operations: readers pull in
+   their writers transitively, so the restriction is well-formed. *)
+let rf_closed_prefix h k =
+  let keep = Hashtbl.create 64 in
+  let rec pull id =
+    if id > 0 && not (Hashtbl.mem keep id) then begin
+      Hashtbl.add keep id ();
+      List.iter
+        (fun (e : History.rf_edge) -> pull e.History.writer)
+        (History.rf_of_reader h id)
+    end
+  in
+  for id = 1 to k do
+    pull id
+  done;
+  Hashtbl.fold (fun id () acc -> id :: acc) keep []
+
+(* Admissibility restricts to rf-closed sub-histories (drop the absent
+   m-operations from the witness), so once a prefix fails every longer
+   one does — binary search finds the first failing length. *)
+let failing_prefix h flavour =
+  let n = History.n_mops h - 1 in
+  let fails k =
+    let hk, _ = History.restrict h (rf_closed_prefix h k) in
+    match Admissible.check ~max_states:10_000_000 hk flavour with
+    | Admissible.Not_admissible -> true
+    | Admissible.Admissible _ | Admissible.Aborted -> false
+  in
+  if n < 1 || not (fails n) then None
+  else begin
+    let lo = ref 1 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fails mid then hi := mid else lo := mid + 1
+    done;
+    Some !hi
+  end
+
+(* Streaming check: NDJSON in, windowed Theorem-7 checker over it —
+   resident state stays O(window) however long the trace.  Updates
+   must carry their broadcast position ("sync"); without one the
+   polynomial checker has no WW constraint to work under and answers
+   inconclusive. *)
+let check_stream file flavour window settle =
+  let ic = if file = "-" then stdin else open_in file in
+  Fun.protect ~finally:(fun () -> if file <> "-" then close_in ic)
+  @@ fun () ->
+  let wc = ref None in
+  match
+    Codec.Stream.fold ic ~init:0 ~f:(fun n ~n_objects (m : Mop.t) ~rf ~sync ->
+        let w =
+          match !wc with
+          | Some w -> w
+          | None ->
+            let w =
+              Mmc_stream.Window_check.create ~window ~settle ~flavour
+                ~n_objects ()
+            in
+            wc := Some w;
+            w
+        in
+        Mmc_stream.Window_check.feed w
+          {
+            Mmc_stream.Window_check.proc = m.Mop.proc;
+            inv = m.Mop.inv;
+            resp = m.Mop.resp;
+            ops = m.Mop.ops;
+            reads =
+              List.map
+                (fun (x, wr) -> (x, Mmc_stream.Window_check.Gid wr))
+                rf;
+            writes =
+              List.map
+                (fun (x, v) ->
+                  ( x,
+                    (match sync with Some p -> p + 1 | None -> 0),
+                    v ))
+                (Mop.final_writes m);
+            sync;
+          };
+        n + 1)
+  with
+  | exception Codec.Parse_error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | n -> (
+    match !wc with
+    | None ->
+      Fmt.pr "empty stream@.";
+      0
+    | Some w ->
+      let verdict = Mmc_stream.Window_check.finish w in
+      let m = Mmc_stream.Window_check.metrics w in
+      Fmt.pr "%d m-operations streamed (window %d, %d epoch checks, %d \
+              retired, %d words resident)@."
+        n window m.Mmc_stream.Window_check.checks
+        m.Mmc_stream.Window_check.retired
+        m.Mmc_stream.Window_check.max_resident_words;
+      (match verdict with
+      | Mmc_stream.Window_check.Pass ->
+        Fmt.pr "%a: PASS@." History.pp_flavour flavour;
+        0
+      | Mmc_stream.Window_check.Fail { prefix; reason } ->
+        Fmt.pr "%a: FAIL (first %d m-operations: %s)@." History.pp_flavour
+          flavour prefix reason;
+        1
+      | Mmc_stream.Window_check.Inconclusive reason ->
+        Fmt.pr "%a: inconclusive: %s@." History.pp_flavour flavour reason;
+        2))
+
+let check_history file flavour single stream window settle =
+  if stream then check_stream file flavour window settle
+  else
   match Codec.of_file file with
   | exception Codec.Parse_error msg ->
     Fmt.epr "parse error: %s@." msg;
@@ -289,7 +401,11 @@ let check_history file flavour single =
           Sequential.pp w;
         0
       | Admissible.Not_admissible ->
-        Fmt.pr "%a: FAIL@." History.pp_flavour flavour;
+        (match failing_prefix h flavour with
+        | Some k ->
+          Fmt.pr "%a: FAIL (first %d m-operations already inadmissible)@."
+            History.pp_flavour flavour k
+        | None -> Fmt.pr "%a: FAIL@." History.pp_flavour flavour);
         1
       | Admissible.Aborted ->
         Fmt.pr "%a: state budget exhausted@." History.pp_flavour flavour;
@@ -300,8 +416,9 @@ let check_cmd =
   let file =
     Arg.(
       required
-      & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"History file.")
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"History file (\"-\" for stdin with --stream).")
   in
   let flavour =
     Arg.(
@@ -315,13 +432,39 @@ let check_cmd =
       & info [ "single" ]
           ~doc:"Use the polynomial single-object linearizability checker.")
   in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Treat $(docv) as an NDJSON stream (\"-\" for stdin) and check \
+             it with the windowed streaming checker — O(window) resident \
+             state, any trace length.  Updates must carry broadcast \
+             positions.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt int Mmc_stream.Window_check.default_window
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Streaming window size (with --stream).")
+  in
+  let settle =
+    Arg.(
+      value
+      & opt int Mmc_stream.Window_check.default_settle
+      & info [ "settle" ] ~docv:"S"
+          ~doc:"Streaming settle grace (with --stream).")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a saved history")
-    Term.(const check_history $ file $ flavour $ single)
+    Term.(
+      const check_history $ file $ flavour $ single $ stream $ window
+      $ settle)
 
 (* --- generate --- *)
 
-let generate family n_procs n_objects n_mops seed out =
+let generate family n_procs n_objects n_mops seed out stream =
   let h =
     match family with
     | "legal" ->
@@ -345,11 +488,70 @@ let generate family n_procs n_objects n_mops seed out =
       Fmt.epr "unknown family %S (legal|register|multi|mutated)@." f;
       exit 2
   in
-  let text = Codec.to_string h in
-  (match out with
-  | Some path ->
-    Out_channel.with_open_text path (fun oc -> output_string oc text)
-  | None -> print_string text);
+  (if stream then
+     (* Emit in (inv, resp) order with ids renumbered to that rank —
+        the order a streaming consumer (mmc check --stream) feeds. *)
+     let mops =
+       List.sort
+         (fun (a : Mop.t) (b : Mop.t) ->
+           compare
+             (a.Mop.inv, a.Mop.resp, a.Mop.id)
+             (b.Mop.inv, b.Mop.resp, b.Mop.id))
+         (History.real_mops h)
+     in
+     let remap = Hashtbl.create (List.length mops) in
+     Hashtbl.add remap 0 0;
+     List.iteri (fun i (m : Mop.t) -> Hashtbl.add remap m.Mop.id (i + 1)) mops;
+     (* The legal family is consistent by construction with the id
+        order as witness, so that order's update subsequence is a
+        valid synchronization order to emit.  The other families have
+        no known witness; fabricating one would impose a WW constraint
+        the history was never built to satisfy. *)
+     let sync_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
+     if family = "legal" then begin
+       let pos = ref 0 in
+       List.iter
+         (fun (m : Mop.t) ->
+           if Mop.final_writes m <> [] then begin
+             Hashtbl.add sync_of m.Mop.id !pos;
+             incr pos
+           end)
+         (History.real_mops h)
+     end;
+     let rf_of = Hashtbl.create (List.length mops) in
+     List.iter
+       (fun (e : History.rf_edge) ->
+         let prev =
+           Option.value ~default:[] (Hashtbl.find_opt rf_of e.History.reader)
+         in
+         Hashtbl.replace rf_of e.History.reader
+           ((e.History.obj, Hashtbl.find remap e.History.writer) :: prev))
+       (History.rf h);
+     let emit oc =
+       Codec.Stream.write_header oc ~n_objects:(History.n_objects h);
+       List.iteri
+         (fun i (m : Mop.t) ->
+           let m' =
+             Mop.make ~id:(i + 1) ~proc:m.Mop.proc ~ops:m.Mop.ops ~inv:m.Mop.inv
+               ~resp:m.Mop.resp
+           in
+           let rf =
+             List.rev
+               (Option.value ~default:[] (Hashtbl.find_opt rf_of m.Mop.id))
+           in
+           Codec.Stream.write_mop oc ?sync:(Hashtbl.find_opt sync_of m.Mop.id)
+             m' ~rf)
+         mops
+     in
+     match out with
+     | Some path -> Out_channel.with_open_text path emit
+     | None -> emit stdout
+   else
+     let text = Codec.to_string h in
+     match out with
+     | Some path ->
+       Out_channel.with_open_text path (fun oc -> output_string oc text)
+     | None -> print_string text);
   0
 
 let generate_cmd =
@@ -365,9 +567,397 @@ let generate_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE")
   in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Emit NDJSON (one m-operation per line) instead of the text \
+             format, for piping traces too large to materialise.")
+  in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a random history")
-    Term.(const generate $ family $ procs $ objects $ mops $ seed $ out)
+    Term.(
+      const generate $ family $ procs $ objects $ mops $ seed $ out $ stream)
+
+(* --- soak --- *)
+
+let pp_soak_verdict ppf = function
+  | Mmc_stream.Window_check.Pass -> Fmt.string ppf "PASS"
+  | Mmc_stream.Window_check.Fail { prefix; reason } ->
+    Fmt.pf ppf "FAIL (first %d m-operations: %s)" prefix reason
+  | Mmc_stream.Window_check.Inconclusive reason ->
+    Fmt.pf ppf "INCONCLUSIVE (%s)" reason
+
+let soak_verdict_word = function
+  | Mmc_stream.Window_check.Pass -> "PASS"
+  | Mmc_stream.Window_check.Fail _ -> "FAIL"
+  | Mmc_stream.Window_check.Inconclusive _ -> "INCONCLUSIVE"
+
+let soak_exit_code = function
+  | Mmc_stream.Window_check.Pass -> 0
+  | Mmc_stream.Window_check.Fail _ -> 1
+  | Mmc_stream.Window_check.Inconclusive _ -> 2
+
+(* One greppable line with everything a dashboard scrape needs. *)
+let soak_summary_line ~store ~procs ~objects ~window ~completed ~duration
+    ~(latency : Mmc_sim.Stats.quantiles) (wc : Mmc_stream.Window_check.metrics)
+    verdict =
+  let thr =
+    if duration > 0 then 1000.0 *. float_of_int completed /. float_of_int duration
+    else 0.0
+  in
+  Fmt.pr
+    "soak summary store=%s procs=%d objects=%d ops=%d duration=%d thr=%.1f \
+     p50=%.1f p99=%.1f p999=%.1f window=%d max_live=%d retired=%d checks=%d \
+     resident_w=%d max_resident_w=%d recycled_w=%d verdict=%s@."
+    store procs objects completed duration thr latency.Mmc_sim.Stats.q50
+    latency.Mmc_sim.Stats.q99 latency.Mmc_sim.Stats.q999 window
+    wc.Mmc_stream.Window_check.max_live wc.Mmc_stream.Window_check.retired
+    wc.Mmc_stream.Window_check.checks
+    wc.Mmc_stream.Window_check.resident_words
+    wc.Mmc_stream.Window_check.max_resident_words
+    wc.Mmc_stream.Window_check.recycled_words
+    (soak_verdict_word verdict)
+
+let soak kind shards procs objects rate ops duration window settle sample_every
+    corrupt json verify_full read_ratio abcast latency seed batch =
+  require_positive ~cmd:"soak"
+    [
+      ("--procs", procs);
+      ("--objects", objects);
+      ("--rate", rate);
+      ("--window", window);
+      ("--shards", shards);
+    ];
+  if ops <= 0 && duration = None then begin
+    Fmt.epr "mmc: soak: need --ops and/or --duration@.";
+    exit 124
+  end;
+  (match kind with
+  | Mmc_store.Store.Msc | Mmc_store.Store.Mlin | Mmc_store.Store.Rmsc -> ()
+  | k ->
+    Fmt.epr
+      "mmc: soak: store %a has no synchronization order (use msc, mlin or \
+       rmsc)@."
+      Mmc_store.Store.pp_kind k;
+    exit 124);
+  let spec =
+    { Mmc_workload.Spec.default with n_objects = objects; read_ratio }
+  in
+  let rcfg =
+    {
+      Mmc_store.Runner.default_config with
+      n_procs = procs;
+      n_objects = objects;
+      kind;
+      abcast_impl = abcast;
+      latency;
+      batch;
+    }
+  in
+  let store_name = Fmt.str "%a" Mmc_store.Store.pp_kind kind in
+  if shards > 1 then begin
+    (* Sharded soak: closed-loop generation (the open loop drives one
+       store), then each shard's trace streams through its own
+       windowed checker over a shared arena; the global stitched
+       condition stays an offline check (DESIGN.md §14). *)
+    if corrupt <> None || verify_full || json then begin
+      Fmt.epr
+        "mmc: soak: --corrupt/--verify-full/--json apply to the single-store \
+         soak (--shards 1)@.";
+      exit 124
+    end;
+    let total = if ops > 0 then ops else 10_000 in
+    let rcfg =
+      { rcfg with ops_per_proc = max 1 ((total + procs - 1) / procs) }
+    in
+    let placement =
+      Mmc_shard.Placement.hash ~n_shards:shards ~n_objects:objects
+    in
+    let res =
+      Mmc_shard.Shard_runner.run ~seed ~placement rcfg
+        ~workload:(Mmc_workload.Generator.sharded placement spec)
+    in
+    let flavour = Mmc_stream.Soak.flavour_of_kind kind in
+    let verdicts, ms =
+      Mmc_stream.Soak.verify_sharded ~window ~settle ~flavour res
+    in
+    let verdict =
+      Array.fold_left
+        (fun acc v ->
+          match acc with Mmc_stream.Window_check.Pass -> v | _ -> acc)
+        Mmc_stream.Window_check.Pass verdicts
+    in
+    let wc =
+      List.fold_left
+        (fun (acc : Mmc_stream.Window_check.metrics)
+             (m : Mmc_stream.Window_check.metrics) ->
+          {
+            acc with
+            Mmc_stream.Window_check.fed = acc.Mmc_stream.Window_check.fed + m.Mmc_stream.Window_check.fed;
+            retired = acc.Mmc_stream.Window_check.retired + m.Mmc_stream.Window_check.retired;
+            checks = acc.Mmc_stream.Window_check.checks + m.Mmc_stream.Window_check.checks;
+            max_live = max acc.Mmc_stream.Window_check.max_live m.Mmc_stream.Window_check.max_live;
+            resident_words = acc.Mmc_stream.Window_check.resident_words + m.Mmc_stream.Window_check.resident_words;
+            (* summed, not maxed: the shards' checkers are resident
+               together, so the peak-per-shard sum bounds the total *)
+            max_resident_words =
+              acc.Mmc_stream.Window_check.max_resident_words + m.Mmc_stream.Window_check.max_resident_words;
+            recycled_words = acc.Mmc_stream.Window_check.recycled_words + m.Mmc_stream.Window_check.recycled_words;
+          })
+        (match ms with m :: _ -> { m with Mmc_stream.Window_check.fed = 0; retired = 0; checks = 0; max_live = 0; resident_words = 0; max_resident_words = 0; recycled_words = 0 } | [] -> assert false)
+        ms
+    in
+    Fmt.pr "store            %s (%d shards)@." store_name shards;
+    Fmt.pr "completed ops    %d@." res.Mmc_shard.Shard_runner.completed;
+    Fmt.pr "virtual time     %d@." res.Mmc_shard.Shard_runner.duration;
+    Fmt.pr "messages         %d@." res.Mmc_shard.Shard_runner.messages;
+    Array.iteri
+      (fun s v -> Fmt.pr "shard %-2d         %a@." s pp_soak_verdict v)
+      verdicts;
+    let q =
+      (* Closed-loop generation has no arrival latency; update latency
+         is the informative one (msc queries are local, latency 0).
+         The summary record has no p999 — at a few hundred updates the
+         max is that tail. *)
+      let s = res.Mmc_shard.Shard_runner.update_latency in
+      {
+        Mmc_sim.Stats.q_count = s.Mmc_sim.Stats.count;
+        q50 = float_of_int s.Mmc_sim.Stats.p50;
+        q99 = float_of_int s.Mmc_sim.Stats.p99;
+        q999 = float_of_int s.Mmc_sim.Stats.max;
+      }
+    in
+    soak_summary_line
+      ~store:(Fmt.str "sharded-%s:%d" store_name shards)
+      ~procs ~objects ~window
+      ~completed:res.Mmc_shard.Shard_runner.completed
+      ~duration:res.Mmc_shard.Shard_runner.duration ~latency:q wc verdict;
+    soak_exit_code verdict
+  end
+  else begin
+    let cfg =
+      {
+        Mmc_stream.Soak.runner = rcfg;
+        rate;
+        max_ops = ops;
+        max_time = duration;
+        window;
+        settle;
+        sample_every =
+          (if sample_every = 0 && json then 2_000 else sample_every);
+        corrupt;
+        verify_full;
+      }
+    in
+    let on_sample (s : Mmc_stream.Soak.sample) =
+      if json then
+        let q = s.Mmc_stream.Soak.s_interval in
+        let m = s.Mmc_stream.Soak.s_wc in
+        Fmt.pr
+          "{\"t\":%d,\"completed\":%d,\"queue\":%d,\"n\":%d,\"p50\":%.1f,\"p99\":%.1f,\"p999\":%.1f,\"live\":%d,\"pending\":%d,\"retired\":%d,\"checks\":%d,\"resident_words\":%d,\"recycled_words\":%d}@."
+          s.Mmc_stream.Soak.s_now s.Mmc_stream.Soak.s_completed
+          s.Mmc_stream.Soak.s_queue q.Mmc_sim.Stats.q_count
+          q.Mmc_sim.Stats.q50 q.Mmc_sim.Stats.q99 q.Mmc_sim.Stats.q999
+          m.Mmc_stream.Window_check.live m.Mmc_stream.Window_check.pending
+          m.Mmc_stream.Window_check.retired m.Mmc_stream.Window_check.checks
+          m.Mmc_stream.Window_check.resident_words
+          m.Mmc_stream.Window_check.recycled_words
+    in
+    match
+      Mmc_stream.Soak.run ~on_sample ~seed
+        ~workload:(Mmc_workload.Generator.mixed spec) cfg
+    with
+    | exception Invalid_argument msg ->
+      Fmt.epr "mmc: soak: %s@." msg;
+      exit 124
+    | r ->
+      if not json then begin
+        Fmt.pr "store            %s@." store_name;
+        Fmt.pr "arrived ops      %d@." r.Mmc_stream.Soak.arrived;
+        Fmt.pr "completed ops    %d@." r.Mmc_stream.Soak.completed;
+        Fmt.pr "virtual time     %d@." r.Mmc_stream.Soak.duration;
+        Fmt.pr "messages         %d@." r.Mmc_stream.Soak.messages;
+        Fmt.pr "engine events    %d@." r.Mmc_stream.Soak.events;
+        Fmt.pr "latency          %a@." Mmc_sim.Stats.pp_quantiles
+          r.Mmc_stream.Soak.latency;
+        Fmt.pr "query latency    %a@." Mmc_sim.Stats.pp_quantiles
+          r.Mmc_stream.Soak.query_latency;
+        Fmt.pr "update latency   %a@." Mmc_sim.Stats.pp_quantiles
+          r.Mmc_stream.Soak.update_latency;
+        Fmt.pr "max queue        %d@." r.Mmc_stream.Soak.max_queue;
+        let m = r.Mmc_stream.Soak.wc in
+        Fmt.pr "window occupancy %d live (max %d), %d pending@."
+          m.Mmc_stream.Window_check.live m.Mmc_stream.Window_check.max_live
+          m.Mmc_stream.Window_check.pending;
+        Fmt.pr "retired prefix   %d of %d fed (%d epoch checks)@."
+          m.Mmc_stream.Window_check.retired m.Mmc_stream.Window_check.fed
+          m.Mmc_stream.Window_check.checks;
+        Fmt.pr "relation words   %d resident (max %d), %d recycled@."
+          m.Mmc_stream.Window_check.resident_words
+          m.Mmc_stream.Window_check.max_resident_words
+          m.Mmc_stream.Window_check.recycled_words
+      end;
+      (if json then
+         (* Keep stdout pure NDJSON: the run ends with one summary
+            object instead of the human verdict + summary lines. *)
+         let m = r.Mmc_stream.Soak.wc in
+         let q = r.Mmc_stream.Soak.latency in
+         Fmt.pr
+           "{\"summary\":true,\"store\":\"%s\",\"ops\":%d,\"duration\":%d,\"p50\":%.1f,\"p99\":%.1f,\"p999\":%.1f,\"max_queue\":%d,\"max_live\":%d,\"retired\":%d,\"checks\":%d,\"resident_words\":%d,\"max_resident_words\":%d,\"recycled_words\":%d,\"verdict\":\"%s\"}@."
+           store_name r.Mmc_stream.Soak.completed r.Mmc_stream.Soak.duration
+           q.Mmc_sim.Stats.q50 q.Mmc_sim.Stats.q99 q.Mmc_sim.Stats.q999
+           r.Mmc_stream.Soak.max_queue m.Mmc_stream.Window_check.max_live
+           m.Mmc_stream.Window_check.retired m.Mmc_stream.Window_check.checks
+           m.Mmc_stream.Window_check.resident_words
+           m.Mmc_stream.Window_check.max_resident_words
+           m.Mmc_stream.Window_check.recycled_words
+           (soak_verdict_word r.Mmc_stream.Soak.verdict)
+       else begin
+         (match r.Mmc_stream.Soak.full_verdict with
+         | Some fv ->
+           Fmt.pr "full-trace check %s (%s)@." fv
+             (match r.Mmc_stream.Soak.agreement with
+             | Some true -> "windowed verdict agrees"
+             | Some false -> "WINDOWED VERDICT DISAGREES"
+             | None -> "no windowed verdict to compare")
+         | None -> ());
+         Fmt.pr "verdict          %a@." pp_soak_verdict
+           r.Mmc_stream.Soak.verdict;
+         soak_summary_line ~store:store_name ~procs ~objects ~window
+           ~completed:r.Mmc_stream.Soak.completed
+           ~duration:r.Mmc_stream.Soak.duration
+           ~latency:r.Mmc_stream.Soak.latency r.Mmc_stream.Soak.wc
+           r.Mmc_stream.Soak.verdict
+       end);
+      if r.Mmc_stream.Soak.agreement = Some false then 3
+      else soak_exit_code r.Mmc_stream.Soak.verdict
+  end
+
+let soak_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt store_kind_conv Mmc_store.Store.Msc
+      & info [ "store" ] ~docv:"STORE"
+          ~doc:"Store protocol: msc, mlin or rmsc (broadcast-based).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard count; above 1 the run is generated closed-loop through \
+             the sharded store and each shard's trace streams through its \
+             own windowed checker.")
+  in
+  let procs =
+    Arg.(
+      value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Client pool size.")
+  in
+  let objects =
+    Arg.(
+      value & opt int 16
+      & info [ "objects" ] ~docv:"N" ~doc:"Number of shared objects.")
+  in
+  let rate =
+    Arg.(
+      value & opt int 8
+      & info [ "rate" ] ~docv:"IAT"
+          ~doc:
+            "Mean inter-arrival time in virtual ticks (open-loop: arrivals \
+             are independent of service latency and queue for an idle \
+             client).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 0
+      & info [ "ops" ] ~docv:"N"
+          ~doc:"Stop after $(docv) arrivals (0 = by --duration only).")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "duration" ] ~docv:"T"
+          ~doc:"Stop arrivals at virtual time $(docv).")
+  in
+  let window =
+    Arg.(
+      value
+      & opt int Mmc_stream.Window_check.default_window
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Live m-operations that trigger an epoch check.")
+  in
+  let settle =
+    Arg.(
+      value
+      & opt int Mmc_stream.Window_check.default_settle
+      & info [ "settle" ] ~docv:"S"
+          ~doc:
+            "Virtual-time grace after a version is superseded before the \
+             checker assumes no straggler still reads it.")
+  in
+  let sample_every =
+    Arg.(
+      value & opt int 0
+      & info [ "sample-every" ] ~docv:"T"
+          ~doc:
+            "Emit an observability sample every $(docv) virtual ticks \
+             (default: off; 2000 with --json).")
+  in
+  let corrupt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "corrupt" ] ~docv:"N"
+          ~doc:
+            "Inject one stale read at roughly the $(docv)-th checked \
+             m-operation — a seeded known-FAIL.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Stream observability samples as NDJSON on stdout.")
+  in
+  let verify_full =
+    Arg.(
+      value & flag
+      & info [ "verify-full" ]
+          ~doc:
+            "Also keep the whole trace and cross-check the windowed verdict \
+             against the full-trace checker (O(trace) memory).")
+  in
+  let read_ratio =
+    Arg.(
+      value & opt float 0.5
+      & info [ "read-ratio" ] ~docv:"R" ~doc:"Query fraction.")
+  in
+  let abcast =
+    Arg.(
+      value
+      & opt abcast_conv Mmc_broadcast.Abcast.Sequencer_impl
+      & info [ "abcast" ] ~docv:"IMPL"
+          ~doc:"Atomic broadcast: sequencer or lamport.")
+  in
+  let latency =
+    Arg.(
+      value
+      & opt latency_conv (Mmc_sim.Latency.Uniform (5, 15))
+      & info [ "latency" ] ~docv:"MODEL" ~doc:"Latency model.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Open-loop soak: drive a store at a target arrival rate while the \
+          windowed checker verifies the trace as it streams (exit 0 PASS, 1 \
+          FAIL, 2 inconclusive)")
+    Term.(
+      const soak $ kind $ shards $ procs $ objects $ rate $ ops $ duration
+      $ window $ settle $ sample_every $ corrupt $ json $ verify_full
+      $ read_ratio $ abcast $ latency $ seed $ batch_term)
 
 (* --- faults --- *)
 
@@ -1477,6 +2067,7 @@ let main_cmd =
        ~doc:"Multi-object consistency conditions: protocols and checkers")
     [
       simulate_cmd;
+      soak_cmd;
       faults_cmd;
       recover_cmd;
       chaos_cmd;

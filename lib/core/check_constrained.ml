@@ -101,7 +101,10 @@ let check ?pool ?arena h flavour kind =
 module Incremental = struct
   type t = { closed : Relation.t }
 
-  let create n = { closed = Relation.create n }
+  let create ?arena n =
+    match arena with
+    | None -> { closed = Relation.create n }
+    | Some a -> { closed = Relation.create_in a n }
 
   let add_edge t i j = Relation.add_edge_closed t.closed i j
 

@@ -61,8 +61,12 @@ val check :
 module Incremental : sig
   type t
 
-  (** [create n] — empty (closed) relation over [0 .. n-1]. *)
-  val create : int -> t
+  (** [create n] — empty (closed) relation over [0 .. n-1].  With
+      [~arena] the backing words come from (and can go back to, via
+      {!Relation.recycle} on the {!relation}) the arena's free lists —
+      how the windowed streaming checker keeps one epoch-sized
+      relation resident instead of a trace-sized one. *)
+  val create : ?arena:Relation.Arena.arena -> int -> t
 
   val add_edge : t -> int -> int -> unit
   val add_edges : t -> (int * int) list -> unit

@@ -30,6 +30,10 @@ let create n =
 
 let size t = t.n
 
+(** Words backing the relation — the resident-memory unit the
+    streaming checker reports and the bench asserts on. *)
+let words t = Array.length t.bits
+
 let copy t = { t with bits = Array.copy t.bits }
 
 let check_idx t i j =
@@ -242,6 +246,15 @@ module Arena = struct
     in
     Stack.push words s
 end
+
+(* Arena-aware empty relation: the acquired words are recycled, so
+   they must be cleared before use. *)
+let create_in arena n =
+  if n < 0 then invalid_arg "Relation.create_in: negative size";
+  let ws = (n + bpw - 1) / bpw in
+  let bits = Arena.acquire arena (n * ws) in
+  Array.fill bits 0 (Array.length bits) 0;
+  { n; ws; bits }
 
 (* Arena-aware copy: the blit covers the full acquired length (free
    lists are keyed by exact length), so stale bits never leak. *)

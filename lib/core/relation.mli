@@ -10,6 +10,11 @@ type t
 val create : int -> t
 
 val size : t -> int
+
+(** Words backing the relation ([n * ceil(n/63)]) — the resident-memory
+    unit the streaming checker reports and the bench asserts on. *)
+val words : t -> int
+
 val copy : t -> t
 val mem : t -> int -> int -> bool
 val add : t -> int -> int -> unit
@@ -77,6 +82,12 @@ end
 
 (** Return a dead relation's words to the arena. *)
 val recycle : Arena.arena -> t -> unit
+
+(** [create_in arena n] — like {!create}, drawing (and zeroing) the
+    backing words from the arena's free lists.  Pair with {!recycle}:
+    a windowed checker that creates one relation per epoch and
+    recycles it on retirement allocates nothing after warm-up. *)
+val create_in : Arena.arena -> int -> t
 
 (** Warshall transitive closure (fresh copy; [_inplace] mutates).
     With [~pool] of two or more domains and at least [cutover]

@@ -152,6 +152,14 @@ let all : entry list =
           Exp_shard.s2 ~domains:[ 0; 2 ] ~shards:[ 4 ] ~seeds:1 ~ops:12 ());
     };
     {
+      id = "M1";
+      description = "streaming verification: arrival rate x window";
+      run = (fun () -> Exp_stream.m1 ());
+      quick =
+        (fun () ->
+          Exp_stream.m1 ~rates:[ 6; 2 ] ~windows:[ 128; 512 ] ~ops:4_000 ());
+    };
+    {
       id = "Z1";
       description = "Zipf contention skew: 2PL vs broadcast";
       run = (fun () -> Exp_protocol.z1 ());

@@ -32,6 +32,42 @@ let percentile sorted n p =
     sorted.(idx)
   end
 
+type quantiles = { q_count : int; q50 : float; q99 : float; q999 : float }
+
+let empty_quantiles = { q_count = 0; q50 = 0.0; q99 = 0.0; q999 = 0.0 }
+
+(* Linear interpolation at rank p * (n - 1): the convention shared by
+   every consumer (experiment tables, bench metrics, the soak's live
+   latency line), so percentiles are computed exactly one way. *)
+let interpolate sorted n p =
+  if n = 0 then 0.0
+  else if n = 1 then float_of_int sorted.(0)
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let lo = max 0 (min (n - 2) lo) in
+    let frac = rank -. float_of_int lo in
+    ((1.0 -. frac) *. float_of_int sorted.(lo))
+    +. (frac *. float_of_int sorted.(lo + 1))
+  end
+
+let quantiles_of_sorted sorted =
+  let n = Array.length sorted in
+  {
+    q_count = n;
+    q50 = interpolate sorted n 0.50;
+    q99 = interpolate sorted n 0.99;
+    q999 = interpolate sorted n 0.999;
+  }
+
+let quantiles_of_ints samples =
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  quantiles_of_sorted sorted
+
+let pp_quantiles ppf q =
+  Fmt.pf ppf "n=%d p50=%.1f p99=%.1f p999=%.1f" q.q_count q.q50 q.q99 q.q999
+
 let summarize t =
   if t.n = 0 then empty_summary
   else begin
@@ -47,6 +83,8 @@ let summarize t =
       p99 = percentile sorted t.n 0.99;
     }
   end
+
+let percentiles t = quantiles_of_ints (Array.of_list t.samples)
 
 let pp_summary ppf s =
   Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p95=%d p99=%d max=%d" s.count

@@ -12,10 +12,31 @@ type summary = {
 
 val empty_summary : summary
 
+(** Interpolated high percentiles (linear interpolation at rank
+    [p * (n-1)]) — the single shared percentile convention: experiment
+    tables, bench metrics and the soak's live latency line all go
+    through these instead of rolling their own index arithmetic. *)
+type quantiles = { q_count : int; q50 : float; q99 : float; q999 : float }
+
+val empty_quantiles : quantiles
+
+(** [quantiles_of_sorted sorted] — over an already ascending-sorted
+    sample array. *)
+val quantiles_of_sorted : int array -> quantiles
+
+(** [quantiles_of_ints samples] — sorts a copy. *)
+val quantiles_of_ints : int array -> quantiles
+
+val pp_quantiles : Format.formatter -> quantiles -> unit
+
 type t
 
 val create : unit -> t
 val add : t -> int -> unit
 val count : t -> int
 val summarize : t -> summary
+
+(** Interpolated p50/p99/p999 of the accumulated samples. *)
+val percentiles : t -> quantiles
+
 val pp_summary : Format.formatter -> summary -> unit

@@ -47,6 +47,16 @@ let count t = t.count
 
 let records t = List.rev t.records
 
+(* Hand the accumulated records over (in add order) and forget them:
+   a streaming consumer (the soak driver, `mmc generate --stream`)
+   drains periodically so resident record state stays bounded by the
+   drain interval, not the run length.  [count] keeps the cumulative
+   total; a drained recorder can no longer build the full history. *)
+let drain t =
+  let rs = List.rev t.records in
+  t.records <- [];
+  rs
+
 let of_records ~n_objects records =
   { n_objects; records = List.rev records; count = List.length records }
 

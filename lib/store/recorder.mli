@@ -29,6 +29,13 @@ val count : t -> int
 (** Records in the order they were added. *)
 val records : t -> record list
 
+(** Hand the accumulated records over (in add order) and forget them:
+    a streaming consumer drains periodically so resident record state
+    is bounded by the drain interval, not the run length.  {!count}
+    keeps the cumulative total; a drained recorder can no longer build
+    the full history. *)
+val drain : t -> record list
+
 (** A recorder pre-loaded with [records] (in order), as if each had
     been {!add}ed — lets a stitching layer (e.g. the sharded store's
     {!Mmc_shard.Shard_recorder}) rebuild histories from remapped

@@ -122,8 +122,8 @@ let make_store ?fault ?sink cfg engine ~rng ~recorder =
     way a live verifier would follow a growing trace: edges already
     implied by the closure cost O(1), and the final check runs on the
     maintained closure without ever re-closing from scratch. *)
-let check_trace ?pool ?arena ?(kind = Constraints.WW) (res : result) ~flavour =
-  let h = res.history in
+let check_history ?pool ?arena ?(kind = Constraints.WW) h ~sync_order ~flavour
+    =
   match pool with
   | Some _ ->
     (* With a pool the payoff is in the one-shot Warshall closure, so
@@ -139,7 +139,7 @@ let check_trace ?pool ?arena ?(kind = Constraints.WW) (res : result) ~flavour =
         link rest
       | [ _ ] | [] -> ()
     in
-    link res.sync_order;
+    link sync_order;
     Check_constrained.check_relation ?pool ?arena h rel kind
   | None ->
     let inc = Check_constrained.Incremental.create (History.n_mops h) in
@@ -150,8 +150,12 @@ let check_trace ?pool ?arena ?(kind = Constraints.WW) (res : result) ~flavour =
         link rest
       | [ _ ] | [] -> ()
     in
-    link res.sync_order;
+    link sync_order;
     Check_constrained.Incremental.check ?arena inc h kind
+
+let check_trace ?pool ?arena ?kind (res : result) ~flavour =
+  check_history ?pool ?arena ?kind res.history ~sync_order:res.sync_order
+    ~flavour
 
 (** [run ~seed cfg ~workload] — [workload rng ~proc ~step] produces the
     [step]-th m-operation of client [proc]. *)

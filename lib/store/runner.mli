@@ -85,6 +85,19 @@ val check_trace :
   flavour:History.flavour ->
   Check_constrained.result
 
+(** The same full-trace check from a bare history plus synchronization
+    order — for callers that assembled the trace themselves (streamed
+    NDJSON files, the soak's full-verification cross-check) rather
+    than through {!run}. *)
+val check_history :
+  ?pool:Mmc_parallel.Pool.t ->
+  ?arena:Relation.Arena.arena ->
+  ?kind:Constraints.kind ->
+  History.t ->
+  sync_order:Types.mop_id list ->
+  flavour:History.flavour ->
+  Check_constrained.result
+
 (** [run ~seed cfg ~workload] — [workload rng ~proc ~step] produces the
     [step]-th m-operation of client [proc]. *)
 val run :
