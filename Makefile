@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci smoke shard-smoke par-smoke recover-smoke chaos-smoke soak-smoke bench-smoke bench-diff experiments bench-json clean
+.PHONY: all build test check ci smoke shard-smoke par-smoke recover-smoke chaos-smoke soak-smoke fastpath-smoke bench-smoke bench-diff experiments bench-json clean
 
 all: build
 
@@ -21,7 +21,7 @@ check: build test
 # the committed trajectory in warn mode — CI runners are too noisy
 # for a hard perf gate, but a broken bench or a failed built-in
 # metric assertion still fails the job via the bench exit code).
-ci: build test par-smoke recover-smoke chaos-smoke soak-smoke bench-smoke
+ci: build test par-smoke recover-smoke chaos-smoke soak-smoke fastpath-smoke bench-smoke
 
 # Reduced-size bench pass over the core and parallel groups with
 # metric assertions active, written to a scratch JSON and diffed
@@ -29,7 +29,7 @@ ci: build test par-smoke recover-smoke chaos-smoke soak-smoke bench-smoke
 bench-smoke: build
 	$(DUNE) build bench/main.exe
 	$(DUNE) exec bench/main.exe -- --quick --only core --only parallel \
-	  --domains 1 --domains 2 --json /tmp/bench-smoke.json \
+	  --only fastpath --domains 1 --domains 2 --json /tmp/bench-smoke.json \
 	  --compare BENCH_core.json --compare-warn
 
 # Hard perf gate for local use: re-run the core group at full size
@@ -95,6 +95,29 @@ soak-smoke: build
 	$(DUNE) exec bin/mmc_cli.exe -- check --stream --window 64 \
 	  /tmp/soak-smoke.ndjson
 
+# Coordination-avoidance smoke: the seg store's commute-ratio sweep at
+# reduced size — every run exits non-zero unless the per-shard and
+# stitched Theorem-7 checks pass (ratio 0 = pure sequenced, 1 = never
+# broadcast), plus the A/B `--fastpath off` baseline and the
+# deliberately-wrong classifier, whose FAIL exit is asserted (a PASS
+# there means the oracle stopped catching unsound classifications).
+fastpath-smoke: build
+	$(DUNE) exec bin/mmc_cli.exe -- shard --store seg --shards 4 \
+	  --procs 6 --objects 32 --ops 12 --commute-ratio 0.0 --seed 2
+	$(DUNE) exec bin/mmc_cli.exe -- shard --store seg --shards 4 \
+	  --procs 6 --objects 32 --ops 12 --commute-ratio 0.5 --seed 2
+	$(DUNE) exec bin/mmc_cli.exe -- shard --store seg --shards 4 \
+	  --procs 6 --objects 32 --ops 12 --commute-ratio 0.9 --seed 2
+	$(DUNE) exec bin/mmc_cli.exe -- shard --store seg --shards 4 \
+	  --procs 6 --objects 32 --ops 12 --commute-ratio 1.0 --seed 2
+	$(DUNE) exec bin/mmc_cli.exe -- shard --store seg --shards 4 \
+	  --procs 6 --objects 32 --ops 12 --commute-ratio 0.9 \
+	  --fastpath off --seed 2
+	$(DUNE) exec bin/mmc_cli.exe -- shard --store seg --shards 4 \
+	  --procs 6 --objects 32 --ops 20 --commute-ratio 0.9 \
+	  --fastpath wrong --seed 2; \
+	  test $$? -eq 1
+
 # Quick versions of every registered experiment table.
 experiments: build
 	$(DUNE) exec bin/mmc_cli.exe -- experiments all --quick
@@ -110,7 +133,8 @@ experiments: build
 # about.
 bench-json: build
 	$(DUNE) exec bench/main.exe -- --only core --only shard \
-	  --only stream --only recovery --only chaos --only parallel \
+	  --only fastpath --only stream --only recovery --only chaos \
+	  --only parallel \
 	  --domains 1 --domains 2 --domains 4 --json BENCH_core.json
 
 clean:

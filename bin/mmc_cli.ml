@@ -17,9 +17,30 @@ let store_kind_conv =
   let parse s =
     match Mmc_store.Store.kind_of_string s with
     | Some k -> Ok k
-    | None -> Error (`Msg (Fmt.str "unknown store %S (msc|rmsc|mlin|central|local|causal|lock|aw)" s))
+    | None -> Error (`Msg (Fmt.str "unknown store %S (msc|rmsc|seg|mlin|central|local|causal|lock|aw)" s))
   in
   Arg.conv (parse, Mmc_store.Store.pp_kind)
+
+let fastpath_conv =
+  let parse s =
+    match Mmc_fastpath.Classify.mode_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Fmt.str "unknown fastpath mode %S (sound|off|wrong)" s))
+  in
+  Arg.conv (parse, Mmc_fastpath.Classify.pp_mode)
+
+(* --fastpath: the seg store's classifier mode, shared by every
+   command that can run one. *)
+let fastpath_term =
+  Arg.(
+    value
+    & opt fastpath_conv Mmc_fastpath.Classify.Sound
+    & info [ "fastpath" ] ~docv:"MODE"
+        ~doc:
+          "The seg store's commutativity classifier: $(b,sound) (default; \
+           ownership rule), $(b,off) (everything sequenced — the \
+           broadcast-always A/B baseline) or $(b,wrong) (deliberately \
+           unsound, to demonstrate the Theorem-7 oracle catching it).")
 
 let abcast_conv =
   let parse = function
@@ -185,7 +206,8 @@ let simulate kind procs objects ops read_ratio abcast latency seed batch check
     | kind -> (
       let flavour =
         match kind with
-        | Mmc_store.Store.Msc | Mmc_store.Store.Local | Mmc_store.Store.Rmsc ->
+        | Mmc_store.Store.Msc | Mmc_store.Store.Local | Mmc_store.Store.Rmsc
+        | Mmc_store.Store.Seg ->
           History.Msc
         | Mmc_store.Store.Mlin | Mmc_store.Store.Central
         | Mmc_store.Store.Causal | Mmc_store.Store.Lock | Mmc_store.Store.Aw ->
@@ -208,7 +230,7 @@ let simulate_cmd =
       value
       & opt store_kind_conv Mmc_store.Store.Msc
       & info [ "store" ] ~docv:"STORE"
-          ~doc:"Store protocol: msc, rmsc, mlin, central, local, causal, lock or aw.")
+          ~doc:"Store protocol: msc, rmsc, seg, mlin, central, local, causal, lock or aw.")
   in
   let procs =
     Arg.(value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Number of processes.")
@@ -621,7 +643,7 @@ let soak_summary_line ~store ~procs ~objects ~window ~completed ~duration
     (soak_verdict_word verdict)
 
 let soak kind shards procs objects rate ops duration window settle sample_every
-    corrupt json verify_full read_ratio abcast latency seed batch =
+    corrupt json verify_full read_ratio abcast latency seed batch fastpath =
   require_positive ~cmd:"soak"
     [
       ("--procs", procs);
@@ -635,11 +657,13 @@ let soak kind shards procs objects rate ops duration window settle sample_every
     exit 124
   end;
   (match kind with
-  | Mmc_store.Store.Msc | Mmc_store.Store.Mlin | Mmc_store.Store.Rmsc -> ()
+  | Mmc_store.Store.Msc | Mmc_store.Store.Mlin | Mmc_store.Store.Rmsc
+  | Mmc_store.Store.Seg ->
+    ()
   | k ->
     Fmt.epr
-      "mmc: soak: store %a has no synchronization order (use msc, mlin or \
-       rmsc)@."
+      "mmc: soak: store %a has no synchronization order (use msc, mlin, rmsc \
+       or seg)@."
       Mmc_store.Store.pp_kind k;
     exit 124);
   let spec =
@@ -654,6 +678,7 @@ let soak kind shards procs objects rate ops duration window settle sample_every
       abcast_impl = abcast;
       latency;
       batch;
+      fastpath;
     }
   in
   let store_name = Fmt.str "%a" Mmc_store.Store.pp_kind kind in
@@ -841,7 +866,7 @@ let soak_cmd =
       value
       & opt store_kind_conv Mmc_store.Store.Msc
       & info [ "store" ] ~docv:"STORE"
-          ~doc:"Store protocol: msc, mlin or rmsc (broadcast-based).")
+          ~doc:"Store protocol: msc, mlin, rmsc or seg (broadcast-based).")
   in
   let shards =
     Arg.(
@@ -957,7 +982,7 @@ let soak_cmd =
     Term.(
       const soak $ kind $ shards $ procs $ objects $ rate $ ops $ duration
       $ window $ settle $ sample_every $ corrupt $ json $ verify_full
-      $ read_ratio $ abcast $ latency $ seed $ batch_term)
+      $ read_ratio $ abcast $ latency $ seed $ batch_term $ fastpath_term)
 
 (* --- faults --- *)
 
@@ -1182,8 +1207,8 @@ let pp_detector_stats ppf (s : Mmc_sim.Detector.stats) =
     s.Mmc_sim.Detector.suspicions s.Mmc_sim.Detector.false_suspicions
     s.Mmc_sim.Detector.refutations s.Mmc_sim.Detector.doubts
 
-let faults kind procs objects ops abcast latency seed batch plan rto max_rto
-    max_retries save domains =
+let faults kind procs objects ops abcast latency seed batch fastpath plan rto
+    max_rto max_retries save domains =
   (* the converter validates the plan in isolation; node ids can only
      be range-checked against --procs here *)
   (try Mmc_sim.Fault.validate ~n:procs plan
@@ -1203,6 +1228,7 @@ let faults kind procs objects ops abcast latency seed batch plan rto max_rto
       fault = plan;
       reliable = reliable_overrides rto max_rto max_retries;
       batch;
+      fastpath;
     }
   in
   let res =
@@ -1239,7 +1265,8 @@ let faults kind procs objects ops abcast latency seed batch plan rto max_rto
   | None -> ());
   let flavour =
     match kind with
-    | Mmc_store.Store.Msc | Mmc_store.Store.Local -> History.Msc
+    | Mmc_store.Store.Msc | Mmc_store.Store.Local | Mmc_store.Store.Seg ->
+      History.Msc
     | _ -> History.Mlin
   in
   (match
@@ -1261,7 +1288,7 @@ let faults_cmd =
       value
       & opt store_kind_conv Mmc_store.Store.Msc
       & info [ "store" ] ~docv:"STORE"
-          ~doc:"Store protocol: msc, rmsc, mlin, central, local, causal, lock or aw.")
+          ~doc:"Store protocol: msc, rmsc, seg, mlin, central, local, causal, lock or aw.")
   in
   let procs =
     Arg.(value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Number of processes.")
@@ -1318,8 +1345,8 @@ let faults_cmd =
           (Theorem-7 admissibility as a fault-tolerance oracle)")
     Term.(
       const faults $ kind $ procs $ objects $ ops $ abcast $ latency $ seed
-      $ batch_term $ plan $ rto_arg "faults" $ max_rto_arg $ max_retries_arg
-      $ save $ domains)
+      $ batch_term $ fastpath_term $ plan $ rto_arg "faults" $ max_rto_arg
+      $ max_retries_arg $ save $ domains)
 
 (* --- recover --- *)
 
@@ -1746,7 +1773,7 @@ let placement_conv =
   Arg.conv (parse, pp)
 
 let shard n_shards kind procs objects ops cross read_ratio skew abcast latency
-    seed batch plan placement save domains =
+    seed batch fastpath commute_ratio plan placement save domains =
   require_positive ~cmd:"shard"
     [
       ("--shards", n_shards);
@@ -1782,13 +1809,20 @@ let shard n_shards kind procs objects ops cross read_ratio skew abcast latency
       latency;
       fault = plan;
       batch;
+      fastpath;
     }
   in
-  let res =
-    Shard_runner.run ~seed ~placement cfg
-      ~workload:
-        (Mmc_workload.Generator.sharded ~cross_shard_ratio:cross placement spec)
+  let workload =
+    match commute_ratio with
+    | None ->
+      Mmc_workload.Generator.sharded ~cross_shard_ratio:cross placement spec
+    | Some r ->
+      (* Commuting-ratio counter workload: the seg store's fast path
+         regime, also runnable against any other store for A/B. *)
+      Mmc_workload.Generator.sharded_counter_commute ~commute_ratio:r
+        ~n_procs:procs placement spec
   in
+  let res = Shard_runner.run ~seed ~placement cfg ~workload in
   Fmt.pr "store           %a x %d shards (%a placement)@."
     Mmc_store.Store.pp_kind kind n_shards Placement.pp placement;
   Fmt.pr "processes       %d@." procs;
@@ -1810,6 +1844,32 @@ let shard n_shards kind procs objects ops cross read_ratio skew abcast latency
     Fmt.pr "faults          dropped %d, retransmits %d (given up %d)@."
       (Mmc_sim.Fault.dropped f) c.Mmc_sim.Fault.retransmissions
       c.Mmc_sim.Fault.abandoned);
+  (* One greppable line for the seg store: how much coordination the
+     fast path avoided. *)
+  (match kind with
+  | Mmc_store.Store.Seg ->
+    let handles =
+      Array.to_list res.Shard_runner.fastpath |> List.filter_map Fun.id
+    in
+    let sum f = List.fold_left (fun a h -> a + f h.Mmc_store.Seg_store.stats) 0 handles in
+    let local =
+      sum (fun s -> s.Mmc_store.Seg_store.fast)
+      + sum (fun s -> s.Mmc_store.Seg_store.fast_queries)
+    in
+    let escalated = sum (fun s -> s.Mmc_store.Seg_store.escalated) in
+    let msgs_per_op =
+      if res.Shard_runner.completed > 0 then
+        float_of_int res.Shard_runner.messages
+        /. float_of_int res.Shard_runner.completed
+      else 0.0
+    in
+    Fmt.pr
+      "fastpath summary local=%d escalated=%d flushes=%d msgs-per-op=%.3f \
+       mode=%a@."
+      local escalated
+      (sum (fun s -> s.Mmc_store.Seg_store.flushes))
+      msgs_per_op Mmc_fastpath.Classify.pp_mode fastpath
+  | _ -> ());
   (match save with
   | Some path ->
     Codec.to_file res.Shard_runner.stitched.Shard_recorder.history path;
@@ -1817,7 +1877,8 @@ let shard n_shards kind procs objects ops cross read_ratio skew abcast latency
   | None -> ());
   let flavour =
     match kind with
-    | Mmc_store.Store.Msc | Mmc_store.Store.Local -> History.Msc
+    | Mmc_store.Store.Msc | Mmc_store.Store.Local | Mmc_store.Store.Seg ->
+      History.Msc
     | _ -> History.Mlin
   in
   let v =
@@ -1837,7 +1898,18 @@ let shard_cmd =
       value
       & opt store_kind_conv Mmc_store.Store.Msc
       & info [ "store" ] ~docv:"STORE"
-          ~doc:"Per-shard store protocol: msc, mlin, central, lock, aw, ...")
+          ~doc:"Per-shard store protocol: msc, seg, mlin, central, lock, aw, ...")
+  in
+  let commute_ratio =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "commute-ratio" ] ~docv:"R"
+          ~doc:
+            "Switch to the commuting-counter workload: fraction $(docv) of \
+             updates are owner-local fetch-and-adds (confluent under the seg \
+             store's classifier), the rest cross-owner moves (sequenced).  \
+             Omitted = the default mixed sharded workload.")
   in
   let procs =
     Arg.(value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Number of processes.")
@@ -1919,8 +1991,8 @@ let shard_cmd =
          ])
     Term.(
       const shard $ n_shards $ kind $ procs $ objects $ ops $ cross
-      $ read_ratio $ skew $ abcast $ latency $ seed $ batch_term $ plan
-      $ placement $ save $ domains)
+      $ read_ratio $ skew $ abcast $ latency $ seed $ batch_term
+      $ fastpath_term $ commute_ratio $ plan $ placement $ save $ domains)
 
 (* --- experiments --- *)
 

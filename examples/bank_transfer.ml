@@ -30,7 +30,7 @@ let run kind =
     | Store.Local ->
       Local_store.create engine ~n:n_clients ~n_objects:n_accounts ~recorder
     | Store.Mlin | Store.Central | Store.Causal | Store.Lock | Store.Aw
-    | Store.Rmsc ->
+    | Store.Rmsc | Store.Seg ->
       invalid_arg "not used here"
   in
   (* Seed all accounts atomically with one m-register assignment. *)

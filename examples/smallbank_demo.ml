@@ -31,7 +31,7 @@ let run kind =
       Central_store.create engine ~n:clients ~n_objects ~latency ~rng ~recorder
     | Store.Lock ->
       Lock_store.create engine ~n:clients ~n_objects ~latency ~rng ~recorder
-    | Store.Local | Store.Causal | Store.Aw | Store.Rmsc ->
+    | Store.Local | Store.Causal | Store.Aw | Store.Rmsc | Store.Seg ->
       invalid_arg "not in this demo (value-dependent writes)"
   in
   (* Seed: checking 100, savings 50 per customer, one atomic

@@ -1,0 +1,139 @@
+(** Coordination-avoidance experiment (F1): commute-ratio sweep,
+    seg vs msc.
+
+    The same sharded counter workload (S8, 6 clients) runs once per
+    commute ratio through the seg store — confluent operations applied
+    locally, sequenced ones escalated behind the flush barrier — and
+    once through msc, where every update pays the broadcast.  Reported
+    per ratio: closed-loop throughput (completed ops per 1000 virtual
+    time units) and its seg/msc quotient, messages and escalations per
+    op, the coordination reduction (sequencer rounds per op, msc over
+    seg), and the Theorem-7 verdicts.  Verdict equality seg vs msc is
+    asserted, not just printed: the fast path is only admissible
+    because the oracle says so on every run. *)
+
+open Mmc_core
+open Mmc_shard
+open Mmc_store
+
+let spec =
+  { Mmc_workload.Spec.default with n_objects = 32; read_ratio = 0.5 }
+
+let run ~kind ~n_shards ~procs ~ops ~commute_ratio ~seed =
+  let placement =
+    Placement.hash ~n_shards ~n_objects:spec.Mmc_workload.Spec.n_objects
+  in
+  let cfg =
+    {
+      Runner.default_config with
+      n_procs = procs;
+      n_objects = spec.Mmc_workload.Spec.n_objects;
+      ops_per_proc = ops;
+      kind;
+    }
+  in
+  Shard_runner.run ~seed ~placement cfg
+    ~workload:
+      (Mmc_workload.Generator.sharded_counter_commute ~commute_ratio
+         ~n_procs:procs placement spec)
+
+let sequencer_rounds (res : Shard_runner.result) =
+  (* msc coordinates once per update (every update record carries a
+     broadcast position); seg only on escalation. *)
+  match
+    Array.to_list res.Shard_runner.fastpath |> List.filter_map Fun.id
+  with
+  | [] ->
+    Array.fold_left
+      (fun acc rec_ ->
+        List.fold_left
+          (fun acc (r : Recorder.record) ->
+            if r.Recorder.sync <> None then acc + 1 else acc)
+          acc (Recorder.records rec_))
+      0 res.Shard_runner.recorders
+  | handles ->
+    List.fold_left
+      (fun acc (h : Seg_store.handle) ->
+        acc + h.Seg_store.stats.Seg_store.escalated)
+      0 handles
+
+let f1 ?(ratios = [ 0.0; 0.25; 0.5; 0.75; 0.9; 1.0 ]) ?(n_shards = 8)
+    ?(procs = 6) ?(ops = 60) ?(seed = 12) () =
+  let flavour = History.Msc in
+  let per_op res n =
+    float_of_int n /. float_of_int (max 1 res.Shard_runner.completed)
+  in
+  let throughput res =
+    1000. *. float_of_int res.Shard_runner.completed
+    /. float_of_int (max 1 res.Shard_runner.duration)
+  in
+  let verdict res =
+    let c = Shard_runner.check ~oracle:false res ~flavour in
+    Check_sharded.all_shards_admissible c
+  in
+  let rows =
+    List.map
+      (fun ratio ->
+        let seg =
+          run ~kind:Store.Seg ~n_shards ~procs ~ops ~commute_ratio:ratio ~seed
+        in
+        let msc =
+          run ~kind:Store.Msc ~n_shards ~procs ~ops ~commute_ratio:ratio ~seed
+        in
+        let v_seg = verdict seg and v_msc = verdict msc in
+        if v_seg <> v_msc then
+          invalid_arg
+            (Fmt.str
+               "F1: per-shard Theorem-7 verdicts diverge at ratio %.2f (seg \
+                %b, msc %b)"
+               ratio v_seg v_msc);
+        let rounds_seg = sequencer_rounds seg in
+        let coord =
+          if rounds_seg = 0 then float_of_int (sequencer_rounds msc)
+          else per_op msc (sequencer_rounds msc) /. per_op seg rounds_seg
+        in
+        [
+          Table.f2 ratio;
+          Table.f1 (throughput seg);
+          Table.f1 (throughput msc);
+          Table.f2 (throughput seg /. Float.max 1e-9 (throughput msc));
+          Table.f2 (per_op seg seg.Shard_runner.messages);
+          Table.f2 (per_op msc msc.Shard_runner.messages);
+          Table.f2 (per_op seg rounds_seg);
+          Table.f1 coord;
+          (if v_seg then "PASS" else "FAIL");
+        ])
+      ratios
+  in
+  {
+    Table.id = "F1";
+    title = "coordination avoidance: commute-ratio sweep (seg vs msc, S8)";
+    header =
+      [
+        "ratio";
+        "seg op/kt";
+        "msc op/kt";
+        "speedup";
+        "seg msg/op";
+        "msc msg/op";
+        "esc/op";
+        "coord red.";
+        "T7";
+      ];
+    rows;
+    notes =
+      [
+        "one run per (ratio, store), same seed and workload; ratio is the \
+         generator's probability that an update is a confluent \
+         fetch-and-add on an owned counter rather than a sequenced \
+         cross-owner move";
+        "coord red. = sequencer rounds per op, msc over seg: every avoided \
+         round is sequencer capacity another client can use — the \
+         closed-loop speedup column is latency-bound and lands far lower \
+         (an escalation costs ~4 one-way latencies against ~2 for an msc \
+         update)";
+        "T7 is the per-shard Theorem-7 verdict, asserted equal between \
+         seg and msc before the row is reported; at ratio 1.0 the seg \
+         store never broadcasts at all and verification still passes";
+      ];
+  }

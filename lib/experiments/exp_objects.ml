@@ -33,7 +33,8 @@ let run_dcas ~kind ~n_procs ~attempts ~seed =
     | Store.Aw ->
       Aw_store.create engine ~n:n_procs ~n_objects:2 ~latency ~rng ~delta:15
         ~recorder
-    | Store.Rmsc -> invalid_arg "exp_objects: rmsc not ablated here"
+    | Store.Rmsc | Store.Seg ->
+      invalid_arg "exp_objects: not ablated here"
   in
   let successes = ref 0 in
   let ops = ref 0 in

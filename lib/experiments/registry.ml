@@ -152,6 +152,14 @@ let all : entry list =
           Exp_shard.s2 ~domains:[ 0; 2 ] ~shards:[ 4 ] ~seeds:1 ~ops:12 ());
     };
     {
+      id = "F1";
+      description = "coordination avoidance: commute-ratio sweep (seg vs msc)";
+      run = (fun () -> Exp_fastpath.f1 ());
+      quick =
+        (fun () ->
+          Exp_fastpath.f1 ~ratios:[ 0.0; 0.9; 1.0 ] ~n_shards:4 ~ops:12 ());
+    };
+    {
       id = "M1";
       description = "streaming verification: arrival rate x window";
       run = (fun () -> Exp_stream.m1 ());

@@ -1,0 +1,35 @@
+(** Static commutativity classifier: partitions m-operations into
+    confluent (pairwise-commuting under the active constraint set —
+    touch set homed at the issuing replica) versus sequenced (must go
+    through the atomic broadcast).  See the implementation header for
+    the soundness argument; the [seg] store's runs are always
+    re-checked by the Theorem-7 oracle, and {!Trust_labels} exists so
+    tests can pin that a wrong classifier is caught by that oracle. *)
+
+type verdict = Confluent | Sequenced
+
+type mode =
+  | Sound  (** ownership rule (the real classifier) *)
+  | Off  (** everything sequenced — broadcast-always A/B baseline *)
+  | Trust_labels of string list
+      (** deliberately wrong: trust label prefixes as confluent *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_mode : Format.formatter -> mode -> unit
+
+(** ["sound"]/["on"], ["off"], or ["wrong"] (trusts
+    [transfer]/[move] labels — the pinned-FAIL test mode). *)
+val mode_of_string : string -> mode option
+
+(** [Sound] and [Off] are trusted; {!Trust_labels} is not (the [seg]
+    store then isolates fast writes in per-replica version namespaces
+    so unsoundness surfaces as a Theorem-7 verdict). *)
+val trusted : mode -> bool
+
+val classify :
+  mode ->
+  Ownership.t ->
+  proc:int ->
+  label:string ->
+  may_touch:Mmc_core.Types.obj_id list ->
+  verdict

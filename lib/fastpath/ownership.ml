@@ -1,0 +1,44 @@
+(** Object-ownership partition for the coordination-avoidance fast
+    path.
+
+    The fast path (see {!Classify} and the [seg] store) is built on a
+    static partition of the object space among the replicas: each
+    object has exactly one {e home} replica, and an m-operation whose
+    conservative touch set stays inside its issuer's home set commutes
+    (under WW — and a fortiori OO) with every other fast operation,
+    because concurrent fast operations are object-disjoint.
+
+    Ownership is a plain function so sharded deployments can define it
+    on {e global} object ids and restrict it to a shard's local id
+    space ({!compose}); defining it globally keeps every process a
+    proportional owner on every shard even when shards are smaller
+    than the process count. *)
+
+open Mmc_core
+
+type t = { n_owners : int; owner : Types.obj_id -> int }
+
+let make ~n_owners owner =
+  if n_owners < 1 then invalid_arg "Ownership.make: n_owners must be >= 1";
+  { n_owners; owner }
+
+(** [modulo ~n_owners] — object [x] is homed at replica
+    [x mod n_owners]: the balanced default. *)
+let modulo ~n_owners = make ~n_owners (fun x -> x mod n_owners)
+
+(** [compose t f] — ownership over a translated id space: the owner of
+    [x] is [t]'s owner of [f x].  Used by the sharded store to apply a
+    global-id policy to shard-local ids. *)
+let compose t f = { t with owner = (fun x -> t.owner (f x)) }
+
+let n_owners t = t.n_owners
+
+let owner t x = t.owner x
+
+(** [owns t ~proc xs] — does [proc] home every object of [xs]? *)
+let owns t ~proc xs = List.for_all (fun x -> t.owner x = proc) xs
+
+(** Objects of [0 .. n_objects-1] homed at [proc], ascending — the
+    workload generator's pool of confluent targets. *)
+let owned_objects t ~proc ~n_objects =
+  List.filter (fun x -> t.owner x = proc) (List.init n_objects Fun.id)

@@ -1,0 +1,30 @@
+(** Object-ownership partition for the coordination-avoidance fast
+    path: every object has one home replica; operations confined to
+    their issuer's home set commute pairwise (they are
+    object-disjoint), so the [seg] store may apply them locally
+    without a broadcast. *)
+
+open Mmc_core
+
+type t
+
+(** [make ~n_owners owner] — wrap an arbitrary total owner map into an
+    ownership partition.  Raises [Invalid_argument] when
+    [n_owners < 1]. *)
+val make : n_owners:int -> (Types.obj_id -> int) -> t
+
+(** Object [x] is homed at replica [x mod n_owners]. *)
+val modulo : n_owners:int -> t
+
+(** Ownership over a translated id space (e.g. shard-local ids mapped
+    through the placement to global ids). *)
+val compose : t -> (Types.obj_id -> Types.obj_id) -> t
+
+val n_owners : t -> int
+val owner : t -> Types.obj_id -> int
+
+(** Does [proc] home every object in the list? *)
+val owns : t -> proc:int -> Types.obj_id list -> bool
+
+(** Objects of [0 .. n_objects-1] homed at [proc], ascending. *)
+val owned_objects : t -> proc:int -> n_objects:int -> Types.obj_id list

@@ -102,6 +102,44 @@ let stitch placement recorders =
     chains;
   let synchronized = Array.make n false in
   Array.iter (List.iter (fun id -> synchronized.(id) <- true)) chains;
+  (* Anti-dependency edges: a reader of version [k] of an object
+     precedes the writer of [k + 1] in every legal total order — and
+     so does the reader's latest synchronized program-order
+     predecessor when the reader itself is unsynchronized (a query).
+     Folding these implied edges into the linearization keeps its
+     arbitrary tie-breaks from pinching a stale local read between a
+     remote update and the reader's own process order: without them
+     the sort may place the overwriting update before an unrelated
+     update that process order puts before the reader, and the
+     stitched verdict would blame a legal history.  A cycle through
+     these edges means no legal total order exists at all — a genuine
+     composition anomaly, surfaced as one below. *)
+  let writer_of = Hashtbl.create (List.length records) in
+  List.iteri
+    (fun i (r : Recorder.record) ->
+      List.iter
+        (fun (x, ver, ns) -> Hashtbl.replace writer_of (x, ver, ns) (i + 1))
+        r.Recorder.writes)
+    records;
+  let last_sync = Hashtbl.create 8 in
+  List.iteri
+    (fun i (r : Recorder.record) ->
+      let id = i + 1 in
+      let anchor =
+        if synchronized.(id) then Some id
+        else Hashtbl.find_opt last_sync r.Recorder.proc
+      in
+      (match anchor with
+      | None -> ()
+      | Some u ->
+        List.iter
+          (fun (x, ver, ns) ->
+            match Hashtbl.find_opt writer_of (x, ver + 1, ns) with
+            | Some w when w <> id && w <> u -> Relation.add rel u w
+            | _ -> ())
+          r.Recorder.reads);
+      if synchronized.(id) then Hashtbl.replace last_sync r.Recorder.proc id)
+    records;
   let sync_order =
     match Relation.topo_sort rel with
     | None -> []

@@ -19,6 +19,7 @@ type result = {
   update_latency : Stats.summary;
   fault : Fault.t option;
   recovery : Rstore.handle option array;
+  fastpath : Seg_store.handle option array;
 }
 
 let run ~seed ?placement (cfg : Runner.config) ~workload =
@@ -69,6 +70,12 @@ let run ~seed ?placement (cfg : Runner.config) ~workload =
     Engine.schedule engine ~delay:start (step proc 0)
   done;
   Engine.run engine;
+  (* Seg shards: tail entries join each shard's synchronization order
+     before the traces are stitched. *)
+  let fastpath = Shard_store.fastpath sharded in
+  Array.iter
+    (Option.iter (fun (h : Seg_store.handle) -> h.Seg_store.finalize ()))
+    fastpath;
   let recorders = Shard_store.recorders sharded in
   let stitched = Shard_recorder.stitch placement recorders in
   {
@@ -85,6 +92,7 @@ let run ~seed ?placement (cfg : Runner.config) ~workload =
     update_latency = Stats.summarize update_stats;
     fault;
     recovery = Shard_store.recovery sharded;
+    fastpath;
   }
 
 let check ?pool ?arena ?oracle ?(kind = Constraints.WW) res ~flavour =

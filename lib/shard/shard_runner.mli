@@ -26,6 +26,9 @@ type result = {
       (** the shared fault injector when a plan was configured *)
   recovery : Mmc_store.Rstore.handle option array;
       (** per-shard recovery handles ([Rmsc] shards only) *)
+  fastpath : Mmc_store.Seg_store.handle option array;
+      (** per-shard fast-path handles ([Seg] shards only; finalize
+          already called) *)
 }
 
 (** [run ~seed cfg ~placement ~workload] — [workload rng ~proc ~step]

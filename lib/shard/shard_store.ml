@@ -7,6 +7,7 @@ type t = {
   shards : Store.t array;
   recorders : Recorder.t array;
   recovery : Rstore.handle option array;
+  fastpath : Seg_store.handle option array;
   router : Router.t;
   store : Store.t;
 }
@@ -20,11 +21,24 @@ let create ?fault (cfg : Runner.config) engine ~placement ~rng =
         Recorder.create ~n_objects:(Placement.size placement s))
   in
   let recovery = Array.make n_shards None in
+  let fastpath = Array.make n_shards None in
+  (* The Seg store's ownership is defined on global object ids and
+     restricted to each shard's local space: every process stays a
+     proportional owner on every shard even when shards are smaller
+     than the process count. *)
+  let global_ownership = Mmc_fastpath.Ownership.modulo ~n_owners:cfg.Runner.n_procs in
   let shards =
     Array.init n_shards (fun s ->
         let cfg_s = { cfg with Runner.n_objects = Placement.size placement s } in
         Runner.make_store ?fault
           ~sink:(fun h -> recovery.(s) <- Some h)
+            (* Frontier-ordered tails: per-shard chains compose with
+               cross-shard process order (see {!Seg_store.tail_order}). *)
+          ~tail:Seg_store.Frontier
+          ~ownership:
+            (Mmc_fastpath.Ownership.compose global_ownership
+               (Placement.to_global placement s))
+          ~fsink:(fun h -> fastpath.(s) <- Some h)
           cfg_s engine
           ~rng:(Mmc_sim.Rng.split rng)
           ~recorder:recorders.(s))
@@ -40,13 +54,14 @@ let create ?fault (cfg : Runner.config) engine ~placement ~rng =
           Array.fold_left (fun acc s -> acc + Store.messages_sent s) 0 shards);
     }
   in
-  { placement; shards; recorders; recovery; router; store }
+  { placement; shards; recorders; recovery; fastpath; router; store }
 
 let store t = t.store
 let placement t = t.placement
 let router t = t.router
 let recorders t = t.recorders
 let recovery t = Array.copy t.recovery
+let fastpath t = Array.copy t.fastpath
 
 let messages_by_shard t =
   Array.map (fun s -> Store.messages_sent s) t.shards

@@ -41,5 +41,10 @@ val recorders : t -> Recorder.t array
 (** Per-shard recovery handles — [Some] for [Rmsc] shards. *)
 val recovery : t -> Rstore.handle option array
 
+(** Per-shard fast-path handles — [Some] for [Seg] shards.  Callers
+    driving the engine themselves must invoke each handle's [finalize]
+    after quiescence, before stitching. *)
+val fastpath : t -> Seg_store.handle option array
+
 (** Per-shard transport message counts. *)
 val messages_by_shard : t -> int array

@@ -46,6 +46,41 @@ let update (x : Value.t array) (ts : int array) ~ns prog =
   in
   { result; ops = List.rev !ops; reads = List.rev !reads; writes }
 
+(** Namespace-tracking variant for stores whose replica state mixes
+    version namespaces (the [seg] store records fast-path writes under
+    a per-replica namespace when the classifier is untrusted):
+    [ns_of.(o)] is the namespace of the version currently held by
+    object [o]; reads report it, and writes re-home the object under
+    [writer_ns]. *)
+let update_ns (x : Value.t array) (ts : int array) (ns_of : int array)
+    ~writer_ns prog =
+  let ops = ref [] in
+  let written = ref [] in
+  let reads = ref [] in
+  let rd o =
+    let v = x.(o) in
+    ops := Op.read o v :: !ops;
+    if (not (List.mem o !written))
+       && not (List.exists (fun (o', _, _) -> o' = o) !reads)
+    then reads := (o, ts.(o), ns_of.(o)) :: !reads;
+    v
+  in
+  let wr o v =
+    ops := Op.write o v :: !ops;
+    x.(o) <- v;
+    if not (List.mem o !written) then written := o :: !written
+  in
+  let result = Prog.run prog ~read:rd ~write:wr in
+  let writes =
+    List.rev_map
+      (fun o ->
+        ts.(o) <- ts.(o) + 1;
+        ns_of.(o) <- writer_ns;
+        (o, ts.(o), writer_ns))
+      !written
+  in
+  { result; ops = List.rev !ops; reads = List.rev !reads; writes }
+
 exception Query_wrote of Types.obj_id
 
 (** Apply a query program to a snapshot; writing is a protocol
@@ -58,6 +93,22 @@ let query (x : Value.t array) (ts : int array) ~ns prog =
     ops := Op.read o v :: !ops;
     if not (List.exists (fun (o', _, _) -> o' = o) !reads) then
       reads := (o, ts.(o), ns) :: !reads;
+    v
+  in
+  let wr o _ = raise (Query_wrote o) in
+  let result = Prog.run prog ~read:rd ~write:wr in
+  { result; ops = List.rev !ops; reads = List.rev !reads; writes = [] }
+
+(** Namespace-tracking query: reads report the namespace of the
+    version currently held (see {!update_ns}). *)
+let query_ns (x : Value.t array) (ts : int array) (ns_of : int array) prog =
+  let ops = ref [] in
+  let reads = ref [] in
+  let rd o =
+    let v = x.(o) in
+    ops := Op.read o v :: !ops;
+    if not (List.exists (fun (o', _, _) -> o' = o) !reads) then
+      reads := (o, ts.(o), ns_of.(o)) :: !reads;
     v
   in
   let wr o _ = raise (Query_wrote o) in

@@ -18,8 +18,18 @@ type applied = {
     version vector. *)
 val update : Value.t array -> int array -> ns:int -> Prog.t -> applied
 
+(** Namespace-tracking update for stores whose replica state mixes
+    version namespaces (the [seg] store): [ns_of.(o)] holds the
+    namespace of object [o]'s current version — reads report it,
+    writes re-home the object under [writer_ns]. *)
+val update_ns :
+  Value.t array -> int array -> int array -> writer_ns:int -> Prog.t -> applied
+
 exception Query_wrote of Types.obj_id
 
 (** Apply a query program to a snapshot; raises {!Query_wrote} if it
     writes (the caller declared an empty write set). *)
 val query : Value.t array -> int array -> ns:int -> Prog.t -> applied
+
+(** Namespace-tracking query (see {!update_ns}). *)
+val query_ns : Value.t array -> int array -> int array -> Prog.t -> applied

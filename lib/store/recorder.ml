@@ -60,6 +60,19 @@ let drain t =
 let of_records ~n_objects records =
   { n_objects; records = List.rev records; count = List.length records }
 
+(* Rewrite every synchronization position through [f] — the seg
+   store's finalize re-numbers the broadcast order to slot in tail
+   entries at their frontiers.  [f] must be strictly monotone so the
+   recorded order is preserved. *)
+let remap_sync t f =
+  t.records <-
+    List.map
+      (fun r ->
+        match r.sync with
+        | None -> r
+        | Some p -> { r with sync = Some (f p) })
+      t.records
+
 exception Inconsistent_versions of string
 
 (** Build the history, the per-m-operation timestamp table for the

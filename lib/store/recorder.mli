@@ -42,6 +42,11 @@ val drain : t -> record list
     records through the same numbering and reads-from resolution. *)
 val of_records : n_objects:int -> record list -> t
 
+(** Rewrite every recorded synchronization position through a strictly
+    monotone map — lets a store re-number its broadcast order at the
+    end of a run (the seg store's frontier-ordered finalize). *)
+val remap_sync : t -> (int -> int) -> unit
+
 exception Inconsistent_versions of string
 
 (** Build the history (m-operations numbered in invocation order;

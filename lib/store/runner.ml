@@ -41,6 +41,10 @@ type config = {
       (** broadcast batching / tree-dissemination knobs
           ({!Mmc_broadcast.Batch.unbatched} by default); changes only
           the wire framing, never the delivered order *)
+  fastpath : Mmc_fastpath.Classify.mode;
+      (** the [Seg] store's classifier: [Sound] (default), [Off]
+          (everything sequenced — the A/B baseline), or the
+          deliberately-wrong [Trust_labels] used by the oracle test *)
 }
 
 let default_config =
@@ -60,6 +64,7 @@ let default_config =
     delivery = Rstore.Stable;
     detector = None;
     batch = Batch.unbatched;
+    fastpath = Mmc_fastpath.Classify.Sound;
   }
 
 type result = {
@@ -80,9 +85,12 @@ type result = {
   recovery : Rstore.handle option;
       (** the [Rmsc] store's recovery introspection (cursors,
           convergence, WAL/catch-up counters) *)
+  fastpath : Seg_store.handle option;
+      (** the [Seg] store's fast-path introspection (local/escalated/
+          flush counters; finalize already called by {!run}) *)
 }
 
-let make_store ?fault ?sink cfg engine ~rng ~recorder =
+let make_store ?fault ?sink ?tail ?ownership ?fsink cfg engine ~rng ~recorder =
   match cfg.kind with
   | Store.Msc ->
     Msc_store.create ?fault ?reliable:cfg.reliable ~batch:cfg.batch engine
@@ -111,6 +119,11 @@ let make_store ?fault ?sink cfg engine ~rng ~recorder =
   | Store.Aw ->
     Aw_store.create ?fault engine ~n:cfg.n_procs ~n_objects:cfg.n_objects
       ~latency:cfg.latency ~rng ~delta:cfg.aw_delta ~recorder
+  | Store.Seg ->
+    Seg_store.create ?fault ?reliable:cfg.reliable ~batch:cfg.batch
+      ~mode:cfg.fastpath ?tail ?ownership ?fsink engine ~n:cfg.n_procs
+      ~n_objects:cfg.n_objects ~latency:cfg.latency ~rng
+      ~abcast_impl:cfg.abcast_impl ~recorder
 
 (** [check_trace result ~flavour] — Theorem-7 admissibility of the
     recorded trace: the flavour's base relation plus the recorded
@@ -178,9 +191,12 @@ let run ~seed cfg ~workload =
     else Some (Fault.create cfg.fault ~rng:(Rng.split rng))
   in
   let handle = ref None in
+  let fhandle = ref None in
   let store =
-    make_store ?fault ~sink:(fun h -> handle := Some h) cfg engine
-      ~rng:store_rng ~recorder
+    make_store ?fault
+      ~sink:(fun h -> handle := Some h)
+      ~fsink:(fun h -> fhandle := Some h)
+      cfg engine ~rng:store_rng ~recorder
   in
   let rec step proc i () =
     if i < cfg.ops_per_proc then begin
@@ -202,6 +218,9 @@ let run ~seed cfg ~workload =
     Engine.schedule engine ~delay:start (step proc 0)
   done;
   Engine.run engine;
+  (* The Seg store's tail entries (never flushed by quiescence) join
+     the synchronization order before the history is built. *)
+  Option.iter (fun (h : Seg_store.handle) -> h.finalize ()) !fhandle;
   let history, stamps, sync_order = Recorder.to_history_full recorder in
   {
     history;
@@ -215,4 +234,5 @@ let run ~seed cfg ~workload =
     update_latency = Stats.summarize update_stats;
     fault;
     recovery = !handle;
+    fastpath = !fhandle;
   }

@@ -35,6 +35,10 @@ type config = {
       (** broadcast batching / tree-dissemination knobs
           ({!Mmc_broadcast.Batch.unbatched} by default); changes only
           the wire framing, never the delivered order *)
+  fastpath : Mmc_fastpath.Classify.mode;
+      (** the [Seg] store's classifier: [Sound] (default), [Off]
+          (everything sequenced — the A/B baseline), or the
+          deliberately-wrong [Trust_labels] used by the oracle test *)
 }
 
 val default_config : config
@@ -57,11 +61,22 @@ type result = {
   recovery : Rstore.handle option;
       (** the [Rmsc] store's recovery introspection (cursors,
           convergence, WAL/catch-up counters) *)
+  fastpath : Seg_store.handle option;
+      (** the [Seg] store's fast-path introspection (local/escalated/
+          flush counters; finalize already called by {!run}) *)
 }
 
+(** [ownership] overrides the [Seg] store's object-home map (the
+    sharded store homes by {e global} id); [fsink] receives its
+    introspection handle — callers driving the engine themselves must
+    invoke [finalize] after quiescence, before building the
+    history. *)
 val make_store :
   ?fault:Mmc_sim.Fault.t ->
   ?sink:(Rstore.handle -> unit) ->
+  ?tail:Seg_store.tail_order ->
+  ?ownership:Mmc_fastpath.Ownership.t ->
+  ?fsink:(Seg_store.handle -> unit) ->
   config ->
   Mmc_sim.Engine.t ->
   rng:Mmc_sim.Rng.t ->

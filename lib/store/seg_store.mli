@@ -1,0 +1,60 @@
+(** Coordination-avoidance store ([seg]): confluent m-operations (per
+    {!Mmc_fastpath.Classify}) execute locally with zero messages;
+    sequenced ones escalate to the atomic broadcast behind a barrier
+    that first flushes locally-applied operations into the global
+    order.  See the implementation header for the full protocol and
+    its soundness argument; every run is re-checked by the Theorem-7
+    oracle. *)
+
+open Mmc_sim
+open Mmc_broadcast
+
+type stats = {
+  mutable fast : int;  (** confluent updates applied locally *)
+  mutable fast_queries : int;  (** queries answered locally *)
+  mutable escalated : int;  (** sequenced operations broadcast *)
+  mutable flushes : int;  (** [Flush_req] messages sent *)
+  mutable carried : int;  (** flush entries shipped inside barriers *)
+  mutable sealed_waits : int;  (** fast updates queued behind a seal *)
+}
+
+(** [finalize] assigns synchronization positions to never-flushed tail
+    entries and hands their records to the recorder — the runner must
+    call it after quiescence, before building the history.
+    [oldest_pending] is the earliest invocation time still buffered
+    anywhere (streaming consumers hold their reorder watermark at
+    it). *)
+type handle = {
+  stats : stats;
+  oldest_pending : unit -> int option;
+  finalize : unit -> unit;
+}
+
+(** Placement of fast operations in the synchronization order at
+    [finalize]: [Dense] (default) records carried entries at delivery
+    and appends never-flushed tails after every broadcast position —
+    sound for a stand-alone store and keeps positions stable for
+    streaming consumers; [Frontier] withholds fast records until
+    finalize and re-keys the whole order by a hybrid clock (sequenced
+    updates at the running maximum of first-delivery instants, fast
+    operations at their execution instant) — required when per-shard
+    chains are composed with cross-shard process order (the sharded
+    store), where no delivery-time placement is acyclic. *)
+type tail_order = Dense | Frontier
+
+val create :
+  ?fault:Fault.t ->
+  ?reliable:Reliable.config ->
+  ?batch:Batch.t ->
+  ?mode:Mmc_fastpath.Classify.mode ->
+  ?tail:tail_order ->
+  ?ownership:Mmc_fastpath.Ownership.t ->
+  ?fsink:(handle -> unit) ->
+  Engine.t ->
+  n:int ->
+  n_objects:int ->
+  latency:Latency.t ->
+  rng:Rng.t ->
+  abcast_impl:Abcast.impl ->
+  recorder:Recorder.t ->
+  Store.t

@@ -29,6 +29,10 @@ type kind =
   | Lock  (** distributed strict two-phase locking over sharded owners *)
   | Aw  (** Attiya–Welch clock-based linearizability (needs delay bound) *)
   | Rmsc  (** recoverable msc: WAL + checkpoints + catch-up (Rstore) *)
+  | Seg
+      (** coordination-avoidance fast path: confluent m-operations
+          apply locally, sequenced ones escalate to the broadcast
+          behind a flush barrier (Seg_store) *)
 
 let pp_kind ppf = function
   | Msc -> Fmt.string ppf "msc"
@@ -39,6 +43,7 @@ let pp_kind ppf = function
   | Lock -> Fmt.string ppf "lock"
   | Aw -> Fmt.string ppf "aw"
   | Rmsc -> Fmt.string ppf "rmsc"
+  | Seg -> Fmt.string ppf "seg"
 
 let kind_of_string = function
   | "msc" -> Some Msc
@@ -49,4 +54,5 @@ let kind_of_string = function
   | "lock" -> Some Lock
   | "aw" -> Some Aw
   | "rmsc" -> Some Rmsc
+  | "seg" -> Some Seg
   | _ -> None

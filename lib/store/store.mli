@@ -24,6 +24,10 @@ type kind =
   | Lock  (** distributed strict two-phase locking over sharded owners *)
   | Aw  (** Attiya–Welch clock-based linearizability (needs delay bound) *)
   | Rmsc  (** recoverable msc: WAL + checkpoints + catch-up (Rstore) *)
+  | Seg
+      (** coordination-avoidance fast path: confluent m-operations
+          apply locally, sequenced ones escalate to the broadcast
+          behind a flush barrier (Seg_store) *)
 
 val pp_kind : Format.formatter -> kind -> unit
 val kind_of_string : string -> kind option

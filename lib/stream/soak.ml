@@ -124,7 +124,7 @@ let run ?(on_sample = fun (_ : sample) -> ()) ~seed ~workload cfg =
   if cfg.max_ops <= 0 && cfg.max_time = None then
     invalid_arg "Soak.run: unbounded soak (no max_ops, no max_time)";
   (match rcfg.Runner.kind with
-  | Store.Msc | Store.Mlin | Store.Rmsc -> ()
+  | Store.Msc | Store.Mlin | Store.Rmsc | Store.Seg -> ()
   | k ->
     invalid_arg
       (Fmt.str "Soak.run: store kind %a has no synchronization order"
@@ -142,7 +142,12 @@ let run ?(on_sample = fun (_ : sample) -> ()) ~seed ~workload cfg =
     if Fault.is_none rcfg.Runner.fault then None
     else Some (Fault.create rcfg.Runner.fault ~rng:(Rng.split rng))
   in
-  let store = Runner.make_store ?fault rcfg engine ~rng:store_rng ~recorder in
+  let fhandle = ref None in
+  let store =
+    Runner.make_store ?fault
+      ~fsink:(fun h -> fhandle := Some h)
+      rcfg engine ~rng:store_rng ~recorder
+  in
   let wc =
     Window_check.create ~window:cfg.window ~settle:cfg.settle
       ~flavour:(flavour_of_kind rcfg.Runner.kind)
@@ -170,7 +175,18 @@ let run ?(on_sample = fun (_ : sample) -> ()) ~seed ~workload cfg =
   let vals : (int * int, Value.t) Hashtbl.t = Hashtbl.create 256 in
   let n_fed = ref 0 in
   let corrupted = ref false in
-  let watermark () = Array.fold_left min (Engine.now engine) in_flight in
+  (* The Seg store records a fast operation only when a later barrier
+     carries it into the global order, so the reorder watermark must
+     also wait for its oldest still-buffered record. *)
+  let watermark () =
+    let wm = Array.fold_left min (Engine.now engine) in_flight in
+    match !fhandle with
+    | None -> wm
+    | Some h -> (
+      match h.Seg_store.oldest_pending () with
+      | None -> wm
+      | Some t -> min wm t)
+  in
   let cmp_rec (a : Recorder.record) (b : Recorder.record) =
     compare
       (a.Recorder.inv, a.Recorder.resp, a.Recorder.proc)
@@ -276,6 +292,7 @@ let run ?(on_sample = fun (_ : sample) -> ()) ~seed ~workload cfg =
     Engine.schedule ~daemon:true engine ~delay:cfg.sample_every sample
   end;
   Engine.run engine;
+  Option.iter (fun (h : Seg_store.handle) -> h.Seg_store.finalize ()) !fhandle;
   pump ~final:true ();
   let verdict = Window_check.finish wc in
   let full_verdict, agreement =

@@ -155,6 +155,102 @@ let sharded ?(cross_shard_ratio = 0.) placement (spec : Spec.t) rng ~proc ~step
       (prog_of_plan plan Value.Unit)
   end
 
+(** Commuting-ratio counter workload for the [seg] store's fast path
+    (see the interface).  Confluent operations are fetch-and-adds on
+    counters homed at the invoking process (ownership = global object
+    id mod [n_procs], the [seg] store's default); sequenced operations
+    are [move]s from an owned counter to a differently-owned one — a
+    segment transition that forces a flush barrier. *)
+let counter_commute ?(commute_ratio = 0.9) ~n_procs (spec : Spec.t) rng ~proc
+    ~step =
+  ignore step;
+  let n = spec.Spec.n_objects in
+  let ownership = Mmc_fastpath.Ownership.modulo ~n_owners:n_procs in
+  let owned =
+    Array.of_list
+      (Mmc_fastpath.Ownership.owned_objects ownership ~proc ~n_objects:n)
+  in
+  let pick_owned () =
+    if Array.length owned = 0 then Rng.int rng ~bound:n
+    else owned.(Rng.int rng ~bound:(Array.length owned))
+  in
+  let pick_foreign near =
+    (* A differently-owned counter, preferring one close to [near] (in
+       the sharded setting nearby ids tend to share a shard). *)
+    let rec go d =
+      if d >= n then near
+      else
+        let x = (near + d) mod n in
+        if Mmc_fastpath.Ownership.owner ownership x <> proc then x else go (d + 1)
+    in
+    go (1 + Rng.int rng ~bound:(max 1 (n - 1)))
+  in
+  if Rng.bernoulli rng ~p:spec.Spec.read_ratio then
+    Mmc_objects.Counter.get (pick_owned ())
+  else if Rng.bernoulli rng ~p:commute_ratio then
+    Mmc_objects.Counter.fetch_and_add (pick_owned ())
+      (1 + Rng.int rng ~bound:8)
+  else begin
+    let src = pick_owned () in
+    let dst = pick_foreign src in
+    if dst = src then
+      Mmc_objects.Counter.fetch_and_add src (1 + Rng.int rng ~bound:8)
+    else Mmc_objects.Counter.move ~src ~dst (1 + Rng.int rng ~bound:8)
+  end
+
+(** Placement-confined variant of {!counter_commute}: the sequenced
+    [move]s pick their differently-owned target on the {e same} shard,
+    so escalations exercise the flush barrier rather than the router's
+    cross-shard splitting.  Ownership stays global-id mod [n_procs] —
+    exactly what {!Mmc_shard.Shard_store} hands each [seg] shard. *)
+let sharded_counter_commute ?(commute_ratio = 0.9) ~n_procs placement
+    (spec : Spec.t) rng ~proc ~step =
+  ignore step;
+  let open Mmc_shard in
+  let n = spec.Spec.n_objects in
+  let ownership = Mmc_fastpath.Ownership.modulo ~n_owners:n_procs in
+  let owned =
+    Array.of_list
+      (Mmc_fastpath.Ownership.owned_objects ownership ~proc ~n_objects:n)
+  in
+  let pick_owned () =
+    if Array.length owned = 0 then Rng.int rng ~bound:n
+    else owned.(Rng.int rng ~bound:(Array.length owned))
+  in
+  let pick_foreign_same_shard src =
+    let s = Placement.shard_of_obj placement src in
+    let pool =
+      List.filter
+        (fun x -> Mmc_fastpath.Ownership.owner ownership x <> proc)
+        (Placement.objects_of placement s)
+    in
+    match pool with
+    | [] ->
+      (* Shard too small: fall back to any differently-owned object
+         (the router will split the move). *)
+      let all =
+        List.filter
+          (fun x -> Mmc_fastpath.Ownership.owner ownership x <> proc)
+          (List.init n Fun.id)
+      in
+      (match all with
+      | [] -> src
+      | _ -> List.nth all (Rng.int rng ~bound:(List.length all)))
+    | _ -> List.nth pool (Rng.int rng ~bound:(List.length pool))
+  in
+  if Rng.bernoulli rng ~p:spec.Spec.read_ratio then
+    Mmc_objects.Counter.get (pick_owned ())
+  else if Rng.bernoulli rng ~p:commute_ratio then
+    Mmc_objects.Counter.fetch_and_add (pick_owned ())
+      (1 + Rng.int rng ~bound:8)
+  else begin
+    let src = pick_owned () in
+    let dst = pick_foreign_same_shard src in
+    if dst = src then
+      Mmc_objects.Counter.fetch_and_add src (1 + Rng.int rng ~bound:8)
+    else Mmc_objects.Counter.move ~src ~dst (1 + Rng.int rng ~bound:8)
+  end
+
 (** DCAS-heavy workload: processes contend with double
     compare-and-swaps over pairs of registers, mixed with snapshots. *)
 let dcas_contention (spec : Spec.t) rng ~proc ~step =

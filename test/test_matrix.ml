@@ -42,7 +42,7 @@ let satisfied kind history =
     | Admissible.Aborted -> QCheck.assume_fail ()
   in
   match kind with
-  | Store.Msc | Store.Rmsc -> adm History.Msc
+  | Store.Msc | Store.Rmsc | Store.Seg -> adm History.Msc
   | Store.Mlin | Store.Central | Store.Lock -> adm History.Mlin
   | Store.Causal -> (
     match Check_causal.check ~max_states:5_000_000 history with
