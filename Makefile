@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test check ci smoke shard-smoke par-smoke recover-smoke chaos-smoke soak-smoke fastpath-smoke bench-smoke bench-diff experiments bench-json clean
+.PHONY: all build test check ci smoke shard-smoke par-smoke recover-smoke chaos-smoke scrub-smoke soak-smoke fastpath-smoke bench-smoke bench-diff experiments bench-json clean
 
 all: build
 
@@ -21,7 +21,7 @@ check: build test
 # the committed trajectory in warn mode — CI runners are too noisy
 # for a hard perf gate, but a broken bench or a failed built-in
 # metric assertion still fails the job via the bench exit code).
-ci: build test par-smoke recover-smoke chaos-smoke soak-smoke fastpath-smoke bench-smoke
+ci: build test par-smoke recover-smoke chaos-smoke scrub-smoke soak-smoke fastpath-smoke bench-smoke
 
 # Reduced-size bench pass over the core and parallel groups with
 # metric assertions active, written to a scratch JSON and diffed
@@ -77,6 +77,21 @@ recover-smoke: build
 # and accounts for all of its wipe-crash restarts.
 chaos-smoke: build
 	$(DUNE) exec bin/mmc_cli.exe -- chaos --plans 25 --seed 1
+
+# Storage-fault smoke: fuzzed plans also draw torn writes, bit-rot
+# and stale-checkpoint loss — 25 of them must still satisfy every
+# recovery oracle with CRC framing + scrubbing on, as must a recover
+# run over an explicit tear+rot+stale plan; the same style of
+# corruption with integrity checking disabled must reach replay and
+# diverge (exit 2 asserted — a PASS there means the checksums are not
+# load-bearing).
+scrub-smoke: build
+	$(DUNE) exec bin/mmc_cli.exe -- chaos --plans 25 --seed 1
+	$(DUNE) exec bin/mmc_cli.exe -- recover --seed 1 \
+	  --plan 'drop=0.05,wipe=1:150:600,tear=1:150,rot=0:200,stale=2:250'
+	$(DUNE) exec bin/mmc_cli.exe -- recover --seed 1 \
+	  --plan 'drop=0.1,wipe=0:150:600,rot=0:100' --crc off --scrub off; \
+	  test $$? -eq 2
 
 # Streaming-verification smoke: an open-loop soak PASSes under the
 # windowed Theorem-7 checker (exit 0), a run with a seeded stale-read

@@ -805,8 +805,11 @@ let stream_metrics () =
 
 (* Full recoverable-store runs: crash-free (the WAL/checkpoint
    overhead alone), a double wipe-crash schedule under each broadcast
-   (the restart + catch-up + failover price), and the same schedule
-   with tight checkpoints (replay shifted onto snapshots). *)
+   (the restart + catch-up + failover price), the same schedule with
+   tight checkpoints (replay shifted onto snapshots), with the
+   scrubber disabled (its overhead isolated by difference), and with
+   storage corruption layered on — torn writes, bit-rot and a stale
+   checkpoint the CRC/scrub/peer-repair machinery must absorb. *)
 
 let recovery_spec = { Mmc_workload.Spec.default with n_objects = 8 }
 
@@ -816,7 +819,19 @@ let recovery_wipes =
     { Mmc_sim.Fault.node = 2; at = 900; back = 1300; wipe = true };
   ]
 
-let run_recovery ~impl ~crashes ~checkpoint_every () =
+let recovery_plan crashes =
+  { Mmc_sim.Fault.none with Mmc_sim.Fault.drop = 0.1; crashes }
+
+let recovery_storage_plan =
+  {
+    (recovery_plan recovery_wipes) with
+    Mmc_sim.Fault.tears = [ { Mmc_sim.Fault.node = 0; at = 150 } ];
+    rots =
+      [ { Mmc_sim.Fault.node = 1; at = 300 }; { Mmc_sim.Fault.node = 3; at = 500 } ];
+    stales = [ { Mmc_sim.Fault.node = 2; at = 400 } ];
+  }
+
+let run_recovery ~impl ~plan ~checkpoint_every ~scrub_every () =
   let cfg =
     {
       Mmc_store.Runner.default_config with
@@ -825,34 +840,48 @@ let run_recovery ~impl ~crashes ~checkpoint_every () =
       ops_per_proc = 12;
       kind = Mmc_store.Store.Rmsc;
       abcast_impl = impl;
-      fault = { Mmc_sim.Fault.none with Mmc_sim.Fault.drop = 0.1; crashes };
+      fault = plan;
       recovery =
-        { Mmc_recovery.Rlog.default_policy with checkpoint_every };
+        { Mmc_recovery.Rlog.default_policy with checkpoint_every; scrub_every };
     }
   in
   Mmc_store.Runner.run ~seed:(17 + soff) cfg
     ~workload:(Mmc_workload.Generator.mixed recovery_spec)
 
+let default_scrub = Mmc_recovery.Rlog.default_policy.Mmc_recovery.Rlog.scrub_every
+
 let recovery_variants =
   [
-    ("crashfree-seq", Mmc_broadcast.Abcast.Sequencer_impl, [], 16);
-    ("wipe2-seq", Mmc_broadcast.Abcast.Sequencer_impl, recovery_wipes, 16);
-    ("wipe2-lamport", Mmc_broadcast.Abcast.Lamport_impl, recovery_wipes, 16);
-    ("wipe2-seq-ckpt4", Mmc_broadcast.Abcast.Sequencer_impl, recovery_wipes, 4);
+    ("crashfree-seq", Mmc_broadcast.Abcast.Sequencer_impl, recovery_plan [], 16,
+     default_scrub);
+    ("wipe2-seq", Mmc_broadcast.Abcast.Sequencer_impl,
+     recovery_plan recovery_wipes, 16, default_scrub);
+    ("wipe2-lamport", Mmc_broadcast.Abcast.Lamport_impl,
+     recovery_plan recovery_wipes, 16, default_scrub);
+    ("wipe2-seq-ckpt4", Mmc_broadcast.Abcast.Sequencer_impl,
+     recovery_plan recovery_wipes, 4, default_scrub);
+    ("wipe2-seq-noscrub", Mmc_broadcast.Abcast.Sequencer_impl,
+     recovery_plan recovery_wipes, 16, 0);
+    ("wipe2-seq-storage", Mmc_broadcast.Abcast.Sequencer_impl,
+     recovery_storage_plan, 16, default_scrub);
   ]
 
 let bench_recovery =
   Test.make_grouped ~name:"recovery"
     (List.map
-       (fun (name, impl, crashes, checkpoint_every) ->
+       (fun (name, impl, plan, checkpoint_every, scrub_every) ->
          Test.make ~name:(Fmt.str "run-%s" name)
            (Staged.stage (fun () ->
-                ignore (run_recovery ~impl ~crashes ~checkpoint_every ()))))
+                ignore (run_recovery ~impl ~plan ~checkpoint_every ~scrub_every ()))))
        recovery_variants)
 
 (* Wall-ms per variant (run + Theorem-7 verification of the stitched
    cross-crash trace), plus the replay/catch-up volume of one run —
-   the machine-readable recovery bill, recorded with --json. *)
+   the machine-readable recovery bill, recorded with --json.  The
+   storage-corruption variant must actually repair something
+   (repaired = 0 would mean the faults or the repair path went dead),
+   and the scrubber's cost shows up as the wall-clock delta between
+   the scrub-on and scrub-off wipe runs. *)
 let recovery_metrics () =
   let wall_ms repeats f =
     let t0 = Unix.gettimeofday () in
@@ -861,33 +890,61 @@ let recovery_metrics () =
     done;
     (Unix.gettimeofday () -. t0) *. 1_000. /. float_of_int repeats
   in
-  List.concat_map
-    (fun (name, impl, crashes, checkpoint_every) ->
-      let run () = run_recovery ~impl ~crashes ~checkpoint_every () in
-      let ms_run = wall_ms (if cli_quick then 3 else 10)(fun () -> ignore (run ())) in
-      let res = run () in
-      let ms_verify =
-        wall_ms (if cli_quick then 3 else 10)(fun () ->
-            ignore
-              (Mmc_store.Runner.check_trace res ~flavour:History.Msc))
-      in
-      let replayed, pulls =
-        match res.Mmc_store.Runner.recovery with
-        | None -> (0, 0)
-        | Some h ->
-          ( Array.fold_left
-              (fun t s -> t + s.Mmc_recovery.Rlog.replayed)
-              0
-              (h.Mmc_store.Rstore.log_stats ()),
-            h.Mmc_store.Rstore.pulls () )
-      in
-      [
-        (Fmt.str "metrics/recovery/%s/ms-run" name, ms_run);
-        (Fmt.str "metrics/recovery/%s/ms-verify" name, ms_verify);
-        (Fmt.str "metrics/recovery/%s/replayed" name, float_of_int replayed);
-        (Fmt.str "metrics/recovery/%s/pulls" name, float_of_int pulls);
-      ])
-    recovery_variants
+  let rows =
+    List.concat_map
+      (fun (name, impl, plan, checkpoint_every, scrub_every) ->
+        let run () = run_recovery ~impl ~plan ~checkpoint_every ~scrub_every () in
+        let ms_run = wall_ms (if cli_quick then 3 else 10)(fun () -> ignore (run ())) in
+        let res = run () in
+        let ms_verify =
+          wall_ms (if cli_quick then 3 else 10)(fun () ->
+              ignore
+                (Mmc_store.Runner.check_trace res ~flavour:History.Msc))
+        in
+        let log_sum f =
+          match res.Mmc_store.Runner.recovery with
+          | None -> 0
+          | Some h ->
+            Array.fold_left (fun t s -> t + f s) 0 (h.Mmc_store.Rstore.log_stats ())
+        in
+        let replayed = log_sum (fun s -> s.Mmc_recovery.Rlog.replayed) in
+        let pulls =
+          match res.Mmc_store.Runner.recovery with
+          | None -> 0
+          | Some h -> h.Mmc_store.Rstore.pulls ()
+        in
+        let base =
+          [
+            (Fmt.str "metrics/recovery/%s/ms-run" name, ms_run);
+            (Fmt.str "metrics/recovery/%s/ms-verify" name, ms_verify);
+            (Fmt.str "metrics/recovery/%s/replayed" name, float_of_int replayed);
+            (Fmt.str "metrics/recovery/%s/pulls" name, float_of_int pulls);
+          ]
+        in
+        if name <> "wipe2-seq-storage" then base
+        else begin
+          let repaired = log_sum (fun s -> s.Mmc_recovery.Rlog.repaired) in
+          let corrupt = log_sum (fun s -> s.Mmc_recovery.Rlog.corrupt) in
+          if repaired = 0 then
+            fail_check
+              "recovery/wipe2-seq-storage: 0 records repaired — the storage \
+               faults or the repair path went dead";
+          base
+          @ [
+              (Fmt.str "metrics/recovery/%s/repaired" name,
+               float_of_int repaired);
+              (Fmt.str "metrics/recovery/%s/corrupt" name, float_of_int corrupt);
+            ]
+        end)
+      recovery_variants
+  in
+  let ms name = try List.assoc (Fmt.str "metrics/recovery/%s/ms-run" name) rows with Not_found -> 0. in
+  rows
+  @ [
+      ("metrics/recovery/scrub-overhead-ms", ms "wipe2-seq" -. ms "wipe2-seq-noscrub");
+      ("metrics/recovery/corruption-overhead-ms",
+       ms "wipe2-seq-storage" -. ms "wipe2-seq");
+    ]
 
 (* --- stable vs optimistic delivery: the `chaos` group --- *)
 

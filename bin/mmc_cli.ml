@@ -988,7 +988,8 @@ let soak_cmd =
 
 let fault_plan_usage =
   "fields are drop=P, spike=P:DELAY, part=FROM:UNTIL:N1+N2+.., \
-   crash=NODE:AT:BACK, wipe=NODE:AT:BACK (comma-separated, part/crash/wipe \
+   crash=NODE:AT:BACK, wipe=NODE:AT:BACK, tear=NODE:AT, rot=NODE:AT, \
+   stale=NODE:AT (comma-separated; part/crash/wipe and the storage faults \
    repeatable)"
 
 let fault_plan_conv =
@@ -1063,7 +1064,25 @@ let fault_plan_conv =
                     }
                     :: plan.Mmc_sim.Fault.crashes;
                 }
-              | ("drop" | "spike" | "part" | "crash" | "wipe"), _ ->
+              | ("tear" | "rot" | "stale"), [ node; at ] -> (
+                let f =
+                  {
+                    Mmc_sim.Fault.node = int_in field "a node id" node;
+                    at = int_in field "a fault time" at;
+                  }
+                in
+                match key with
+                | "tear" ->
+                  { plan with Mmc_sim.Fault.tears = f :: plan.Mmc_sim.Fault.tears }
+                | "rot" ->
+                  { plan with Mmc_sim.Fault.rots = f :: plan.Mmc_sim.Fault.rots }
+                | _ ->
+                  {
+                    plan with
+                    Mmc_sim.Fault.stales = f :: plan.Mmc_sim.Fault.stales;
+                  })
+              | ("drop" | "spike" | "part" | "crash" | "wipe" | "tear" | "rot"
+                | "stale"), _ ->
                 failwith
                   (Fmt.str
                      "bad fault field %S: wrong number of ':'-separated values \
@@ -1199,6 +1218,58 @@ let delivery_arg =
            only once a majority quorum acknowledged its stamp (the \
            default); $(b,optimistic) applies on first delivery and can \
            expose the epoch-change divergence anomaly.")
+
+(* Storage-integrity knobs of the rmsc store's durable layer. *)
+
+let scrub_conv =
+  let parse = function
+    | "off" -> Ok 0
+    | s -> (
+      match int_of_string_opt s with
+      | Some i when i > 0 -> Ok i
+      | _ -> Error (`Msg (Fmt.str "expected a positive interval or 'off', got %S" s)))
+  in
+  let pp ppf = function 0 -> Fmt.string ppf "off" | i -> Fmt.int ppf i in
+  Arg.conv (parse, pp)
+
+let scrub_arg =
+  Arg.(
+    value
+    & opt scrub_conv Mmc_recovery.Rlog.default_policy.scrub_every
+    & info [ "scrub" ] ~docv:"T"
+        ~doc:
+          (Fmt.str
+             "Background CRC scrub pass period in virtual time, or $(b,off) \
+              to disable scrubbing (default %d).  Scrubbing finds bit-rot \
+              before the data is needed and repairs it from peers."
+             Mmc_recovery.Rlog.default_policy.scrub_every))
+
+let crc_conv =
+  let parse = function
+    | "on" -> Ok true
+    | "off" -> Ok false
+    | s -> Error (`Msg (Fmt.str "expected 'on' or 'off', got %S" s))
+  in
+  let pp ppf b = Fmt.string ppf (if b then "on" else "off") in
+  Arg.conv (parse, pp)
+
+let crc_arg =
+  Arg.(
+    value & opt crc_conv true
+    & info [ "crc" ] ~docv:"on|off"
+        ~doc:
+          "Storage integrity checking: $(b,on) (default) detects, \
+           quarantines and repairs damaged frames; $(b,off) trusts the \
+           medium, so injected corruption silently becomes holes — expect \
+           the oracles to catch the resulting divergence.")
+
+let json_summary_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Append a one-line JSON summary object to stdout (the greppable \
+           text summary line stays).")
 
 let pp_detector_stats ppf (s : Mmc_sim.Detector.stats) =
   Fmt.pf ppf
@@ -1351,8 +1422,8 @@ let faults_cmd =
 (* --- recover --- *)
 
 let recover procs objects ops abcast latency seed batch plan checkpoint_every
-    rto max_rto max_retries delivery heartbeat_every suspect_after save domains
-    =
+    scrub_every crc json rto max_rto max_retries delivery heartbeat_every
+    suspect_after save domains =
   require_positive ~cmd:"recover"
     [
       ("--procs", procs);
@@ -1382,14 +1453,37 @@ let recover procs objects ops abcast latency seed batch plan checkpoint_every
       fault = plan;
       reliable = reliable_overrides rto max_rto max_retries;
       recovery =
-        { Mmc_recovery.Rlog.default_policy with checkpoint_every };
+        {
+          Mmc_recovery.Rlog.default_policy with
+          checkpoint_every;
+          scrub_every;
+          crc;
+        };
       delivery;
       detector = detector_overrides ~cmd:"recover" heartbeat_every suspect_after;
       batch;
     }
   in
   let res =
-    Mmc_store.Runner.run ~seed cfg ~workload:(Mmc_workload.Generator.mixed spec)
+    (* A run blowing up (e.g. the recorder detecting two writers of one
+       version, as unchecked corruption reaching replay will cause) is
+       divergence-grade evidence, reported like the chaos driver does. *)
+    match
+      Mmc_store.Runner.run ~seed cfg
+        ~workload:(Mmc_workload.Generator.mixed spec)
+    with
+    | res -> res
+    | exception e ->
+      Fmt.pr "recover         DIVERGED: run raised %s@." (Printexc.to_string e);
+      Fmt.pr "fault plan      %a@." Mmc_sim.Fault.pp_plan plan;
+      Fmt.pr
+        "summary         converged=no admissible=no given-up=0 restarts=0 \
+         repaired=0@.";
+      if json then
+        Fmt.pr
+          "{\"cmd\":\"recover\",\"seed\":%d,\"converged\":false,\"admissible\":false,\"raised\":true}@."
+          seed;
+      exit 2
   in
   Fmt.pr "store           %a over %a (%a delivery)@." Mmc_store.Store.pp_kind
     Mmc_store.Store.Rmsc Mmc_broadcast.Abcast.pp_impl abcast
@@ -1408,36 +1502,47 @@ let recover procs objects ops abcast latency seed batch plan checkpoint_every
     Fmt.pr "retransmits     %d (given up %d)@." c.Mmc_sim.Fault.retransmissions
       c.Mmc_sim.Fault.abandoned;
     Fmt.pr "restarts        %d@." c.Mmc_sim.Fault.restarts);
-  let converged =
+  let h =
     match res.Mmc_store.Runner.recovery with
     | None ->
       Fmt.epr "mmc: recover: internal error: no recovery handle@.";
       exit 124
-    | Some h ->
-      let logs = h.Mmc_store.Rstore.log_stats () in
-      let sum f = Array.fold_left (fun acc s -> acc + f s) 0 logs in
-      Fmt.pr "recoveries      %d@." (h.Mmc_store.Rstore.recoveries ());
-      Fmt.pr "wal             %d appends, %d checkpoints, %d replayed, %d \
-              truncated@."
-        (sum (fun s -> s.Mmc_recovery.Rlog.appends))
-        (sum (fun s -> s.Mmc_recovery.Rlog.checkpoints))
-        (sum (fun s -> s.Mmc_recovery.Rlog.replayed))
-        (sum (fun s -> s.Mmc_recovery.Rlog.truncated));
-      Fmt.pr "catch-up        %d pulls, %d pushes (%d entries, %d snapshots)@."
-        (h.Mmc_store.Rstore.pulls ())
-        (h.Mmc_store.Rstore.pushes ())
-        (h.Mmc_store.Rstore.entries_pushed ())
-        (h.Mmc_store.Rstore.snapshots_pushed ());
-      Fmt.pr "broadcast       %a@." Mmc_broadcast.Rbcast.pp_stats
-        (h.Mmc_store.Rstore.broadcast_stats ());
-      (match h.Mmc_store.Rstore.detector_stats () with
-      | Some d -> Fmt.pr "detector        %a@." pp_detector_stats d
-      | None -> ());
-      Fmt.pr "stability acks  %d@." (h.Mmc_store.Rstore.stability_acks ());
-      let ok = h.Mmc_store.Rstore.converged () in
-      Fmt.pr "replicas        %s@."
-        (if ok then "converged" else "DIVERGED");
-      ok
+    | Some h -> h
+  in
+  let logs = h.Mmc_store.Rstore.log_stats () in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 logs in
+  let converged =
+    Fmt.pr "recoveries      %d@." (h.Mmc_store.Rstore.recoveries ());
+    Fmt.pr "wal             %d appends, %d checkpoints, %d replayed, %d \
+            truncated@."
+      (sum (fun s -> s.Mmc_recovery.Rlog.appends))
+      (sum (fun s -> s.Mmc_recovery.Rlog.checkpoints))
+      (sum (fun s -> s.Mmc_recovery.Rlog.replayed))
+      (sum (fun s -> s.Mmc_recovery.Rlog.truncated));
+    Fmt.pr "storage         %d torn sectors, %d corrupt, %d silent, %d \
+            repaired, %d scrubbed, %d ckpt-fallbacks, %d reclaimed@."
+      (sum (fun s -> s.Mmc_recovery.Rlog.torn))
+      (sum (fun s -> s.Mmc_recovery.Rlog.corrupt))
+      (sum (fun s -> s.Mmc_recovery.Rlog.silent))
+      (sum (fun s -> s.Mmc_recovery.Rlog.repaired))
+      (sum (fun s -> s.Mmc_recovery.Rlog.scrubbed))
+      (sum (fun s -> s.Mmc_recovery.Rlog.ckpt_fallbacks))
+      (sum (fun s -> s.Mmc_recovery.Rlog.reclaimed_sectors));
+    Fmt.pr "catch-up        %d pulls, %d pushes (%d entries, %d snapshots)@."
+      (h.Mmc_store.Rstore.pulls ())
+      (h.Mmc_store.Rstore.pushes ())
+      (h.Mmc_store.Rstore.entries_pushed ())
+      (h.Mmc_store.Rstore.snapshots_pushed ());
+    Fmt.pr "broadcast       %a@." Mmc_broadcast.Rbcast.pp_stats
+      (h.Mmc_store.Rstore.broadcast_stats ());
+    (match h.Mmc_store.Rstore.detector_stats () with
+    | Some d -> Fmt.pr "detector        %a@." pp_detector_stats d
+    | None -> ());
+    Fmt.pr "stability acks  %d@." (h.Mmc_store.Rstore.stability_acks ());
+    let ok = h.Mmc_store.Rstore.converged () in
+    Fmt.pr "replicas        %s@."
+      (if ok then "converged" else "DIVERGED");
+    ok
   in
   let h = res.Mmc_store.Runner.history in
   (match save with
@@ -1469,10 +1574,22 @@ let recover procs objects ops abcast latency seed batch plan checkpoint_every
       let c = Mmc_sim.Fault.counts f in
       (c.Mmc_sim.Fault.abandoned, c.Mmc_sim.Fault.restarts)
   in
-  Fmt.pr "summary         converged=%s admissible=%s given-up=%d restarts=%d@."
+  Fmt.pr "summary         converged=%s admissible=%s given-up=%d restarts=%d \
+          repaired=%d@."
     (if converged then "yes" else "NO")
     (if admissible then "yes" else "NO")
-    given_up restarts;
+    given_up restarts
+    (sum (fun s -> s.Mmc_recovery.Rlog.repaired));
+  if json then
+    Fmt.pr
+      "{\"cmd\":\"recover\",\"seed\":%d,\"converged\":%b,\"admissible\":%b,\"restarts\":%d,\"given_up\":%d,\"repaired\":%d,\"torn\":%d,\"corrupt\":%d,\"silent\":%d,\"scrubbed\":%d,\"ckpt_fallbacks\":%d}@."
+      seed converged admissible restarts given_up
+      (sum (fun s -> s.Mmc_recovery.Rlog.repaired))
+      (sum (fun s -> s.Mmc_recovery.Rlog.torn))
+      (sum (fun s -> s.Mmc_recovery.Rlog.corrupt))
+      (sum (fun s -> s.Mmc_recovery.Rlog.silent))
+      (sum (fun s -> s.Mmc_recovery.Rlog.scrubbed))
+      (sum (fun s -> s.Mmc_recovery.Rlog.ckpt_fallbacks));
   if not converged then 2 else if not admissible then 1 else 0
 
 let recover_cmd =
@@ -1552,20 +1669,28 @@ let recover_cmd =
               and that the history stitched across crash epochs is \
               Theorem-7 admissible for m-sequential consistency.";
            `P
+             "Storage faults (tear=, rot=, stale= plan fields) damage the \
+              simulated block devices under the WAL and checkpoints; with \
+              $(b,--crc on) the damage is detected, quarantined and \
+              repaired from peers (see $(b,--scrub)), with $(b,--crc off) \
+              it silently corrupts recovery — which the oracles then \
+              catch.";
+           `P
              "Exit status: 0 when replicas converge and the history is \
               admissible, 1 when the admissibility check fails, 2 when \
               replicas did not converge.";
          ])
     Term.(
       const recover $ procs $ objects $ ops $ abcast $ latency $ seed
-      $ batch_term $ plan $ checkpoint_every $ rto_arg "recover" $ max_rto_arg
+      $ batch_term $ plan $ checkpoint_every $ scrub_arg $ crc_arg
+      $ json_summary_arg $ rto_arg "recover" $ max_rto_arg
       $ max_retries_arg $ delivery_arg $ heartbeat_every_arg
       $ suspect_after_arg $ save $ domains)
 
 (* --- chaos --- *)
 
 let chaos procs objects ops abcast latency seed batch plans delivery
-    heartbeat_every suspect_after verbose domains =
+    heartbeat_every suspect_after scrub_every crc json verbose domains =
   require_positive ~cmd:"chaos"
     [
       ("--procs", procs);
@@ -1577,6 +1702,8 @@ let chaos procs objects ops abcast latency seed batch plans delivery
   let spec = { Mmc_workload.Spec.default with n_objects = objects } in
   let diverged = ref 0 in
   let failed = ref 0 in
+  let torn = ref 0 and corrupt = ref 0 and silent = ref 0 in
+  let repaired = ref 0 and restarts = ref 0 in
   with_domains domains (fun pool ->
       for i = 0 to plans - 1 do
         let run_seed = seed + i in
@@ -1596,6 +1723,8 @@ let chaos procs objects ops abcast latency seed batch plans delivery
             delivery;
             detector;
             batch;
+            recovery =
+              { Mmc_recovery.Rlog.default_policy with scrub_every; crc };
           }
         in
         match
@@ -1620,6 +1749,17 @@ let chaos procs objects ops abcast latency seed batch plans delivery
             exit 124
         in
         let wipes = List.length (Mmc_sim.Fault.wipes plan) in
+        let logs = handle.Mmc_store.Rstore.log_stats () in
+        let sum f = Array.fold_left (fun acc s -> acc + f s) 0 logs in
+        torn := !torn + sum (fun s -> s.Mmc_recovery.Rlog.torn);
+        corrupt := !corrupt + sum (fun s -> s.Mmc_recovery.Rlog.corrupt);
+        silent := !silent + sum (fun s -> s.Mmc_recovery.Rlog.silent);
+        repaired := !repaired + sum (fun s -> s.Mmc_recovery.Rlog.repaired);
+        (match res.Mmc_store.Runner.fault with
+        | Some f ->
+          restarts :=
+            !restarts + (Mmc_sim.Fault.counts f).Mmc_sim.Fault.restarts
+        | None -> ());
         let problems = ref [] in
         let note fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
         (* Oracle 1: every replica converged to identical state. *)
@@ -1682,7 +1822,17 @@ let chaos procs objects ops abcast latency seed batch plans delivery
         plans seed
         (seed + plans - 1)
         Mmc_store.Rstore.pp_mode delivery;
+      Fmt.pr "storage         %d torn sectors, %d corrupt, %d silent, %d \
+              repaired (crc %s, scrub %s)@."
+        !torn !corrupt !silent !repaired
+        (if crc then "on" else "off")
+        (if scrub_every = 0 then "off" else string_of_int scrub_every);
       Fmt.pr "failed          %d (%d diverged)@." !failed !diverged;
+      if json then
+        Fmt.pr
+          "{\"cmd\":\"chaos\",\"plans\":%d,\"seed\":%d,\"failed\":%d,\"diverged\":%d,\"converged\":%b,\"admissible\":%b,\"restarts\":%d,\"repaired\":%d,\"torn\":%d,\"corrupt\":%d,\"silent\":%d,\"crc\":%b,\"scrub\":%d}@."
+          plans seed !failed !diverged (!diverged = 0) (!failed = 0) !restarts
+          !repaired !torn !corrupt !silent crc scrub_every;
       if !diverged > 0 then 2 else if !failed > 0 then 1 else 0)
 
 let chaos_cmd =
@@ -1750,13 +1900,21 @@ let chaos_cmd =
               straddle an epoch change — the anomaly quorum-stable \
               delivery exists to rule out.";
            `P
+             "Fuzzed plans also draw storage faults — torn writes riding \
+              wipe-crash instants, bit-rot, stale-checkpoint loss — so the \
+              same oracles double as an end-to-end check of CRC framing, \
+              scrubbing and peer repair.  Running with $(b,--crc off) \
+              $(b,--scrub off) is expected to fail: silent corruption \
+              then reaches replay.";
+           `P
              "Exit status: 0 when every plan passes, 2 when any run \
               diverged, 1 when only other oracle failures occurred.";
          ])
     Term.(
       const chaos $ procs $ objects $ ops $ abcast $ latency $ seed
       $ batch_term $ plans $ delivery_arg $ heartbeat_every_arg
-      $ suspect_after_arg $ verbose $ domains)
+      $ suspect_after_arg $ scrub_arg $ crc_arg $ json_summary_arg $ verbose
+      $ domains)
 
 (* --- shard --- *)
 

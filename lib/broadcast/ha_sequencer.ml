@@ -118,9 +118,10 @@ let resubmit_every = 80
 let max_resubmit = 50
 let sync_retry_every = 80
 let max_sync_attempts = 50
+let fit_wait_every = 40
 
 let create ?duplicate ?fault ?reliable ?(batch = Batch.unbatched) ?detector
-    engine ~n ~latency ~rng ~deliver : 'p Rbcast.t =
+    ?(fit = fun _ -> true) engine ~n ~latency ~rng ~deliver : 'p Rbcast.t =
   let net =
     Transport.create ?duplicate ?fault ?config:reliable engine ~n ~latency ~rng
   in
@@ -506,25 +507,68 @@ let create ?duplicate ?fault ?reliable ?(batch = Batch.unbatched) ?detector
     let f = Hashtbl.fold (fun e _ acc -> max acc e) st.closes 0 in
     Hashtbl.fold (fun _ (e, _, _) acc -> max acc e) st.seen f
   in
+  (* A candidate vetoed by [fit] (the store holds off replicas with
+     quarantined log positions) polls again on a daemon timer until it
+     is repaired — or until the conditions it re-checks have moved on
+     (a higher epoch adopted, suspicion changed). *)
+  let fit_wait = Array.make n false in
+  let await_fit node retry =
+    if not fit_wait.(node) then begin
+      fit_wait.(node) <- true;
+      Engine.schedule ~daemon:true engine ~delay:fit_wait_every (fun () ->
+          fit_wait.(node) <- false;
+          retry node)
+    end
+  in
   (* Elect when this node is the smallest id it does not suspect and
      the current epoch belongs to someone else: claim the smallest
      owned epoch above the current one.  Racing candidates therefore
      claim distinct epochs and the lowest-id candidate the lowest. *)
-  let try_elect node =
+  let rec try_elect node =
     let st = states.(node) in
     if
       (not st.syncing)
       && Detector.candidate det ~observer:node = node
       && sigma st.epoch <> node
     then begin
-      let rec next e = if sigma e = node then e else next (e + 1) in
-      let e = next (st.epoch + 1) in
-      st.sync_prev <- last_formed st;
-      dbg "node %d elects epoch %d" node e;
-      st.epoch <- e;
-      st.syncing <- true;
-      st.sync_attempts <- 0;
-      start_sync node
+      if not (fit node) then begin
+        dbg "node %d elect deferred: unfit (quarantined)" node;
+        await_fit node try_elect
+      end
+      else begin
+        let rec next e = if sigma e = node then e else next (e + 1) in
+        let e = next (st.epoch + 1) in
+        st.sync_prev <- last_formed st;
+        dbg "node %d elects epoch %d" node e;
+        st.epoch <- e;
+        st.syncing <- true;
+        st.sync_attempts <- 0;
+        start_sync node
+      end
+    end
+  in
+  (* Rejoin after a crash while still holding the epoch: deposed in
+     absentia or not, the node must re-form through a fresh quorum sync
+     before serving again.  If its recovered log came back quarantined
+     it is unfit to sequence — wait for repair (peers depose it through
+     higher epochs in the meantime, at which point [try_elect] takes
+     over the retrying). *)
+  let rec rejoin_elect node =
+    let st = states.(node) in
+    if sigma st.epoch = node && not st.syncing then begin
+      if not (fit node) then begin
+        dbg "node %d rejoin deferred: unfit (quarantined)" node;
+        await_fit node rejoin_elect
+      end
+      else begin
+        let rec next e = if sigma e = node then e else next (e + 1) in
+        let e = next (st.epoch + 1) in
+        st.sync_prev <- last_formed st;
+        st.epoch <- e;
+        st.syncing <- true;
+        st.sync_attempts <- 0;
+        start_sync node
+      end
     end
   in
   (* Move to a higher epoch learned from the wire: stop serving (and
@@ -594,13 +638,7 @@ let create ?duplicate ?fault ?reliable ?(batch = Batch.unbatched) ?detector
                 st.epoch;
               st.serving <- false;
               st.syncing <- false;
-              let rec next e = if sigma e = c.node then e else next (e + 1) in
-              let e = next (st.epoch + 1) in
-              st.sync_prev <- last_formed st;
-              st.epoch <- e;
-              st.syncing <- true;
-              st.sync_attempts <- 0;
-              start_sync c.node
+              rejoin_elect c.node
             end;
             if Hashtbl.length st.pending > 0 then begin
               st.resubmit_attempts <- 0;

@@ -39,6 +39,7 @@ type 'p factory =
   ?reliable:Mmc_sim.Reliable.config ->
   ?batch:Batch.t ->
   ?detector:Mmc_sim.Detector.config ->
+  ?fit:(int -> bool) ->
   Mmc_sim.Engine.t ->
   n:int ->
   latency:Mmc_sim.Latency.t ->
@@ -54,8 +55,8 @@ type 'p factory =
    Positions are final on delivery — no holes, no retractions, no
    failure detector. *)
 let of_abcast (f : 'p Abcast.factory) : 'p factory =
- fun ?duplicate ?fault ?reliable ?batch ?detector:_ engine ~n ~latency ~rng
-     ~deliver ->
+ fun ?duplicate ?fault ?reliable ?batch ?detector:_ ?fit:_ engine ~n ~latency
+     ~rng ~deliver ->
   let counts = Array.make n 0 in
   let ab =
     f ?duplicate ?fault ?reliable ?batch engine ~n ~latency ~rng

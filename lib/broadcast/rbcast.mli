@@ -65,13 +65,19 @@ val detector_stats : 'p t -> Mmc_sim.Detector.stats option
     after an intervening [Retract] (or to override a stale stamp with
     [Hole]).  [origin] is [-1] for [Hole]/[Retract].  Positions can
     arrive in any order.  [detector] configures the failure detector
-    of implementations that elect (ignored by the rest). *)
+    of implementations that elect (ignored by the rest).  [fit node]
+    vetoes takeover by an unfit candidate — the store passes a
+    predicate that holds off replicas with quarantined (damaged,
+    unrepaired) log positions; implementations that elect retry until
+    the candidate becomes fit or suspicion moves on.  Default: everyone
+    is fit. *)
 type 'p factory =
   ?duplicate:float ->
   ?fault:Mmc_sim.Fault.t ->
   ?reliable:Mmc_sim.Reliable.config ->
   ?batch:Batch.t ->
   ?detector:Mmc_sim.Detector.config ->
+  ?fit:(int -> bool) ->
   Mmc_sim.Engine.t ->
   n:int ->
   latency:Mmc_sim.Latency.t ->

@@ -136,6 +136,15 @@ let all : entry list =
             ~ops:8 ());
     };
     {
+      id = "R5";
+      description = "storage faults: fault mix x checkpoint interval";
+      run = (fun () -> Exp_recovery.r5 ());
+      quick =
+        (fun () ->
+          Exp_recovery.r5 ~intervals:[ 16 ] ~seeds:2 ~ops:8
+            ~mix_names:[ "tear"; "tear+rot+stale" ] ());
+    };
+    {
       id = "S1";
       description = "sharding: shard count x cross-shard ratio";
       run = (fun () -> Exp_shard.s1 ());

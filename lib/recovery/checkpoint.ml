@@ -1,25 +1,130 @@
-(** Periodic object-state snapshots (see the interface). *)
+(** Periodic object-state snapshots, durable as CRC32-framed frames on
+    a simulated block device (see the interface). *)
+
+open Mmc_sim
 
 type 's t = {
-  mutable snap : (int * 's) option;  (** (position covered, snapshot) *)
+  dev : Blockdev.t;
+  crc : bool;
+  mutable slots : (int * int * int) list;
+      (** (covered position, sector, span), newest first; the newest
+          two are retained on the device *)
   mutable taken : int;
+  mutable fallbacks : int;  (** damaged slots skipped by {!load} *)
 }
 
-let create () = { snap = None; taken = 0 }
+let create ?dev ?(crc = true) () =
+  let dev = match dev with Some d -> d | None -> Blockdev.create () in
+  { dev; crc; slots = []; taken = 0; fallbacks = 0 }
+
+let dev t = t.dev
 
 let save t ~pos s =
-  (match t.snap with
-  | Some (p, _) when pos < p ->
+  (match t.slots with
+  | (p, _, _) :: _ when pos < p ->
     invalid_arg
-      (Fmt.str "Checkpoint.save: position %d below the last checkpoint %d" pos p)
+      (Fmt.str "Checkpoint.save: position %d below the last checkpoint %d" pos
+         p)
   | _ -> ());
-  t.snap <- Some (pos, s);
+  let sector, span =
+    Frame.append t.dev
+      { Frame.kind = Frame.Ckpt; a = pos; b = 0;
+        payload = Marshal.to_bytes s [ Marshal.Closures ] }
+  in
+  let slots = (pos, sector, span) :: t.slots in
+  let keep, retired =
+    match slots with a :: b :: rest -> ([ a; b ], rest) | _ -> (slots, [])
+  in
+  List.iter
+    (fun (_, sec, sp) -> Blockdev.discard t.dev ~sector:sec ~sectors:sp)
+    retired;
+  t.slots <- keep;
   t.taken <- t.taken + 1
 
-let load t = t.snap
+(* Newest slot that still verifies; a damaged newest checkpoint falls
+   back to the previous one (then genesis).  The payload is never
+   unmarshalled unless its checksum holds — even with [crc = false]
+   (decoding unverified bytes is unsound), in which case the fallback
+   simply is not counted as a detection. *)
+let rec load_slots t = function
+  | [] -> None
+  | (pos, sector, _) :: rest -> (
+    match Frame.read t.dev ~sector with
+    | Frame.Ok (f, _) when f.Frame.kind = Frame.Ckpt && f.Frame.a = pos -> (
+      try Some (pos, Marshal.from_bytes f.Frame.payload 0)
+      with _ ->
+        t.fallbacks <- t.fallbacks + 1;
+        t.slots <- List.filter (fun (p, _, _) -> p <> pos) t.slots;
+        load_slots t rest)
+    | _ ->
+      t.fallbacks <- t.fallbacks + 1;
+      t.slots <- List.filter (fun (p, _, _) -> p <> pos) t.slots;
+      load_slots t rest)
+
+let load t = load_slots t t.slots
 let taken t = t.taken
+let fallbacks t = t.fallbacks
+
+let crash t = t.slots <- []
+
+let reload t =
+  t.slots <- [];
+  let hi = Blockdev.high t.dev in
+  let s = ref 0 in
+  while !s < hi do
+    match Frame.read t.dev ~sector:!s with
+    | Frame.Ok (f, span) ->
+      if f.Frame.kind = Frame.Ckpt then
+        t.slots <- (f.Frame.a, !s, span) :: t.slots;
+      s := !s + span
+    | Frame.Damaged (f, span) ->
+      (* A snapshot whose checksum no longer verifies is left out of
+         the rebuilt index — recovery falls back past it, so it counts
+         exactly like a damaged slot skipped by {!load}. *)
+      if f.Frame.kind = Frame.Ckpt then t.fallbacks <- t.fallbacks + 1;
+      s := (if span > 0 && !s + span <= hi then !s + span else !s + 1)
+    | Frame.Broken -> incr s
+  done
+
+(* The stale-checkpoint fault: flip a byte in the newest snapshot's
+   payload so recovery must fall back to the previous one.  The fault
+   is physical, so it must not depend on the volatile slot index: when
+   that is gone (the node is down after a wipe-crash) the device
+   itself is scanned for the newest snapshot frame. *)
+let newest_on_device t =
+  let hi = Blockdev.high t.dev in
+  let s = ref 0 and found = ref None in
+  while !s < hi do
+    match Frame.read t.dev ~sector:!s with
+    | Frame.Ok (f, span) ->
+      if f.Frame.kind = Frame.Ckpt then found := Some !s;
+      s := !s + span
+    | Frame.Damaged (_, span) ->
+      s := (if span > 0 && !s + span <= hi then !s + span else !s + 1)
+    | Frame.Broken -> incr s
+  done;
+  !found
+
+let damage_latest t ~rng =
+  let sector =
+    match t.slots with
+    | (_, sector, _) :: _ -> Some sector
+    | [] -> newest_on_device t
+  in
+  match sector with
+  | None -> false
+  | Some sector -> (
+    match Frame.read t.dev ~sector with
+    | Frame.Ok (f, _) ->
+      let len = Bytes.length f.Frame.payload in
+      let off =
+        if len > 0 then Frame.header_bytes + Rng.int rng ~bound:len else 5
+      in
+      Blockdev.rot_at t.dev ~sector ~off;
+      true
+    | _ -> false)
 
 let pp ppf t =
-  match t.snap with
-  | None -> Fmt.string ppf "checkpoint: none"
-  | Some (pos, _) -> Fmt.pf ppf "checkpoint@%d (%d taken)" pos t.taken
+  match t.slots with
+  | [] -> Fmt.string ppf "checkpoint: none"
+  | (pos, _, _) :: _ -> Fmt.pf ppf "checkpoint@%d (%d taken)" pos t.taken

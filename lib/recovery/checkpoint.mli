@@ -1,23 +1,55 @@
-(** Periodic object-state snapshots.
+(** Periodic object-state snapshots, durable on a simulated block
+    device.
 
     A checkpoint is a copy of the replica's applied state together with
     the total-order position it covers: state after applying positions
     [[0, pos)].  Recovery loads the latest checkpoint and replays the
     write-ahead log suffix from [pos]; the log prefix below [pos] can
     be truncated.  Snapshots are monotone — saving below the last
-    covered position raises [Invalid_argument]. *)
+    covered position raises [Invalid_argument].
+
+    Each snapshot is one CRC32-framed frame ({!Frame}) appended to the
+    device; the newest {e two} are retained (older frames are
+    discarded) so a damaged newest checkpoint — bit-rot, or the
+    stale-checkpoint fault {!damage_latest} — falls back to the
+    previous one, and failing that to genesis + full replay.  The
+    payload is never unmarshalled unless its checksum verifies, even
+    with [crc = false]. *)
+
+open Mmc_sim
 
 type 's t
 
-val create : unit -> 's t
+val create : ?dev:Blockdev.t -> ?crc:bool -> unit -> 's t
+val dev : 's t -> Blockdev.t
 
 (** Record a snapshot covering positions [[0, pos)]. *)
 val save : 's t -> pos:int -> 's -> unit
 
-(** Latest snapshot, if any: [(pos, state)]. *)
+(** Newest snapshot that verifies: [(pos, state)].  Damaged slots are
+    skipped (counted in {!fallbacks}) — previous checkpoint, then
+    [None] (genesis). *)
 val load : 's t -> (int * 's) option
 
 (** Checkpoints taken so far. *)
 val taken : 's t -> int
+
+(** Damaged slots skipped — by {!load}, or left out of the index a
+    {!reload} scan rebuilds. *)
+val fallbacks : 's t -> int
+
+(** Drop the volatile slot index (wipe-crash). *)
+val crash : 's t -> unit
+
+(** Rebuild the slot index by scanning the device.  Snapshot frames
+    whose checksum no longer verifies are skipped and counted in
+    {!fallbacks}. *)
+val reload : 's t -> unit
+
+(** The stale-checkpoint fault: corrupt the newest snapshot in place
+    so recovery falls back.  Physical — when the volatile index is
+    gone (the node is down) the device is scanned for the newest
+    snapshot.  [false] when there is none. *)
+val damage_latest : 's t -> rng:Rng.t -> bool
 
 val pp : Format.formatter -> 's t -> unit

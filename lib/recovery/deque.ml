@@ -1,0 +1,104 @@
+(** Array-backed double-ended queue (see the interface). *)
+
+type 'a t = {
+  mutable buf : 'a array;  (** circular; [[||]] until the first push *)
+  mutable head : int;
+  mutable len : int;
+}
+
+let create () = { buf = [||]; head = 0; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+let clear t = t.head <- 0; t.len <- 0; t.buf <- [||]
+
+let slot t i = (t.head + i) mod Array.length t.buf
+
+let grow t x =
+  if Array.length t.buf = 0 then begin
+    t.buf <- Array.make 8 x;
+    t.head <- 0
+  end
+  else if t.len = Array.length t.buf then begin
+    let buf = Array.make (2 * t.len) x in
+    for i = 0 to t.len - 1 do
+      buf.(i) <- t.buf.(slot t i)
+    done;
+    t.buf <- buf;
+    t.head <- 0
+  end
+
+let push_back t x =
+  grow t x;
+  t.buf.(slot t t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Deque.get: index out of bounds";
+  t.buf.(slot t i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Deque.set: index out of bounds";
+  t.buf.(slot t i) <- x
+
+let front t = if t.len = 0 then invalid_arg "Deque.front: empty" else get t 0
+let back t =
+  if t.len = 0 then invalid_arg "Deque.back: empty" else get t (t.len - 1)
+
+let pop_front t =
+  let x = front t in
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  t.len <- t.len - 1;
+  x
+
+let insert t i x =
+  if i < 0 || i > t.len then invalid_arg "Deque.insert: index out of bounds";
+  grow t x;
+  (* Shift the shorter side; both directions keep amortized O(1)
+     pushes at either end through this entry point. *)
+  if i >= t.len / 2 then begin
+    t.len <- t.len + 1;
+    for j = t.len - 1 downto i + 1 do
+      t.buf.(slot t j) <- t.buf.(slot t (j - 1))
+    done
+  end
+  else begin
+    t.head <- (t.head + Array.length t.buf - 1) mod Array.length t.buf;
+    t.len <- t.len + 1;
+    for j = 0 to i - 1 do
+      t.buf.(slot t j) <- t.buf.(slot t (j + 1))
+    done
+  end;
+  t.buf.(slot t i) <- x
+
+let remove t i =
+  if i < 0 || i >= t.len then invalid_arg "Deque.remove: index out of bounds";
+  if i >= t.len / 2 then begin
+    for j = i to t.len - 2 do
+      t.buf.(slot t j) <- t.buf.(slot t (j + 1))
+    done;
+    t.len <- t.len - 1
+  end
+  else begin
+    for j = i downto 1 do
+      t.buf.(slot t j) <- t.buf.(slot t (j - 1))
+    done;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1
+  end
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let to_list t = List.init t.len (get t)
+
+(** Smallest index whose element is not below the probe under [cmp]
+    (the deque must be sorted w.r.t. [cmp]); [t.len] when all are. *)
+let lower_bound t ~cmp =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp (get t mid) < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo

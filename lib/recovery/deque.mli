@@ -1,0 +1,37 @@
+(** Array-backed double-ended queue.
+
+    The WAL's in-memory record index: records enter at the back in
+    position order, checkpoint truncation retires them from the front,
+    and catch-up lookups binary-search the sorted middle — so
+    append/truncate are amortized O(1) and a suffix costs O(log n + k)
+    instead of the O(n) [List.partition]/[List.filter] walks of the
+    list-based log. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+val push_back : 'a t -> 'a -> unit
+
+(** Random access by index from the front; raises [Invalid_argument]
+    out of bounds. *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+val front : 'a t -> 'a
+val back : 'a t -> 'a
+val pop_front : 'a t -> 'a
+
+(** [insert t i x] places [x] at index [i], shifting the shorter side;
+    O(min(i, n-i)). *)
+val insert : 'a t -> int -> 'a -> unit
+
+val remove : 'a t -> int -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list
+
+(** [lower_bound t ~cmp] — smallest index [i] with [cmp (get t i) >= 0]
+    in a deque sorted w.r.t. [cmp]; [length t] when none qualifies. *)
+val lower_bound : 'a t -> cmp:('a -> int) -> int

@@ -1,0 +1,110 @@
+(** CRC32-framed storage records on a {!Mmc_sim.Blockdev} (see the
+    interface). *)
+
+open Mmc_sim
+
+type kind = Record | Header | Ckpt | Super
+
+type t = { kind : kind; a : int; b : int; payload : Bytes.t }
+
+let magic = Bytes.of_string "MMC\xf7"
+let header_bytes = 4 + 1 + 8 + 8 + 4 + 4
+
+(* Frames refuse payloads above this — a corrupted length field must
+   not send the scanner (or an allocation) off to the moon. *)
+let max_payload = 1 lsl 24
+
+let kind_code = function Record -> 0 | Header -> 1 | Ckpt -> 2 | Super -> 3
+
+let kind_of_code = function
+  | 0 -> Some Record
+  | 1 -> Some Header
+  | 2 -> Some Ckpt
+  | 3 -> Some Super
+  | _ -> None
+
+let put_i64 b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let get_i64 b off =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+let put_i32 b off v =
+  for i = 0 to 3 do
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let get_i32 b off =
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+let encode f =
+  let len = Bytes.length f.payload in
+  if len > max_payload then invalid_arg "Frame.encode: payload too large";
+  let out = Bytes.make (header_bytes + len) '\000' in
+  Bytes.blit magic 0 out 0 4;
+  Bytes.set out 4 (Char.chr (kind_code f.kind));
+  put_i64 out 5 f.a;
+  put_i64 out 13 f.b;
+  put_i32 out 21 len;
+  Bytes.blit f.payload 0 out header_bytes len;
+  (* The checksum covers kind, a, b, len and the payload — everything
+     after the magic except the checksum field itself. *)
+  let crc = Crc32.update Crc32.init out ~off:4 ~len:21 in
+  let crc = Crc32.finalize (Crc32.update crc out ~off:header_bytes ~len) in
+  put_i32 out 25 crc;
+  out
+
+type read_result =
+  | Ok of t * int  (** frame and the sectors it spans *)
+  | Damaged of t * int
+      (** structurally parseable, checksum mismatch: the fields are
+          best-effort and the payload must not be decoded *)
+  | Broken  (** no frame here: bad magic, kind or length *)
+
+let sectors_spanned dev len =
+  let ss = Blockdev.sector_size dev in
+  if len = 0 then 1 else (len + ss - 1) / ss
+
+let read dev ~sector =
+  if sector >= Blockdev.high dev then Broken
+  else begin
+    let hdr = Blockdev.read dev ~sector ~len:header_bytes in
+    if Bytes.sub hdr 0 4 <> magic then Broken
+    else
+      match kind_of_code (Char.code (Bytes.get hdr 4)) with
+      | None -> Broken
+      | Some kind ->
+        let len = get_i32 hdr 21 in
+        let total = header_bytes + len in
+        let sectors = sectors_spanned dev total in
+        if len > max_payload || sector + sectors > Blockdev.high dev then
+          Broken
+        else begin
+          let raw = Blockdev.read dev ~sector ~len:total in
+          let payload = Bytes.sub raw header_bytes len in
+          let f = { kind; a = get_i64 raw 5; b = get_i64 raw 13; payload } in
+          let crc = Crc32.update Crc32.init raw ~off:4 ~len:21 in
+          let crc =
+            Crc32.finalize (Crc32.update crc raw ~off:header_bytes ~len)
+          in
+          if crc = get_i32 raw 25 then Ok (f, sectors)
+          else Damaged (f, sectors)
+        end
+  end
+
+let append dev f =
+  let bytes = encode f in
+  let sector, sectors = Blockdev.append dev bytes in
+  (sector, sectors)
+
+let write_at dev ~sector f = Blockdev.write dev ~sector (encode f)

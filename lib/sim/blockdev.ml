@@ -1,0 +1,143 @@
+(** Deterministic simulated block device (see the interface). *)
+
+type t = {
+  sector_size : int;
+  mutable data : Bytes.t;  (** capacity grows by doubling *)
+  mutable high : int;  (** sectors ever written (append watermark) *)
+  mutable last : (int * Bytes.t * int) option;
+      (** last write still "in flight": (first sector, previous
+          contents of the span, sectors written).  A crash may tear it;
+          any subsequent write implicitly syncs it. *)
+  mutable writes : int;
+  mutable reads : int;
+  mutable torn : int;  (** sectors rolled back by {!tear} *)
+  mutable rotted : int;  (** bytes flipped by {!rot}/{!rot_at} *)
+  mutable reclaimed : int;  (** sectors zeroed by {!discard} *)
+}
+
+let create ?(sector_size = 64) () =
+  if sector_size < 32 then
+    invalid_arg "Blockdev.create: sector_size must be >= 32";
+  {
+    sector_size;
+    data = Bytes.make (sector_size * 16) '\000';
+    high = 0;
+    last = None;
+    writes = 0;
+    reads = 0;
+    torn = 0;
+    rotted = 0;
+    reclaimed = 0;
+  }
+
+let sector_size t = t.sector_size
+let high t = t.high
+
+let sectors_for t len =
+  if len = 0 then 1 else (len + t.sector_size - 1) / t.sector_size
+
+let ensure t sectors =
+  let need = sectors * t.sector_size in
+  if need > Bytes.length t.data then begin
+    let cap = ref (Bytes.length t.data) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let data = Bytes.make !cap '\000' in
+    Bytes.blit t.data 0 data 0 (Bytes.length t.data);
+    t.data <- data
+  end
+
+let write t ~sector bytes =
+  if sector < 0 then invalid_arg "Blockdev.write: negative sector";
+  let len = Bytes.length bytes in
+  let sectors = sectors_for t len in
+  ensure t (sector + sectors);
+  let old = Bytes.sub t.data (sector * t.sector_size) (sectors * t.sector_size) in
+  Bytes.fill t.data (sector * t.sector_size) (sectors * t.sector_size) '\000';
+  Bytes.blit bytes 0 t.data (sector * t.sector_size) len;
+  t.high <- max t.high (sector + sectors);
+  t.last <- Some (sector, old, sectors);
+  t.writes <- t.writes + 1;
+  sectors
+
+let append t bytes =
+  let sector = t.high in
+  let sectors = write t ~sector bytes in
+  (sector, sectors)
+
+let read t ~sector ~len =
+  if sector < 0 || len < 0 then invalid_arg "Blockdev.read: negative argument";
+  t.reads <- t.reads + 1;
+  let out = Bytes.make len '\000' in
+  let off = sector * t.sector_size in
+  let avail = max 0 (min len (Bytes.length t.data - off)) in
+  if avail > 0 then Bytes.blit t.data off out 0 avail;
+  out
+
+let sync t = t.last <- None
+
+let tear t ~rng =
+  match t.last with
+  | None -> 0
+  | Some (sector, old, sectors) ->
+    (* Persist a strict prefix of the write's sectors; the rest revert
+       to their previous contents (fresh appends revert to zeroes). *)
+    let keep = Rng.int rng ~bound:sectors in
+    let dropped = sectors - keep in
+    Bytes.blit old (keep * t.sector_size) t.data
+      ((sector + keep) * t.sector_size)
+      (dropped * t.sector_size);
+    t.torn <- t.torn + dropped;
+    t.last <- None;
+    dropped
+
+let rot_at t ~sector ~off =
+  let abs = (sector * t.sector_size) + off in
+  if abs < 0 || abs >= t.high * t.sector_size then
+    invalid_arg "Blockdev.rot_at: offset beyond the written extent";
+  let b = Char.code (Bytes.get t.data abs) in
+  let flipped = b lxor 0x40 in
+  Bytes.set t.data abs (Char.chr flipped);
+  t.rotted <- t.rotted + 1
+
+let rot t ~rng =
+  if t.high = 0 then None
+  else begin
+    let abs = Rng.int rng ~bound:(t.high * t.sector_size) in
+    let sector = abs / t.sector_size and off = abs mod t.sector_size in
+    rot_at t ~sector ~off;
+    Some (sector, off)
+  end
+
+let discard t ~sector ~sectors =
+  if sector < 0 || sectors < 0 then invalid_arg "Blockdev.discard";
+  let hi = min t.high (sector + sectors) in
+  if hi > sector then begin
+    Bytes.fill t.data (sector * t.sector_size) ((hi - sector) * t.sector_size)
+      '\000';
+    t.reclaimed <- t.reclaimed + (hi - sector)
+  end
+
+type stats = {
+  writes : int;
+  reads : int;
+  sectors : int;
+  torn_sectors : int;
+  rotted_bytes : int;
+  reclaimed_sectors : int;
+}
+
+let stats (t : t) =
+  {
+    writes = t.writes;
+    reads = t.reads;
+    sectors = t.high;
+    torn_sectors = t.torn;
+    rotted_bytes = t.rotted;
+    reclaimed_sectors = t.reclaimed;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d sectors (%d writes, %d reads, %d torn, %d rotted, %d reclaimed)"
+    s.sectors s.writes s.reads s.torn_sectors s.rotted_bytes s.reclaimed_sectors

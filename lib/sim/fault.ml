@@ -8,6 +8,8 @@ type crash = { node : int; at : int; back : int; wipe : bool }
 
 let crash ?(wipe = false) ~node ~at ~back () = { node; at; back; wipe }
 
+type storage_fault = { node : int; at : int }
+
 type plan = {
   drop : float;
   link_drop : ((int * int) * float) list;
@@ -15,6 +17,9 @@ type plan = {
   spike_delay : int;
   partitions : partition list;
   crashes : crash list;
+  tears : storage_fault list;
+  rots : storage_fault list;
+  stales : storage_fault list;
 }
 
 let none =
@@ -25,6 +30,9 @@ let none =
     spike_delay = 0;
     partitions = [];
     crashes = [];
+    tears = [];
+    rots = [];
+    stales = [];
   }
 
 let is_none p = p = none
@@ -60,24 +68,44 @@ let validate ?n plan =
       List.iter (check_node ?n "partition") w.island)
     plan.partitions;
   List.iter
-    (fun c ->
+    (fun (c : crash) ->
       if c.at < 0 || c.back <= c.at then
         invalid_arg "Fault.validate: crash window must satisfy 0 <= at < back";
       check_node ?n "crash" c.node)
-    plan.crashes
+    plan.crashes;
+  List.iter
+    (fun (what, fs) ->
+      List.iter
+        (fun (f : storage_fault) ->
+          if f.at < 0 then
+            invalid_arg (Fmt.str "Fault.validate: negative %s instant" what);
+          check_node ?n what f.node)
+        fs)
+    [ ("tear", plan.tears); ("rot", plan.rots); ("stale", plan.stales) ]
+
+let pp_storage_faults what ppf fs =
+  if fs <> [] then
+    Fmt.pf ppf " %s=%a" what
+      Fmt.(
+        list ~sep:comma (fun ppf (f : storage_fault) ->
+            pf ppf "%d@%d" f.node f.at))
+      fs
 
 let pp_plan ppf p =
-  Fmt.pf ppf "drop=%g spikes=%g/+%d partitions=%a crashes=%a" p.drop
+  Fmt.pf ppf "drop=%g spikes=%g/+%d partitions=%a crashes=%a%a%a%a" p.drop
     p.spike_prob p.spike_delay
     Fmt.(list ~sep:comma (fun ppf w ->
         pf ppf "[%d,%d)x{%a}" w.from_ w.until (list ~sep:semi int) w.island))
     p.partitions
     Fmt.(
-      list ~sep:comma (fun ppf c ->
+      list ~sep:comma (fun ppf (c : crash) ->
           pf ppf "%d:[%d,%d)%s" c.node c.at c.back (if c.wipe then "!" else "")))
-    p.crashes
+    p.crashes (pp_storage_faults "tears") p.tears (pp_storage_faults "rots")
+    p.rots
+    (pp_storage_faults "stales")
+    p.stales
 
-let wipes p = List.filter (fun c -> c.wipe) p.crashes
+let wipes p = List.filter (fun (c : crash) -> c.wipe) p.crashes
 
 (* Deterministic random plan for chaos runs.  Every window closes well
    before the ~1200-tick horizon the drivers use, so connectivity (and
@@ -112,13 +140,49 @@ let fuzz ~rng ~n =
         let wipe = Rng.bernoulli rng ~p:0.7 in
         { node = nodes.(i); at; back; wipe })
   in
-  { drop; link_drop = []; spike_prob; spike_delay; partitions; crashes }
+  (* Storage faults are drawn after all network draws, so a given seed
+     produces the same network plan it did before storage faults
+     existed.  Tears ride wipe-crash instants (a torn write needs a
+     crash to tear it); rots and stale-checkpoint losses strike any
+     node, any time before the heal horizon. *)
+  let tears =
+    List.filter_map
+      (fun c ->
+        if c.wipe && Rng.bernoulli rng ~p:0.5 then
+          Some { node = c.node; at = c.at }
+        else None)
+      crashes
+  in
+  let rots =
+    if Rng.bernoulli rng ~p:0.4 then
+      List.init
+        (Rng.int_range rng ~lo:1 ~hi:2)
+        (fun _ ->
+          { node = Rng.int rng ~bound:n; at = Rng.int_range rng ~lo:80 ~hi:700 })
+    else []
+  in
+  let stales =
+    if Rng.bernoulli rng ~p:0.2 then
+      [ { node = Rng.int rng ~bound:n; at = Rng.int_range rng ~lo:100 ~hi:600 } ]
+    else []
+  in
+  {
+    drop;
+    link_drop = [];
+    spike_prob;
+    spike_delay;
+    partitions;
+    crashes;
+    tears;
+    rots;
+    stales;
+  }
 
 let up_in_plan p ~now ~node =
-  not (List.exists (fun c -> c.node = node && c.at <= now && now < c.back) p.crashes)
+  not (List.exists (fun (c : crash) -> c.node = node && c.at <= now && now < c.back) p.crashes)
 
 let crash_instants p =
-  List.concat_map (fun c -> [ c.at; c.back ]) p.crashes
+  List.concat_map (fun (c : crash) -> [ c.at; c.back ]) p.crashes
   |> List.sort_uniq compare
 
 type reason = Loss | Partitioned | Crashed_src | Crashed_dst
@@ -166,7 +230,7 @@ let create plan ~rng =
     delays = Stats.create ();
     heals =
       List.map (fun w -> w.until) plan.partitions
-      @ List.map (fun c -> c.back) plan.crashes;
+      @ List.map (fun (c : crash) -> c.back) plan.crashes;
     recovery = 0;
   }
 
@@ -175,7 +239,7 @@ let plan t = t.plan
 let node_up t ~now ~node =
   not
     (List.exists
-       (fun c -> c.node = node && c.at <= now && now < c.back)
+       (fun (c : crash) -> c.node = node && c.at <= now && now < c.back)
        t.plan.crashes)
 
 let severed t ~now ~src ~dst =

@@ -33,6 +33,15 @@ type crash = { node : int; at : int; back : int; wipe : bool }
 (** Build a crash window; [wipe] defaults to [false]. *)
 val crash : ?wipe:bool -> node:int -> at:int -> back:int -> unit -> crash
 
+(** A storage fault striking [node]'s durable devices at instant [at].
+    Which fault it is depends on the plan field holding it: a {e tear}
+    rolls back a suffix of the sectors of the write in flight (torn
+    multi-sector append at a crash instant), a {e rot} flips a byte in
+    a retained record (latent bit-rot), a {e stale} corrupts the
+    newest checkpoint so recovery must fall back to the previous
+    one. *)
+type storage_fault = { node : int; at : int }
+
 type plan = {
   drop : float;  (** per-message loss probability, every link *)
   link_drop : ((int * int) * float) list;
@@ -41,6 +50,9 @@ type plan = {
   spike_delay : int;  (** extra delay a spiked message pays *)
   partitions : partition list;
   crashes : crash list;
+  tears : storage_fault list;  (** torn writes at crash instants *)
+  rots : storage_fault list;  (** bit-rot in retained records *)
+  stales : storage_fault list;  (** stale-checkpoint losses *)
 }
 
 (** No faults at all: the plan every configuration defaults to. *)
@@ -61,9 +73,13 @@ val wipes : plan -> crash list
 (** Deterministic random fault plan for chaos testing, drawn entirely
     from [rng]: a loss rate (70% of plans, up to 0.25), an optional
     latency-spike regime, up to one timed partition and up to two
-    crash windows on distinct nodes (wipes preferred, 70%).  All
-    windows close by tick ~1200, so connectivity is always eventually
-    restored and a run can converge.  Same [rng] stream, same plan. *)
+    crash windows on distinct nodes (wipes preferred, 70%), plus
+    storage faults — tears riding half the wipe-crash instants, bit-rot
+    on 40% of plans (one or two strikes), a stale-checkpoint loss on
+    20%.  Storage draws come after all network draws, so pre-storage
+    seeds keep their network plans.  All windows close by tick ~1200,
+    so connectivity is always eventually restored and a run can
+    converge.  Same [rng] stream, same plan. *)
 val fuzz : rng:Rng.t -> n:int -> plan
 
 (** Static liveness: is [node] up at [now] under this plan?  Usable

@@ -328,8 +328,9 @@ let create ?fault ?reliable ?batch ?detector ?(mode = Stable)
         end)
   done;
   let rbcast =
-    (Select.recoverable abcast_impl) ?fault ?reliable ?batch ?detector engine
-      ~n ~latency
+    (Select.recoverable abcast_impl) ?fault ?reliable ?batch ?detector
+      ~fit:(fun node -> not (Rlog.quarantined rlogs.(node)))
+      engine ~n ~latency
       ~rng:(Rng.split rng)
       ~deliver:(fun ~node ~origin ~pos d ->
         match d with
@@ -340,10 +341,58 @@ let create ?fault ?reliable ?batch ?detector ?(mode = Stable)
   catchup :=
     Some
       (Catchup.create ?fault ?config:reliable engine ~n ~latency
-         ~rng:(Rng.split rng) ~serve ~learn:(fun ~node ~peer_cursor ~snap es ->
+         ~rng:(Rng.split rng) ~serve
+         ~serve_one:(fun ~node ~pos -> Rlog.entry_at rlogs.(node) ~pos)
+         ~patch:(fun ~node entries ->
+           List.iter
+             (fun (e : payload Wal.entry) ->
+               ignore (Rlog.patch rlogs.(node) e);
+               if e.Wal.pos >= cursors.(node) then
+                 ingest ~proven:true node ~pos:e.Wal.pos ~origin:e.Wal.origin
+                   e.Wal.payload)
+             entries)
+         ~learn:(fun ~node ~peer_cursor ~snap es ->
            learn ~node ~peer_cursor ~snap es;
            if Hashtbl.length pending.(node) > 0 || cursors.(node) < targets.(node)
            then arm_poll node));
+  (* Storage faults, straight from the plan.  The rng split is taken
+     after every other split so pre-storage seeds keep their streams.
+     Daemon events: a fault instant past the natural end of the run
+     must not extend it. *)
+  let storage_rng = Rng.split rng in
+  List.iter
+    (fun (f : Fault.storage_fault) ->
+      Engine.at ~daemon:true engine ~time:f.Fault.at (fun () ->
+          ignore (Rlog.inject_tear rlogs.(f.Fault.node) ~rng:storage_rng)))
+    plan.Fault.tears;
+  List.iter
+    (fun (f : Fault.storage_fault) ->
+      Engine.at ~daemon:true engine ~time:f.Fault.at (fun () ->
+          ignore (Rlog.inject_rot rlogs.(f.Fault.node) ~rng:storage_rng)))
+    plan.Fault.rots;
+  List.iter
+    (fun (f : Fault.storage_fault) ->
+      Engine.at ~daemon:true engine ~time:f.Fault.at (fun () ->
+          ignore (Rlog.inject_stale rlogs.(f.Fault.node) ~rng:storage_rng)))
+    plan.Fault.stales;
+  (* Background scrubber: every [scrub_every] ticks each live replica
+     re-verifies its retained frames and asks peers to repair what rot
+     damaged.  Daemon — scrubbing never keeps the run alive. *)
+  if policy.Rlog.scrub_every > 0 && policy.Rlog.crc then
+    for node = 0 to n - 1 do
+      let rec arm_scrub () =
+        Engine.schedule ~daemon:true engine ~delay:policy.Rlog.scrub_every
+          (fun () ->
+            if up node (Engine.now engine) && ready.(node) then begin
+              let damaged = Rlog.scrub rlogs.(node) in
+              match !catchup with
+              | Some cu -> Catchup.repair cu ~node ~positions:damaged
+              | None -> ()
+            end;
+            arm_scrub ())
+      in
+      arm_scrub ()
+    done;
   (* Wipe-crash and restart events, straight from the fault plan (the
      injector below the transports makes the down window itself; here
      we destroy and rebuild the replica state at its edges). *)
@@ -356,10 +405,13 @@ let create ?fault ?reliable ?batch ?detector ?(mode = Stable)
           cursors.(c.node) <- 0;
           Hashtbl.reset pending.(c.node);
           Hashtbl.reset ackers.(c.node);
-          Hashtbl.reset forced.(c.node));
+          Hashtbl.reset forced.(c.node);
+          (* The durable indexes are volatile too; the devices
+             survive. *)
+          Rlog.crash rlogs.(c.node));
       Engine.at engine ~time:c.back (fun () ->
-          let snap, replay = Rlog.recover rlogs.(c.node) in
-          (match snap with
+          let r = Rlog.recover_full rlogs.(c.node) in
+          (match r.Rlog.rsnap with
           | Some (cpos, s) ->
             xs.(c.node) <- Array.copy s.sxs;
             tss.(c.node) <- Array.copy s.stss;
@@ -370,13 +422,30 @@ let create ?fault ?reliable ?batch ?detector ?(mode = Stable)
               if e.Wal.pos = cursors.(c.node) then
                 apply_one c.node ~replay:true ~pos:e.Wal.pos ~origin:e.Wal.origin
                   e.Wal.payload)
-            replay;
+            r.Rlog.rreplay;
           ready.(c.node) <- true;
           recovering.(c.node) <- true;
           incr recoveries;
           (match fault with Some f -> Fault.note_restart f | None -> ());
+          (* Durable survivors beyond a quarantined gap are stable by
+             provenance: buffer them so they apply the moment catch-up
+             refills the gap. *)
+          List.iter
+            (fun (e : payload Wal.entry) ->
+              ingest ~proven:true c.node ~pos:e.Wal.pos ~origin:e.Wal.origin
+                e.Wal.payload)
+            r.Rlog.rorphans;
           (match !catchup with
-          | Some cu -> Catchup.pull cu ~node:c.node ~from:cursors.(c.node)
+          | Some cu ->
+            Catchup.pull cu ~node:c.node ~from:cursors.(c.node);
+            (* Quarantined retained positions: ask peers for verified
+               copies right away rather than waiting for a scrub
+               pass. *)
+            Catchup.repair cu ~node:c.node
+              ~positions:
+                (List.concat_map
+                   (fun (lo, hi) -> List.init (hi - lo) (fun i -> lo + i))
+                   (Wal.quarantine (Rlog.wal rlogs.(c.node))))
           | None -> ());
           poll_attempts.(c.node) <- 0;
           arm_poll c.node))

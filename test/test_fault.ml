@@ -41,6 +41,9 @@ let test_validate_rejects () =
       spike_delay = 50;
       partitions = [ { Fault.from_ = 10; until = 90; island = [ 0; 1 ] } ];
       crashes = [ { Fault.node = 3; at = 5; back = 40; wipe = false } ];
+      tears = [ { Fault.node = 3; at = 5 } ];
+      rots = [ { Fault.node = 0; at = 50 } ];
+      stales = [];
     }
 
 let test_network_duplicate_validated () =

@@ -61,7 +61,9 @@ let test_checkpoint_monotone () =
 (* --- Rlog --- *)
 
 let test_rlog_checkpoint_and_recover () =
-  let policy = { Rlog.checkpoint_every = 4; gap_poll = 60; retain = 2 } in
+  let policy =
+    { Rlog.default_policy with Rlog.checkpoint_every = 4; retain = 2 }
+  in
   let rl : (int, int) Rlog.t = Rlog.create policy in
   let state = ref 0 in
   for p = 0 to 9 do
@@ -255,7 +257,14 @@ let test_recovery_acceptance () =
 
 let test_recovery_wal_and_checkpoints_used () =
   (* A tight checkpoint policy must actually checkpoint and replay. *)
-  let policy = { Rlog.checkpoint_every = 4; gap_poll = 40; retain = 8 } in
+  let policy =
+    {
+      Rlog.default_policy with
+      Rlog.checkpoint_every = 4;
+      gap_poll = 40;
+      retain = 8;
+    }
+  in
   let res =
     run_recovery ~seed:1 ~impl:Abcast.Sequencer_impl ~policy ~plan:recovery_plan
       ()
